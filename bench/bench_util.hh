@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Shared helpers for the per-figure/table experiment harnesses.
+ *
+ * Every binary prints the same rows/series the paper reports, normalized
+ * the same way (Chapter 4 figures to the no-thermal-limit baseline or to
+ * DTM-TS; Chapter 5 figures to no-limit or DTM-BW). Batch depths are
+ * reduced relative to the paper's 50 copies to bound harness runtime;
+ * EXPERIMENTS.md records the settings used.
+ */
+
+#ifndef MEMTHERM_BENCH_BENCH_UTIL_HH
+#define MEMTHERM_BENCH_BENCH_UTIL_HH
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "core/sim/experiment.hh"
+#include "testbed/platform.hh"
+
+namespace memtherm::bench
+{
+
+/** Batch depth used by the Chapter 4 harnesses. */
+inline constexpr int kCh4Copies = 25;
+/** Batch depth used by the Chapter 5 harnesses. */
+inline constexpr int kCh5Copies = 6;
+
+/** Chapter 4 configuration with the harness batch depth. */
+inline SimConfig
+ch4Config(const CoolingConfig &cooling, bool integrated,
+          int copies = kCh4Copies)
+{
+    SimConfig cfg = makeCh4Config(cooling, integrated);
+    cfg.copiesPerApp = copies;
+    return cfg;
+}
+
+/** Run one Chapter 4 (workload, policy-name) pair. */
+inline SimResult
+runCh4(const SimConfig &cfg, const Workload &w, const std::string &policy)
+{
+    ThermalSimulator sim(cfg);
+    auto p = makeCh4Policy(policy, cfg.dtmInterval);
+    return sim.run(w, *p);
+}
+
+/** Run one Chapter 5 (workload, policy-name) pair on a platform. */
+inline SimResult
+runCh5(const Platform &plat, const Workload &w, const std::string &policy,
+       int copies = kCh5Copies, std::size_t dvfs_floor = 0)
+{
+    SimConfig cfg = plat.sim;
+    cfg.copiesPerApp = copies;
+    // Paper protocol: the SR1500AL no-limit baseline runs in a 26 C room.
+    if (policy == "No-limit" && cfg.ambient.tInlet > 26.0)
+        cfg.ambient.tInlet = 26.0;
+    ThermalSimulator sim(cfg);
+    auto p = makeCh5Policy(plat, policy, dvfs_floor);
+    return sim.run(w, *p);
+}
+
+/**
+ * Emit a normalized-metric table: rows = workloads (+ average), columns =
+ * policies, each cell = metric(policy) / metric(base).
+ */
+inline void
+printNormalized(const std::string &title,
+                const std::map<std::string,
+                               std::map<std::string, SimResult>> &results,
+                const std::vector<std::string> &workloads,
+                const std::vector<std::string> &policies,
+                const std::string &base,
+                double (*metric)(const SimResult &), int digits = 3)
+{
+    std::vector<std::string> headers{"workload"};
+    headers.insert(headers.end(), policies.begin(), policies.end());
+    Table t(title, headers);
+    std::vector<double> sums(policies.size(), 0.0);
+    for (const auto &w : workloads) {
+        std::vector<std::string> row{w};
+        double denom = metric(results.at(w).at(base));
+        for (std::size_t i = 0; i < policies.size(); ++i) {
+            double v = metric(results.at(w).at(policies[i])) / denom;
+            sums[i] += v;
+            row.push_back(Table::num(v, digits));
+        }
+        t.addRow(row);
+    }
+    std::vector<std::string> avg{"average"};
+    for (double s : sums)
+        avg.push_back(Table::num(s / static_cast<double>(workloads.size()),
+                                 digits));
+    t.addRow(avg);
+    t.print(std::cout);
+}
+
+} // namespace memtherm::bench
+
+#endif // MEMTHERM_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Chapter 5 calibration harness (not a paper figure): prints the testbed
+ * platforms' operating points against the paper's anchors.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "testbed/platform.hh"
+
+using namespace memtherm;
+
+namespace
+{
+
+void
+quickSuite(const Platform &p, const char *mix_name)
+{
+    Platform plat = p;
+    plat.sim.copiesPerApp = 10;
+    Table t(std::string(p.name) + " " + mix_name + " policy comparison",
+            {"policy", "time s", "norm", "L2 miss B", "inlet C", "cpu W",
+             "maxAmb"});
+    Workload w = workloadMix(mix_name);
+    double base = 0.0, base_miss = 0.0;
+    for (const char *name :
+         {"No-limit", "DTM-BW", "DTM-ACG", "DTM-CDVFS", "DTM-COMB"}) {
+        SimConfig cfg = plat.sim;
+        if (std::string(name) == "No-limit" && cfg.ambient.tInlet > 26.0)
+            cfg.ambient.tInlet = 26.0;
+        ThermalSimulator sim(cfg);
+        auto policy = makeCh5Policy(plat, name);
+        SimResult r = sim.run(w, *policy);
+        if (base == 0.0) {
+            base = r.runningTime;
+            base_miss = r.totalL2Misses;
+        }
+        t.addRow({r.policy, Table::num(r.runningTime, 1),
+                  Table::num(r.runningTime / base, 3),
+                  Table::num(r.totalL2Misses / base_miss, 3),
+                  Table::num(r.inletTrace.mean(), 1),
+                  Table::num(r.avgCpuPower(), 1),
+                  Table::num(r.maxAmb, 1)});
+    }
+    t.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    // Homogeneous temperature anchors (Figs. 5.4 / 5.5).
+    for (const Platform &p : {sr1500al(), pe1950()}) {
+        Table t(p.name + " homogeneous no-DTM anchor",
+                {"app", "avgAmb", "maxAmb", "inlet"});
+        for (const char *app : {"swim", "galgel", "apsi", "vpr"}) {
+            SimConfig cfg = p.sim;
+            cfg.copiesPerApp = 2;
+            ThermalSimulator sim(cfg);
+            auto policy = makeCh5Policy(p, "DTM-BW"); // safety-capped
+            SimResult r = sim.run(homogeneous(app, 4), *policy);
+            t.addRow({app, Table::num(r.ambTrace.mean(), 1),
+                      Table::num(r.maxAmb, 1),
+                      Table::num(r.inletTrace.mean(), 1)});
+        }
+        t.print(std::cout);
+    }
+
+    quickSuite(sr1500al(), "W1");
+    quickSuite(sr1500al(), "W8");
+    quickSuite(pe1950(), "W1");
+    quickSuite(pe1950(), "W8");
+    return 0;
+}

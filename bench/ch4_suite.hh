@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The standard Chapter 4 experiment: all eight CPU2000 mixes under the
+ * full policy lineup, both cooling configurations. Figs. 4.3, 4.4, 4.9
+ * and 4.10 are different metrics over this same run matrix.
+ */
+
+#ifndef MEMTHERM_BENCH_CH4_SUITE_HH
+#define MEMTHERM_BENCH_CH4_SUITE_HH
+
+#include "bench_util.hh"
+
+namespace memtherm::bench
+{
+
+/** Run the Fig. 4.3/4.4/4.9/4.10 matrix for one cooling config. */
+inline SuiteResults
+ch4Suite(const CoolingConfig &cooling, bool with_no_limit,
+         bool integrated = false)
+{
+    SimConfig cfg = ch4Config(cooling, integrated);
+    std::vector<std::string> policies = ch4PolicyNames(true);
+    if (with_no_limit)
+        policies.insert(policies.begin(), "No-limit");
+    return runSuite(cfg, cpu2000Mixes(), policies);
+}
+
+/** Workload-name row order. */
+inline std::vector<std::string>
+mixNames()
+{
+    std::vector<std::string> out;
+    for (const auto &w : cpu2000Mixes())
+        out.push_back(w.name);
+    return out;
+}
+
+} // namespace memtherm::bench
+
+#endif // MEMTHERM_BENCH_CH4_SUITE_HH

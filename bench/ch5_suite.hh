@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The standard Chapter 5 experiment: W1-W8 under {No-limit, DTM-BW,
+ * DTM-ACG, DTM-CDVFS, DTM-COMB} on a platform. Figs. 5.6 and 5.8-5.11
+ * are different metrics over this matrix.
+ */
+
+#ifndef MEMTHERM_BENCH_CH5_SUITE_HH
+#define MEMTHERM_BENCH_CH5_SUITE_HH
+
+#include "bench_util.hh"
+
+namespace memtherm::bench
+{
+
+/** Run the Chapter 5 matrix on a platform. */
+inline SuiteResults
+ch5SuiteRun(const Platform &plat, bool with_no_limit = true)
+{
+    std::vector<std::string> policies = ch5PolicyNames();
+    if (with_no_limit)
+        policies.insert(policies.begin(), "No-limit");
+    SuiteResults out;
+    for (const Workload &w : cpu2000Mixes())
+        for (const auto &pname : policies)
+            out[w.name][pname] = runCh5(plat, w, pname);
+    return out;
+}
+
+inline std::vector<std::string>
+ch5MixNames()
+{
+    std::vector<std::string> out;
+    for (const auto &w : cpu2000Mixes())
+        out.push_back(w.name);
+    return out;
+}
+
+} // namespace memtherm::bench
+
+#endif // MEMTHERM_BENCH_CH5_SUITE_HH

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Fig. 4.10: normalized processor energy of the DTM schemes, normalized
+ * to DTM-TS. DTM-BW wastes energy (the processor spins at full speed
+ * behind a throttled memory); DTM-CDVFS saves the most via voltage
+ * scaling; PID spends extra energy for its performance gains.
+ */
+
+#include "ch4_suite.hh"
+
+using namespace memtherm;
+using namespace memtherm::bench;
+
+int
+main()
+{
+    for (const CoolingConfig &cooling : {coolingFdhs10(), coolingAohs15()}) {
+        SuiteResults r = ch4Suite(cooling, false);
+        printNormalized("Fig 4.10 — normalized processor energy (" +
+                            cooling.name() + ")",
+                        r, mixNames(), ch4PolicyNames(true), "DTM-TS",
+                        metricCpuEnergy);
+    }
+    return 0;
+}

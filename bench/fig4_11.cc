@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fig. 4.11: normalized average running time vs the DTM interval
+ * {1, 10, 20, 100} ms, normalized to the 10 ms default. Short intervals
+ * pay the 25 us control overhead; long intervals react late.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace memtherm;
+using namespace memtherm::bench;
+
+int
+main()
+{
+    const std::vector<Seconds> intervals{0.001, 0.010, 0.020, 0.100};
+    const std::vector<std::string> policies = ch4PolicyNames(false);
+
+    for (const CoolingConfig &cooling : {coolingFdhs10(), coolingAohs15()}) {
+        std::vector<std::string> headers{"policy"};
+        for (Seconds itv : intervals)
+            headers.push_back(Table::num(itv * 1e3, 0) + " ms");
+        Table t("Fig 4.11 — avg running time vs DTM interval (" +
+                    cooling.name() + "), normalized to 10 ms",
+                headers);
+
+        for (const auto &pname : policies) {
+            std::vector<double> avg(intervals.size(), 0.0);
+            std::vector<Workload> mixes = cpu2000Mixes();
+            for (const Workload &w : mixes) {
+                for (std::size_t i = 0; i < intervals.size(); ++i) {
+                    SimConfig cfg = ch4Config(cooling, false, 12);
+                    cfg.dtmInterval = intervals[i];
+                    cfg.window = std::min(cfg.window, intervals[i]);
+                    avg[i] += runCh4(cfg, w, pname).runningTime;
+                }
+            }
+            std::vector<std::string> row{pname};
+            for (double v : avg)
+                row.push_back(Table::num(v / avg[1], 3));
+            t.addRow(row);
+        }
+        t.print(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fig. 4.13: average normalized running time vs the thermal-interaction
+ * degree (PsiCPU_MEM * xi in {1.0, 1.5, 2.0}), integrated model under
+ * FDHS_1.0. Stronger interaction -> hotter memory ambient -> larger
+ * penalty for every scheme.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace memtherm;
+using namespace memtherm::bench;
+
+int
+main()
+{
+    const std::vector<double> degrees{1.0, 1.5, 2.0};
+    const std::vector<std::string> policies = ch4PolicyNames(false);
+
+    std::vector<std::string> headers{"policy"};
+    for (double d : degrees)
+        headers.push_back("degree " + Table::num(d, 1));
+    Table t("Fig 4.13 — avg normalized running time vs interaction degree"
+            " (FDHS_1.0, integrated)",
+            headers);
+
+    std::vector<Workload> mixes = cpu2000Mixes();
+    for (const auto &pname : policies) {
+        std::vector<std::string> row{pname};
+        for (double d : degrees) {
+            SimConfig cfg = ch4Config(coolingFdhs10(), true);
+            cfg.ambient.psiCpuMemXi = d * 3.0; // xi calibration, see makeCh4Config
+            double sum = 0.0;
+            for (const Workload &w : mixes) {
+                SimResult base = runCh4(cfg, w, "No-limit");
+                SimResult r = runCh4(cfg, w, pname);
+                sum += r.runningTime / base.runningTime;
+            }
+            row.push_back(
+                Table::num(sum / static_cast<double>(mixes.size()), 3));
+        }
+        t.addRow(row);
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fig. 4.14: average normalized performance improvement of DTM-ACG and
+ * DTM-CDVFS over DTM-BW vs the thermal-interaction degree (FDHS_1.0,
+ * integrated model). DTM-ACG's edge is roughly flat; DTM-CDVFS's edge
+ * grows with the interaction because it cools the processors that heat
+ * the memory.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace memtherm;
+using namespace memtherm::bench;
+
+int
+main()
+{
+    const std::vector<double> degrees{1.0, 1.5, 2.0};
+
+    std::vector<std::string> headers{"policy"};
+    for (double d : degrees)
+        headers.push_back("degree " + Table::num(d, 1));
+    Table t("Fig 4.14 — avg improvement over DTM-BW (%) vs interaction "
+            "degree (FDHS_1.0, integrated)",
+            headers);
+
+    std::vector<Workload> mixes = cpu2000Mixes();
+    for (const std::string pname : {"DTM-ACG", "DTM-CDVFS"}) {
+        std::vector<std::string> row{pname};
+        for (double d : degrees) {
+            SimConfig cfg = ch4Config(coolingFdhs10(), true);
+            cfg.ambient.psiCpuMemXi = d * 3.0; // xi calibration, see makeCh4Config
+            double sum = 0.0;
+            for (const Workload &w : mixes) {
+                SimResult bw = runCh4(cfg, w, "DTM-BW");
+                SimResult r = runCh4(cfg, w, pname);
+                sum += (bw.runningTime / r.runningTime - 1.0) * 100.0;
+            }
+            row.push_back(
+                Table::num(sum / static_cast<double>(mixes.size()), 1));
+        }
+        t.addRow(row);
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Fig. 4.3: normalized running time of every DTM scheme (with and
+ * without PID) under (a) FDHS_1.0 and (b) AOHS_1.5, isolated thermal
+ * model. Normalized to the ideal no-thermal-limit system.
+ */
+
+#include "ch4_suite.hh"
+
+using namespace memtherm;
+using namespace memtherm::bench;
+
+int
+main()
+{
+    for (const CoolingConfig &cooling : {coolingFdhs10(), coolingAohs15()}) {
+        SuiteResults r = ch4Suite(cooling, true);
+        printNormalized("Fig 4.3 — normalized running time (" +
+                            cooling.name() + ")",
+                        r, mixNames(), ch4PolicyNames(true), "No-limit",
+                        metricRunningTime);
+    }
+    return 0;
+}

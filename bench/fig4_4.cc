@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Fig. 4.4: normalized total memory traffic of every DTM scheme under
+ * (a) FDHS_1.0 and (b) AOHS_1.5, normalized to the no-limit system.
+ * DTM-ACG cuts traffic via reduced L2 contention; DTM-CDVFS slightly via
+ * fewer speculative accesses; PID trades a little traffic for speed.
+ */
+
+#include "ch4_suite.hh"
+
+using namespace memtherm;
+using namespace memtherm::bench;
+
+int
+main()
+{
+    for (const CoolingConfig &cooling : {coolingFdhs10(), coolingAohs15()}) {
+        SuiteResults r = ch4Suite(cooling, true);
+        printNormalized("Fig 4.4 — normalized total memory traffic (" +
+                            cooling.name() + ")",
+                        r, mixNames(), ch4PolicyNames(true), "No-limit",
+                        metricTraffic);
+    }
+    return 0;
+}

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Fig. 4.9: normalized FBDIMM energy consumption of the DTM schemes,
+ * normalized to DTM-TS. DTM-ACG saves the most (less traffic AND less
+ * time); PID variants save slightly more by finishing sooner.
+ */
+
+#include "ch4_suite.hh"
+
+using namespace memtherm;
+using namespace memtherm::bench;
+
+int
+main()
+{
+    for (const CoolingConfig &cooling : {coolingFdhs10(), coolingAohs15()}) {
+        SuiteResults r = ch4Suite(cooling, false);
+        printNormalized("Fig 4.9 — normalized FBDIMM energy (" +
+                            cooling.name() + ")",
+                        r, mixNames(), ch4PolicyNames(true), "DTM-TS",
+                        metricMemEnergy);
+    }
+    return 0;
+}

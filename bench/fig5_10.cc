@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fig. 5.10: average CPU power per DTM policy on the SR1500AL,
+ * normalized to DTM-BW. DTM-CDVFS cuts ~15%; DTM-ACG saves little
+ * because memory-stalled cores are already clock-gated by hardware.
+ */
+
+#include "ch5_suite.hh"
+
+using namespace memtherm;
+using namespace memtherm::bench;
+
+namespace
+{
+
+double
+metricAvgCpuPower(const memtherm::SimResult &r)
+{
+    return r.avgCpuPower();
+}
+
+} // namespace
+
+int
+main()
+{
+    Platform plat = sr1500al();
+    SuiteResults r = ch5SuiteRun(plat, false);
+    printNormalized("Fig 5.10 — CPU power normalized to DTM-BW (SR1500AL)",
+                    r, ch5MixNames(), ch5PolicyNames(), "DTM-BW",
+                    metricAvgCpuPower);
+
+    Table t("Absolute average CPU power (W)", {"policy", "power W"});
+    for (const auto &p : ch5PolicyNames()) {
+        double sum = 0.0;
+        for (const auto &w : ch5MixNames())
+            sum += r.at(w).at(p).avgCpuPower();
+        t.addRow({p, Table::num(sum / 8.0, 1)});
+    }
+    t.print(std::cout);
+    return 0;
+}

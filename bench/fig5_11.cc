@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Fig. 5.11: total (processor + memory) energy per workload per DTM
+ * policy on the SR1500AL, normalized to DTM-BW. DTM-ACG saves via
+ * shorter runs; DTM-CDVFS and DTM-COMB save via both power and time.
+ */
+
+#include "ch5_suite.hh"
+
+using namespace memtherm;
+using namespace memtherm::bench;
+
+int
+main()
+{
+    Platform plat = sr1500al();
+    SuiteResults r = ch5SuiteRun(plat, false);
+    printNormalized(
+        "Fig 5.11 — CPU+DRAM energy normalized to DTM-BW (SR1500AL)", r,
+        ch5MixNames(), ch5PolicyNames(), "DTM-BW", metricTotalEnergy);
+    return 0;
+}

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Fig. 5.12: normalized running time on the SR1500AL at a room system
+ * ambient (26 C) with an artificial 90 C AMB TDP — the same 64 C
+ * ambient-to-TDP gap as the hot-box experiment. Section 5.4.5's finding:
+ * performance tracks the gap, not the absolute ambient.
+ */
+
+#include "ch5_suite.hh"
+
+using namespace memtherm;
+using namespace memtherm::bench;
+
+int
+main()
+{
+    Platform plat = sr1500al(26.0, 90.0);
+    SuiteResults r = ch5SuiteRun(plat);
+    printNormalized(
+        "Fig 5.12 — normalized running time, SR1500AL @26C / TDP 90C", r,
+        ch5MixNames(), ch5PolicyNames(), "No-limit", metricRunningTime);
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fig. 5.14: average normalized running time on the PE1950 with AMB TDPs
+ * of 88, 90 and 92 C (the emergency-level table shifts with the TDP).
+ * Higher TDPs reduce the loss; the policies' relative order holds at
+ * every TDP — they "work equally well in future systems with different
+ * thermal constraints".
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace memtherm;
+using namespace memtherm::bench;
+
+int
+main()
+{
+    const std::vector<Celsius> tdps{88.0, 90.0, 92.0};
+    std::vector<std::string> headers{"policy"};
+    for (Celsius t : tdps)
+        headers.push_back("TDP " + Table::num(t, 0));
+    Table t("Fig 5.14 — avg normalized running time vs AMB TDP (PE1950)",
+            headers);
+
+    auto policies = ch5PolicyNames();
+    for (const auto &pname : policies) {
+        std::vector<std::string> row{pname};
+        for (Celsius tdp : tdps) {
+            Platform plat = pe1950();
+            plat.ambTdp = tdp;
+            plat.sim.limits.ambTdp = tdp;
+            plat.sim.limits.ambTrp = tdp - 1.0;
+            // Emergency levels shift with the TDP (Section 5.4.5).
+            Celsius top = tdp - 2.0;
+            plat.ambBounds = {top - 12.0, top - 8.0, top - 4.0, top};
+            double sum = 0.0;
+            for (const Workload &w : cpu2000Mixes()) {
+                SimResult base = runCh5(plat, w, "No-limit");
+                SimResult r = runCh5(plat, w, pname);
+                sum += r.runningTime / base.runningTime;
+            }
+            row.push_back(Table::num(sum / 8.0, 3));
+        }
+        t.addRow(row);
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fig. 5.4: AMB temperature over the first 500 seconds on the SR1500AL
+ * running homogeneous workloads (four copies of one program), with only
+ * the open-loop safety cap engaged above the TDP. swim/mgrid rocket to
+ * ~100 C and saturate at the cap; the moderately intensive programs
+ * stabilize below it. The machine idles long enough beforehand for the
+ * AMB to stabilize (~80 C).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace memtherm;
+using namespace memtherm::bench;
+
+int
+main()
+{
+    Platform plat = sr1500al();
+    const std::vector<std::string> apps{"swim", "mgrid", "galgel", "apsi",
+                                        "vpr"};
+
+    std::vector<TimeSeries> traces;
+    for (const auto &a : apps) {
+        SimConfig cfg = plat.sim;
+        cfg.copiesPerApp = 20;
+        cfg.maxSimTime = 520.0;
+        ThermalSimulator sim(cfg);
+        auto policy = makeCh5Policy(plat, "Safety");
+        traces.push_back(sim.run(homogeneous(a, 4), *policy)
+                             .ambTrace.downsample(5));
+    }
+
+    std::vector<std::string> headers{"t s"};
+    headers.insert(headers.end(), apps.begin(), apps.end());
+    Table t("Fig 5.4 — SR1500AL AMB temperature, first 500 s (5 s bins)",
+            headers);
+    for (std::size_t i = 0; i < 100; ++i) {
+        std::vector<std::string> row{Table::num((i + 1) * 5.0, 0)};
+        for (const auto &tr : traces)
+            row.push_back(i < tr.size() ? Table::num(tr.at(i), 1) : "-");
+        t.addRow(row);
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Fig. 5.6: normalized running time of the SPEC CPU2000 workloads under
+ * the four Chapter 5 DTM policies on (a) the PE1950 and (b) the
+ * SR1500AL, normalized to no-thermal-limit execution.
+ */
+
+#include "ch5_suite.hh"
+
+using namespace memtherm;
+using namespace memtherm::bench;
+
+int
+main()
+{
+    for (const Platform &plat : {pe1950(), sr1500al()}) {
+        SuiteResults r = ch5SuiteRun(plat);
+        printNormalized("Fig 5.6 — normalized running time (" + plat.name +
+                            ")",
+                        r, ch5MixNames(), ch5PolicyNames(), "No-limit",
+                        metricRunningTime);
+    }
+    return 0;
+}

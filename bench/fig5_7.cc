@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Fig. 5.7: normalized running time of the SPEC CPU2006 workloads
+ * (W11, W12) on the PE1950.
+ */
+
+#include "ch5_suite.hh"
+
+using namespace memtherm;
+using namespace memtherm::bench;
+
+int
+main()
+{
+    Platform plat = pe1950();
+    std::vector<std::string> policies = ch5PolicyNames();
+    policies.insert(policies.begin(), "No-limit");
+    SuiteResults r;
+    for (const Workload &w : cpu2006Mixes())
+        for (const auto &pname : policies)
+            r[w.name][pname] = runCh5(plat, w, pname);
+    printNormalized("Fig 5.7 — normalized running time, CPU2006 (PE1950)",
+                    r, {"W11", "W12"}, ch5PolicyNames(), "No-limit",
+                    metricRunningTime);
+    return 0;
+}

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Fig. 5.8: normalized number of L2 cache misses under each DTM policy,
+ * normalized to no-limit. DTM-BW leaves misses unchanged (throttling
+ * does not change demand misses); DTM-ACG and DTM-COMB cut them by
+ * reducing shared-L2 contention; DTM-CDVFS leaves them unchanged.
+ */
+
+#include "ch5_suite.hh"
+
+using namespace memtherm;
+using namespace memtherm::bench;
+
+int
+main()
+{
+    for (const Platform &plat : {pe1950(), sr1500al()}) {
+        SuiteResults r = ch5SuiteRun(plat);
+        printNormalized("Fig 5.8 — normalized L2 cache misses (" +
+                            plat.name + ")",
+                        r, ch5MixNames(), ch5PolicyNames(), "No-limit",
+                        metricL2Misses);
+    }
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the FBDIMM timing simulator.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "dram/traffic_gen.hh"
+
+using namespace memtherm;
+
+namespace
+{
+
+void
+BM_ChannelRandomReads(benchmark::State &state)
+{
+    ChannelConfig cfg;
+    cfg.checkProtocol = state.range(0) != 0;
+    std::uint64_t served = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        FbdimmChannel ch(cfg);
+        Rng rng(3);
+        state.ResumeTiming();
+        for (int i = 0; i < 4096; ++i) {
+            MemRequest r;
+            r.id = static_cast<std::uint64_t>(i);
+            r.dimm = static_cast<int>(rng.below(4));
+            r.bank = static_cast<int>(rng.below(8));
+            r.write = rng.uniform() < 0.3;
+            r.arrival = static_cast<Tick>(i) * nsToTick(2.0);
+            while (!ch.enqueue(r))
+                ch.issueOne();
+        }
+        ch.drain();
+        served += 4096;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(served));
+}
+
+void
+BM_MemorySystemSaturation(benchmark::State &state)
+{
+    MemSystemConfig cfg;
+    for (auto _ : state) {
+        MeasuredPerf p = saturationProbe(cfg, 20000, 0.3);
+        benchmark::DoNotOptimize(p.achieved);
+    }
+    state.SetItemsProcessed(20000 * state.iterations());
+}
+
+void
+BM_AddressDecode(benchmark::State &state)
+{
+    AddressMap map(2, 4, 8, 64);
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        DecodedAddr d = map.decode(addr);
+        benchmark::DoNotOptimize(d);
+        addr += 64;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_ChannelRandomReads)->Arg(0)->Arg(1)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(BM_MemorySystemSaturation)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AddressDecode);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Table 3.1: power-model parameters for FBDIMM with 1GB DDR2-667x8 DRAM
+ * chips (110nm), plus Eq. 3.1/3.2 example evaluations.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "core/power/power_model.hh"
+
+using namespace memtherm;
+
+int
+main()
+{
+    DramPowerParams dp;
+    AmbPowerParams ap;
+    Table t("Table 3.1 — FBDIMM power-model parameters",
+            {"parameter", "value", "unit"});
+    t.addRow({"P_DRAM_static", Table::num(dp.pStatic, 2), "W"});
+    t.addRow({"alpha1 (read)", Table::num(dp.alphaRead, 2), "W/(GB/s)"});
+    t.addRow({"alpha2 (write)", Table::num(dp.alphaWrite, 2), "W/(GB/s)"});
+    t.addRow({"P_AMB_idle (last DIMM)", Table::num(ap.pIdleLast, 1), "W"});
+    t.addRow({"P_AMB_idle (other DIMMs)", Table::num(ap.pIdleOther, 1),
+              "W"});
+    t.addRow({"beta (bypass)", Table::num(ap.beta, 2), "W/(GB/s)"});
+    t.addRow({"gamma (local)", Table::num(ap.gamma, 2), "W/(GB/s)"});
+    t.print(std::cout);
+
+    // Eq. 3.1 / 3.2 at the hottest DIMM of a loaded channel.
+    DimmPowerModel model(dp, ap);
+    Table e("Power at the hottest (first) DIMM vs. channel throughput",
+            {"channel GB/s", "P_AMB W", "P_DRAM W", "total W"});
+    for (double ch : {0.0, 1.0, 2.0, 3.0, 4.0, 5.0}) {
+        auto traffic = decomposeChannelTraffic(0.75 * ch, 0.25 * ch, 4);
+        DimmPower p = model.power(traffic[0], false);
+        e.addRow({Table::num(ch, 1), Table::num(p.amb, 2),
+                  Table::num(p.dram, 2), Table::num(p.total(), 2)});
+    }
+    e.print(std::cout);
+    return 0;
+}

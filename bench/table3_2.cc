@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Table 3.2: thermal-model parameters (thermal resistances and RC time
+ * constants) for every heat-spreader / air-velocity combination.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "core/thermal/thermal_params.hh"
+
+using namespace memtherm;
+
+int
+main()
+{
+    Table t("Table 3.2 — FBDIMM thermal-model parameters",
+            {"config", "PsiAMB", "PsiDRAM_AMB", "PsiDRAM", "PsiAMB_DRAM",
+             "tauAMB s", "tauDRAM s"});
+    for (auto s : {HeatSpreader::AOHS, HeatSpreader::FDHS}) {
+        for (auto v : {AirVelocity::MPS_1_0, AirVelocity::MPS_1_5,
+                       AirVelocity::MPS_3_0}) {
+            CoolingConfig c = coolingConfig(s, v);
+            t.addRow({c.name(), Table::num(c.psiAmb, 1),
+                      Table::num(c.psiDramToAmb, 1),
+                      Table::num(c.psiDram, 1),
+                      Table::num(c.psiAmbToDram, 1),
+                      Table::num(c.tauAmb, 0), Table::num(c.tauDram, 0)});
+        }
+    }
+    t.print(std::cout);
+    std::cout << "Columns used in the experiments: AOHS_1.5 and FDHS_1.0\n";
+    return 0;
+}

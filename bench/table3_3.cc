@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Table 3.3: DRAM-ambient-temperature model parameters for the isolated
+ * and integrated thermal models.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "core/thermal/thermal_params.hh"
+
+using namespace memtherm;
+
+int
+main()
+{
+    Table t("Table 3.3 — DRAM ambient model parameters",
+            {"model", "cooling", "inlet C", "PsiCPU_MEM*xi", "tau s"});
+    for (bool integrated : {false, true}) {
+        for (const CoolingConfig &c : {coolingFdhs10(), coolingAohs15()}) {
+            AmbientParams p =
+                integrated ? integratedAmbient(c) : isolatedAmbient(c);
+            t.addRow({integrated ? "integrated" : "isolated", c.name(),
+                      Table::num(p.tInlet, 0),
+                      Table::num(p.psiCpuMemXi, 1),
+                      Table::num(p.tauCpuDram, 0)});
+        }
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Table 4.1: simulator parameters — processor, memory organization, DTM
+ * knobs and DRAM device timing.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "dram/timing.hh"
+
+using namespace memtherm;
+
+int
+main()
+{
+    SimConfig cfg = makeCh4Config(coolingAohs15(), false);
+    DramTiming t;
+    FbdimmChannelTiming l;
+
+    Table a("Table 4.1 — processor / memory / DTM parameters",
+            {"parameter", "value"});
+    a.addRow({"cores", std::to_string(cfg.nCores)});
+    a.addRow({"clock/voltage levels",
+              "3.2GHz@1.55V 2.8GHz@1.35V 1.6GHz@1.15V 0.8GHz@0.95V"});
+    a.addRow({"memory channels",
+              "2 logical (4 physical), 4 DIMMs/channel"});
+    a.addRow({"channel rate", "667 MT/s FBDIMM-DDR2"});
+    a.addRow({"controller buffer", "64 entries, 12 ns overhead"});
+    a.addRow({"cooling configs", "AOHS_1.5 and FDHS_1.0"});
+    a.addRow({"DTM interval", Table::num(cfg.dtmInterval * 1e3, 0) + " ms"});
+    a.addRow({"DTM overhead", Table::num(cfg.dtmOverhead * 1e6, 0) +
+              " us"});
+    a.addRow({"DTM control scale", "25%"});
+    a.print(std::cout);
+
+    Table b("Table 4.1 — DDR2-667 (5-5-5) device timing",
+            {"parameter", "ns"});
+    b.addRow({"tRCD", Table::num(t.tRCD, 0)});
+    b.addRow({"tCL", Table::num(t.tCL, 0)});
+    b.addRow({"tRP", Table::num(t.tRP, 0)});
+    b.addRow({"tRAS", Table::num(t.tRAS, 0)});
+    b.addRow({"tRC", Table::num(t.tRC, 0)});
+    b.addRow({"tWTR", Table::num(t.tWTR, 0)});
+    b.addRow({"tWL", Table::num(t.tWL, 0)});
+    b.addRow({"tWPD", Table::num(t.tWPD, 0)});
+    b.addRow({"tRPD", Table::num(t.tRPD, 0)});
+    b.addRow({"tRRD", Table::num(t.tRRD, 0)});
+    b.addRow({"burst (4 beats)", Table::num(t.tBURST, 0)});
+    b.addRow({"FBDIMM frame", Table::num(l.frameNs, 0)});
+    b.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Table 4.2: the eight SPEC CPU2000 multiprogramming workload mixes.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace memtherm;
+
+int
+main()
+{
+    Table t("Table 4.2 — workload mixes", {"workload", "benchmarks"});
+    for (const Workload &w : cpu2000Mixes()) {
+        std::string apps;
+        for (const auto *a : w.apps)
+            apps += (apps.empty() ? "" : ", ") + a->name;
+        t.addRow({w.name, apps});
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Table 4.4: processor power consumption under each DTM scheme's run
+ * states (derived from the Intel Xeon datasheet model).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "cpu/cpu_power.hh"
+
+using namespace memtherm;
+
+int
+main()
+{
+    TableCpuPowerModel m(4);
+
+    Table a("Table 4.4 — DTM-TS / DTM-ACG power (active cores)",
+            {"active cores", "power W"});
+    for (int n = 0; n <= 4; ++n)
+        a.addRow({std::to_string(n), Table::num(m.power(n, 0, false), 1)});
+    a.print(std::cout);
+
+    Table b("Table 4.4 — DTM-CDVFS power (DVFS setting, 4 cores)",
+            {"V, GHz", "power W"});
+    DvfsTable dvfs = simulatedCmpDvfs();
+    b.addRow({"halted", Table::num(m.power(0, 0, true), 1)});
+    for (std::size_t l = dvfs.levels(); l-- > 0;) {
+        const DvfsState &s = dvfs.at(l);
+        b.addRow({Table::num(s.volts, 2) + "V, " + Table::num(s.freq, 1) +
+                      "GHz",
+                  Table::num(m.power(4, l, false), 1)});
+    }
+    b.print(std::cout);
+
+    std::cout << "DTM-BW runs all cores at full speed at every level: "
+              << Table::num(m.power(4, 0, false), 0) << " W\n";
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Table 5.1: thermal emergency levels and thermal running states on the
+ * two server testbeds.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace memtherm;
+
+int
+main()
+{
+    for (const Platform &p : {pe1950(), sr1500al()}) {
+        Table t("Table 5.1 — " + p.name + " (AMB TDP " +
+                    Table::num(p.ambTdp, 0) + " C)",
+                {"level", "AMB range C", "DTM-BW", "DTM-ACG cores",
+                 "DTM-CDVFS GHz", "DTM-COMB"});
+        DvfsTable dvfs = xeon5160Dvfs();
+        for (std::size_t i = 0; i < 4; ++i) {
+            std::string lo =
+                i == 0 ? "-inf" : Table::num(p.ambBounds[i - 1], 0);
+            std::string hi = Table::num(p.ambBounds[i], 0);
+            std::string bw = std::isfinite(p.bwCaps[i])
+                                 ? Table::num(p.bwCaps[i], 1) + " GB/s"
+                                 : "no limit";
+            int cores = i == 0 ? 4 : (i == 1 ? 3 : 2);
+            t.addRow({"L" + std::to_string(i + 1),
+                      "[" + lo + ", " + hi + ")", bw,
+                      std::to_string(cores),
+                      Table::num(dvfs.at(i).freq, 3),
+                      std::to_string(cores) + " @ " +
+                          Table::num(dvfs.at(i).freq, 3) + " GHz"});
+        }
+        t.print(std::cout);
+    }
+    return 0;
+}

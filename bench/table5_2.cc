@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Table 5.2: Chapter 5 workload mixes (SPEC CPU2000 W1-W8 plus the
+ * CPU2006 mixes W11-W12).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace memtherm;
+
+int
+main()
+{
+    Table t("Table 5.2 — workload mixes", {"workload", "benchmarks"});
+    auto mixes = cpu2000Mixes();
+    auto cpu2006 = cpu2006Mixes();
+    mixes.insert(mixes.end(), cpu2006.begin(), cpu2006.end());
+    for (const Workload &w : mixes) {
+        std::string apps;
+        for (const auto *a : w.apps)
+            apps += (apps.empty() ? "" : ", ") + a->name;
+        t.addRow({w.name, apps});
+    }
+    t.print(std::cout);
+    return 0;
+}

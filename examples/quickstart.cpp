@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Quickstart: simulate one workload mix under two DTM policies and print
+ * what happened.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <iostream>
+
+#include "core/sim/experiment.hh"
+
+using namespace memtherm;
+
+int
+main()
+{
+    // 1. Configure the Chapter 4 platform: 4-core CMP, four FBDIMM
+    //    channels with four DIMMs each, AOHS heat spreader at 1.5 m/s
+    //    cooling air, isolated thermal model.
+    SimConfig cfg = makeCh4Config(coolingAohs15(), false);
+    cfg.copiesPerApp = 10; // a smaller batch than the paper's 50 copies
+
+    // 2. Pick a workload mix from Table 4.2.
+    Workload mix = workloadMix("W1"); // swim, mgrid, applu, galgel
+
+    // 3. Run it under thermal shutdown and under adaptive core gating.
+    ThermalSimulator sim(cfg);
+
+    auto no_limit = makeCh4Policy("No-limit");
+    auto ts = makeCh4Policy("DTM-TS");
+    auto acg = makeCh4Policy("DTM-ACG");
+
+    SimResult base = sim.run(mix, *no_limit);
+    SimResult r_ts = sim.run(mix, *ts);
+    SimResult r_acg = sim.run(mix, *acg);
+
+    // 4. Report.
+    std::cout << "Workload " << mix.name << " (batch of "
+              << mix.apps.size() << " apps)\n\n";
+    for (const SimResult *r : {&base, &r_ts, &r_acg}) {
+        std::cout << r->policy << ":\n"
+                  << "  running time      " << r->runningTime << " s ("
+                  << r->runningTime / base.runningTime << "x no-limit)\n"
+                  << "  memory traffic    " << r->totalTrafficGB()
+                  << " GB\n"
+                  << "  hottest AMB       " << r->maxAmb << " C (TDP 110)\n"
+                  << "  memory energy     " << r->memEnergy / 1000.0
+                  << " kJ\n"
+                  << "  processor energy  " << r->cpuEnergy / 1000.0
+                  << " kJ\n\n";
+    }
+
+    std::cout << "DTM-ACG speedup over DTM-TS: "
+              << (r_ts.runningTime / r_acg.runningTime - 1.0) * 100.0
+              << "%\n";
+    return 0;
+}

@@ -1,0 +1,34 @@
+#include "cache/miss_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace memtherm
+{
+
+double
+mpkiAtSharers(const CacheShareCurve &curve, double sharers)
+{
+    panicIfNot(curve.mpkiSolo > 0.0 && curve.mpkiShared > 0.0,
+               "mpkiAtSharers: MPKI must be positive");
+    panicIfNot(curve.refSharers > 1.0, "mpkiAtSharers: refSharers must be >1");
+    double s = std::clamp(sharers, 1.0, curve.refSharers);
+    double t = (s - 1.0) / (curve.refSharers - 1.0);
+    return curve.mpkiSolo *
+           std::pow(curve.mpkiShared / curve.mpkiSolo, t);
+}
+
+double
+switchMpki(double refill_lines, double nominal_gips, Seconds slice)
+{
+    panicIfNot(refill_lines >= 0.0, "switchMpki: negative refill");
+    panicIfNot(nominal_gips > 0.0, "switchMpki: need positive GIPS");
+    panicIfNot(slice > 0.0, "switchMpki: need positive slice");
+    // Instructions executed per slice, in kilo-instructions.
+    double kinstr_per_slice = nominal_gips * 1e9 * slice / 1000.0;
+    return refill_lines / kinstr_per_slice;
+}
+
+} // namespace memtherm

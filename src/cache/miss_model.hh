@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Analytic shared-cache miss model.
+ *
+ * DTM-ACG's main performance lever is that gating cores reduces shared-L2
+ * contention, cutting total memory traffic (Section 4.4.2: −17% average;
+ * Section 5.4.3: −27..29% L2 misses). This model supplies the effective
+ * MPKI of an application as a function of:
+ *
+ *  - the number of co-runners sharing the cache (geometric interpolation
+ *    between the measured solo MPKI and the fully shared MPKI), and
+ *  - the time-slice length when two programs round-robin on one core
+ *    (each switch refills the program's working set, which is why slices
+ *    below ~20 ms thrash the L2 — Fig. 5.15).
+ */
+
+#ifndef MEMTHERM_CACHE_MISS_MODEL_HH
+#define MEMTHERM_CACHE_MISS_MODEL_HH
+
+#include "common/units.hh"
+
+namespace memtherm
+{
+
+/** An application's cache behavior summary. */
+struct CacheShareCurve
+{
+    double mpkiSolo = 10.0;    ///< MPKI with the whole cache to itself
+    double mpkiShared = 12.0;  ///< MPKI with `refSharers` co-runners
+    double refSharers = 4.0;   ///< sharer count at which mpkiShared holds
+};
+
+/**
+ * MPKI at a given sharer count: geometric interpolation between
+ * (1, mpkiSolo) and (refSharers, mpkiShared) with exponent
+ * (sharers-1)/(refSharers-1); clamped outside. The exponent is linear in
+ * the sharer count, which matches the knee-shaped miss curves of
+ * cache-sensitive codes: halving the co-runner count recovers most of a
+ * victim's working set.
+ */
+double mpkiAtSharers(const CacheShareCurve &curve, double sharers);
+
+/**
+ * Extra MPKI from context-switch working-set refill when programs
+ * time-share one core.
+ *
+ * @param refill_lines lines the program re-fetches after each switch
+ * @param nominal_gips the program's typical instruction rate (GIPS)
+ * @param slice        scheduler time slice (s)
+ * @return additional misses per kilo-instruction (0 for slice <= 0 is an
+ *         error; very long slices tend to 0)
+ */
+double switchMpki(double refill_lines, double nominal_gips, Seconds slice);
+
+} // namespace memtherm
+
+#endif // MEMTHERM_CACHE_MISS_MODEL_HH

@@ -1,0 +1,118 @@
+#include "cache/set_assoc_cache.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace memtherm
+{
+
+SetAssocCache::SetAssocCache(const CacheConfig &c) : cfg(c)
+{
+    panicIfNot(cfg.lineBytes > 0 && std::has_single_bit(cfg.lineBytes),
+               "SetAssocCache: line size must be a power of two");
+    panicIfNot(cfg.assoc > 0, "SetAssocCache: associativity must be > 0");
+    std::uint64_t n_lines = cfg.sizeBytes / cfg.lineBytes;
+    panicIfNot(n_lines >= cfg.assoc && n_lines % cfg.assoc == 0,
+               "SetAssocCache: size/assoc/line geometry invalid");
+    nSets = n_lines / cfg.assoc;
+    panicIfNot(std::has_single_bit(nSets),
+               "SetAssocCache: set count must be a power of two");
+    lines.resize(n_lines);
+}
+
+std::uint64_t
+SetAssocCache::lineAddr(std::uint64_t addr) const
+{
+    return addr / cfg.lineBytes;
+}
+
+std::uint64_t
+SetAssocCache::setIndex(std::uint64_t addr) const
+{
+    return lineAddr(addr) & (nSets - 1);
+}
+
+std::uint64_t
+SetAssocCache::tagOf(std::uint64_t addr) const
+{
+    return lineAddr(addr) / nSets;
+}
+
+CacheAccessResult
+SetAssocCache::access(std::uint64_t addr, bool write)
+{
+    ++clock;
+    std::uint64_t set = setIndex(addr);
+    std::uint64_t tag = tagOf(addr);
+    Line *base = &lines[set * cfg.assoc];
+
+    for (unsigned w = 0; w < cfg.assoc; ++w) {
+        Line &l = base[w];
+        if (l.valid && l.tag == tag) {
+            l.lastUse = clock;
+            l.dirty = l.dirty || write;
+            ++nHits;
+            return {true, false, 0};
+        }
+    }
+
+    // Miss: victim is an invalid way if one exists, else the true LRU way.
+    Line *victim = nullptr;
+    for (unsigned w = 0; w < cfg.assoc; ++w) {
+        Line &l = base[w];
+        if (!l.valid) {
+            victim = &l;
+            break;
+        }
+        if (!victim || l.lastUse < victim->lastUse)
+            victim = &l;
+    }
+
+    ++nMisses;
+    CacheAccessResult res;
+    if (victim->valid && victim->dirty) {
+        res.writeback = true;
+        res.victimAddr = (victim->tag * nSets + set) * cfg.lineBytes;
+        ++nWritebacks;
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->dirty = write;
+    victim->lastUse = clock;
+    return res;
+}
+
+bool
+SetAssocCache::contains(std::uint64_t addr) const
+{
+    std::uint64_t set = setIndex(addr);
+    std::uint64_t tag = tagOf(addr);
+    const Line *base = &lines[set * cfg.assoc];
+    for (unsigned w = 0; w < cfg.assoc; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+SetAssocCache::flush()
+{
+    for (auto &l : lines)
+        l = Line{};
+}
+
+double
+SetAssocCache::missRatio() const
+{
+    std::uint64_t total = nHits + nMisses;
+    return total ? static_cast<double>(nMisses) / total : 0.0;
+}
+
+void
+SetAssocCache::resetStats()
+{
+    nHits = nMisses = nWritebacks = 0;
+}
+
+} // namespace memtherm

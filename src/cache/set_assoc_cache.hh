@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Set-associative write-back cache simulator with LRU replacement.
+ *
+ * Models the shared L2 of the simulated CMP (4MB, 8-way, 64B lines,
+ * Table 4.1) and the Xeon 5160 L2 (4MB, 16-way, Chapter 5). Used to
+ * validate the analytic shared-cache miss model and to feed realistic
+ * miss streams into the detailed FBDIMM simulator.
+ */
+
+#ifndef MEMTHERM_CACHE_SET_ASSOC_CACHE_HH
+#define MEMTHERM_CACHE_SET_ASSOC_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace memtherm
+{
+
+/** Cache geometry. */
+struct CacheConfig
+{
+    std::uint64_t sizeBytes = 4ULL << 20;
+    unsigned assoc = 8;
+    unsigned lineBytes = 64;
+};
+
+/** Result of one cache access. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    bool writeback = false;        ///< a dirty victim was evicted
+    std::uint64_t victimAddr = 0;  ///< line address of the victim
+};
+
+/**
+ * LRU set-associative cache.
+ */
+class SetAssocCache
+{
+  public:
+    explicit SetAssocCache(const CacheConfig &cfg);
+
+    /**
+     * Access a byte address; allocates on miss (write-allocate).
+     * @param addr  byte address
+     * @param write true for a store (marks the line dirty)
+     */
+    CacheAccessResult access(std::uint64_t addr, bool write);
+
+    /** Probe without side effects. */
+    bool contains(std::uint64_t addr) const;
+
+    /** Invalidate everything (drops dirty data). */
+    void flush();
+
+    std::uint64_t numSets() const { return nSets; }
+    const CacheConfig &config() const { return cfg; }
+
+    std::uint64_t hits() const { return nHits; }
+    std::uint64_t misses() const { return nMisses; }
+    std::uint64_t writebacks() const { return nWritebacks; }
+    std::uint64_t accesses() const { return nHits + nMisses; }
+    /** Miss ratio over all accesses so far (0 when none). */
+    double missRatio() const;
+
+    /** Zero the statistics counters (contents retained). */
+    void resetStats();
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lastUse = 0; ///< logical timestamp for LRU
+    };
+
+    std::uint64_t lineAddr(std::uint64_t addr) const;
+    std::uint64_t setIndex(std::uint64_t addr) const;
+    std::uint64_t tagOf(std::uint64_t addr) const;
+
+    CacheConfig cfg;
+    std::uint64_t nSets;
+    std::vector<Line> lines; ///< nSets * assoc, set-major
+    std::uint64_t clock = 0;
+
+    std::uint64_t nHits = 0;
+    std::uint64_t nMisses = 0;
+    std::uint64_t nWritebacks = 0;
+};
+
+} // namespace memtherm
+
+#endif // MEMTHERM_CACHE_SET_ASSOC_CACHE_HH

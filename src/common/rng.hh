@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator.
+ *
+ * memtherm experiments must be exactly reproducible, so all stochastic
+ * components (sensor noise, synthetic address streams, workload phase
+ * jitter) draw from an explicitly seeded SplitMix64/xoshiro-style
+ * generator rather than std::random_device.
+ */
+
+#ifndef MEMTHERM_COMMON_RNG_HH
+#define MEMTHERM_COMMON_RNG_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace memtherm
+{
+
+/**
+ * Small, fast, deterministic RNG (splitmix64 core). Not cryptographic;
+ * statistically solid for simulation use.
+ */
+class Rng
+{
+  public:
+    /** Construct with an explicit seed; equal seeds give equal streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+        : state(seed ? seed : 0x1ULL)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t
+    below(std::uint64_t n)
+    {
+        return next() % n;
+    }
+
+    /**
+     * Approximately normal deviate (mean 0, stddev 1) via the sum of 12
+     * uniforms — adequate for sensor-noise emulation and very fast.
+     */
+    double
+    gaussian()
+    {
+        double s = 0.0;
+        for (int i = 0; i < 12; ++i)
+            s += uniform();
+        return s - 6.0;
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace memtherm
+
+#endif // MEMTHERM_COMMON_RNG_HH

@@ -1,0 +1,97 @@
+#include "common/stats.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace memtherm
+{
+
+void
+Accumulator::add(double x)
+{
+    if (n == 0) {
+        lo = hi = x;
+    } else {
+        if (x < lo)
+            lo = x;
+        if (x > hi)
+            hi = x;
+    }
+    ++n;
+    total += x;
+    double delta = x - mu;
+    mu += delta / static_cast<double>(n);
+    m2 += delta * (x - mu);
+}
+
+void
+Accumulator::merge(const Accumulator &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    double delta = other.mu - mu;
+    std::size_t tot = n + other.n;
+    double nf = static_cast<double>(n);
+    double of = static_cast<double>(other.n);
+    mu += delta * of / static_cast<double>(tot);
+    m2 += other.m2 + delta * delta * nf * of / static_cast<double>(tot);
+    lo = std::min(lo, other.lo);
+    hi = std::max(hi, other.hi);
+    total += other.total;
+    n = tot;
+}
+
+double
+Accumulator::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n);
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+correlation(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    panicIfNot(xs.size() == ys.size(), "correlation: length mismatch");
+    if (xs.size() < 2)
+        return 0.0;
+    Accumulator ax, ay;
+    for (double x : xs)
+        ax.add(x);
+    for (double y : ys)
+        ay.add(y);
+    double cov = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        cov += (xs[i] - ax.mean()) * (ys[i] - ay.mean());
+    cov /= static_cast<double>(xs.size());
+    double denom = ax.stddev() * ay.stddev();
+    if (denom == 0.0)
+        return 0.0;
+    return cov / denom;
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : xs) {
+        panicIfNot(x > 0.0, "geomean: non-positive input");
+        acc += std::log(x);
+    }
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+} // namespace memtherm

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Streaming statistics accumulators.
+ */
+
+#ifndef MEMTHERM_COMMON_STATS_HH
+#define MEMTHERM_COMMON_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace memtherm
+{
+
+/**
+ * Single-pass accumulator for count/mean/min/max/variance (Welford).
+ */
+class Accumulator
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const Accumulator &other);
+
+    /** Number of samples. */
+    std::size_t count() const { return n; }
+    /** Arithmetic mean (0 when empty). */
+    double mean() const { return n ? mu : 0.0; }
+    /** Minimum sample (0 when empty). */
+    double min() const { return n ? lo : 0.0; }
+    /** Maximum sample (0 when empty). */
+    double max() const { return n ? hi : 0.0; }
+    /** Sum of samples. */
+    double sum() const { return total; }
+    /** Population variance (0 when fewer than 2 samples). */
+    double variance() const;
+    /** Population standard deviation. */
+    double stddev() const;
+
+  private:
+    std::size_t n = 0;
+    double mu = 0.0;
+    double m2 = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+    double total = 0.0;
+};
+
+/** Pearson correlation coefficient of two equal-length series. */
+double correlation(const std::vector<double> &xs,
+                   const std::vector<double> &ys);
+
+/** Geometric mean; all inputs must be positive. */
+double geomean(const std::vector<double> &xs);
+
+} // namespace memtherm
+
+#endif // MEMTHERM_COMMON_STATS_HH

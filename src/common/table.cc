@@ -1,0 +1,78 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace memtherm
+{
+
+Table::Table(std::string title, std::vector<std::string> headers)
+    : heading(std::move(title)), columns(std::move(headers))
+{
+    panicIfNot(!columns.empty(), "Table: need at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    panicIfNot(row.size() == columns.size(),
+               "Table: row arity does not match header");
+    body.push_back(std::move(row));
+}
+
+std::string
+Table::num(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(columns.size());
+    for (std::size_t c = 0; c < columns.size(); ++c)
+        width[c] = columns[c].size();
+    for (const auto &row : body)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    os << "== " << heading << " ==\n";
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size())
+                os << std::string(width[c] - row[c].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+    emit(columns);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < columns.size(); ++c)
+        total += width[c] + (c + 1 < columns.size() ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : body)
+        emit(row);
+    os << '\n';
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size())
+                os << ',';
+        }
+        os << '\n';
+    };
+    emit(columns);
+    for (const auto &row : body)
+        emit(row);
+}
+
+} // namespace memtherm

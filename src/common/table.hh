@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Plain-text table printer used by the bench harness to emit paper-style
+ * rows (aligned columns on stdout, optional CSV).
+ */
+
+#ifndef MEMTHERM_COMMON_TABLE_HH
+#define MEMTHERM_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace memtherm
+{
+
+/**
+ * Column-aligned table with a title and a header row.
+ */
+class Table
+{
+  public:
+    /** Construct with a title and column headers. */
+    Table(std::string title, std::vector<std::string> headers);
+
+    /** Append a fully formed row; must match header arity. */
+    void addRow(std::vector<std::string> row);
+
+    /** Helper: format a double with @p digits decimals. */
+    static std::string num(double v, int digits = 3);
+
+    /** Render aligned text to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Render CSV (header + rows) to @p os. */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t rows() const { return body.size(); }
+
+  private:
+    std::string heading;
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> body;
+};
+
+} // namespace memtherm
+
+#endif // MEMTHERM_COMMON_TABLE_HH

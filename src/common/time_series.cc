@@ -1,0 +1,86 @@
+#include "common/time_series.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace memtherm
+{
+
+TimeSeries::TimeSeries(Seconds period) : dt(period)
+{
+    panicIfNot(period > 0.0, "TimeSeries: period must be positive");
+}
+
+void
+TimeSeries::add(double value)
+{
+    samples.push_back(value);
+}
+
+Seconds
+TimeSeries::duration() const
+{
+    return dt * static_cast<double>(samples.size());
+}
+
+double
+TimeSeries::at(std::size_t i) const
+{
+    panicIfNot(i < samples.size(), "TimeSeries: index out of range");
+    return samples[i];
+}
+
+Seconds
+TimeSeries::timeAt(std::size_t i) const
+{
+    panicIfNot(i < samples.size(), "TimeSeries: index out of range");
+    return dt * static_cast<double>(i + 1);
+}
+
+double
+TimeSeries::integral() const
+{
+    double acc = 0.0;
+    for (double v : samples)
+        acc += v;
+    return acc * dt;
+}
+
+double
+TimeSeries::mean() const
+{
+    if (samples.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double v : samples)
+        acc += v;
+    return acc / static_cast<double>(samples.size());
+}
+
+double
+TimeSeries::max() const
+{
+    if (samples.empty())
+        return 0.0;
+    return *std::max_element(samples.begin(), samples.end());
+}
+
+TimeSeries
+TimeSeries::downsample(std::size_t factor) const
+{
+    panicIfNot(factor > 0, "TimeSeries: downsample factor must be > 0");
+    TimeSeries out(dt * static_cast<double>(factor));
+    std::size_t i = 0;
+    while (i < samples.size()) {
+        std::size_t end = std::min(i + factor, samples.size());
+        double acc = 0.0;
+        for (std::size_t j = i; j < end; ++j)
+            acc += samples[j];
+        out.add(acc / static_cast<double>(end - i));
+        i = end;
+    }
+    return out;
+}
+
+} // namespace memtherm

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Uniformly sampled time series with integration/resampling helpers.
+ *
+ * Used for temperature traces (Figs. 4.5–4.8, 5.4) and power traces whose
+ * time integrals give energies (Figs. 4.9, 4.10, 5.11).
+ */
+
+#ifndef MEMTHERM_COMMON_TIME_SERIES_HH
+#define MEMTHERM_COMMON_TIME_SERIES_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace memtherm
+{
+
+/**
+ * A sequence of samples taken at a fixed period starting at time 0.
+ */
+class TimeSeries
+{
+  public:
+    /** Construct an empty series with the given sampling period. */
+    explicit TimeSeries(Seconds period);
+
+    /** Append one sample. */
+    void add(double value);
+
+    /** Sampling period in seconds. */
+    Seconds period() const { return dt; }
+    /** Number of samples. */
+    std::size_t size() const { return samples.size(); }
+    bool empty() const { return samples.empty(); }
+    /** Covered time span: size() * period(). */
+    Seconds duration() const;
+    /** Sample i (0-based). */
+    double at(std::size_t i) const;
+    /** Timestamp of sample i (end of its interval). */
+    Seconds timeAt(std::size_t i) const;
+    /** All samples. */
+    const std::vector<double> &values() const { return samples; }
+
+    /** Left-Riemann time integral (e.g. watts -> joules). */
+    double integral() const;
+    /** Mean of all samples. */
+    double mean() const;
+    /** Max of all samples (0 when empty). */
+    double max() const;
+
+    /**
+     * Downsample by averaging consecutive groups of @p factor samples
+     * (the tail partial group is averaged too).
+     */
+    TimeSeries downsample(std::size_t factor) const;
+
+  private:
+    Seconds dt;
+    std::vector<double> samples;
+};
+
+} // namespace memtherm
+
+#endif // MEMTHERM_COMMON_TIME_SERIES_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Unit conventions used throughout memtherm.
+ *
+ * The library standardizes on:
+ *   - time        : seconds (double) for thermal-scale time,
+ *                   Tick (uint64_t picoseconds) for DRAM-cycle-scale time
+ *   - temperature : degrees Celsius (double)
+ *   - power       : watts (double)
+ *   - energy      : joules (double)
+ *   - throughput  : GB/s (double) — matching the paper's coefficients,
+ *                   which are expressed in W/(GB/s)
+ *
+ * Thin named aliases document intent at API boundaries without imposing a
+ * heavyweight unit system on arithmetic-dense model code.
+ */
+
+#ifndef MEMTHERM_COMMON_UNITS_HH
+#define MEMTHERM_COMMON_UNITS_HH
+
+#include <cstdint>
+
+namespace memtherm
+{
+
+using Seconds = double;      ///< wall/simulated time at thermal scale
+using Celsius = double;      ///< temperature
+using Watts = double;        ///< power
+using Joules = double;       ///< energy
+using GBps = double;         ///< memory throughput, gigabytes per second
+using Volts = double;        ///< supply voltage
+using GHz = double;          ///< clock frequency
+
+/** DRAM-scale simulation time: integer picoseconds. */
+using Tick = std::uint64_t;
+
+/** Ticks per common time units. */
+constexpr Tick tickPerNs = 1000;
+constexpr Tick tickPerUs = 1000 * tickPerNs;
+constexpr Tick tickPerMs = 1000 * tickPerUs;
+constexpr Tick tickPerSec = 1000 * tickPerMs;
+
+/** Convert nanoseconds to ticks. */
+constexpr Tick
+nsToTick(double ns)
+{
+    return static_cast<Tick>(ns * static_cast<double>(tickPerNs));
+}
+
+/** Convert ticks to seconds. */
+constexpr Seconds
+tickToSec(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(tickPerSec);
+}
+
+/** Bytes per gigabyte (decimal, as used in GB/s throughput). */
+constexpr double bytesPerGB = 1e9;
+
+} // namespace memtherm
+
+#endif // MEMTHERM_COMMON_UNITS_HH

@@ -1,0 +1,104 @@
+#include "core/dtm/basic_policies.hh"
+
+#include "common/logging.hh"
+
+namespace memtherm
+{
+
+TsPolicy::TsPolicy(Celsius amb_tdp, Celsius amb_trp, Celsius dram_tdp,
+                   Celsius dram_trp)
+    : ambTdp(amb_tdp), ambTrp(amb_trp), dramTdp(dram_tdp), dramTrp(dram_trp)
+{
+    panicIfNot(amb_trp < amb_tdp && dram_trp < dram_tdp,
+               "TsPolicy: TRP must be below TDP");
+}
+
+DtmAction
+TsPolicy::decide(const ThermalReading &r, Seconds)
+{
+    if (!shutdown && (r.amb >= ambTdp || r.dram >= dramTdp))
+        shutdown = true;
+    else if (shutdown && r.amb <= ambTrp && r.dram <= dramTrp)
+        shutdown = false;
+
+    DtmAction a;
+    a.memoryOn = !shutdown;
+    if (shutdown)
+        a.bandwidthCap = 0.0;
+    return a;
+}
+
+LeveledPolicy::LeveledPolicy(std::string policy_name, EmergencyLevels levels,
+                             std::vector<DtmAction> actions,
+                             Celsius amb_release, Celsius dram_release)
+    : policyName(std::move(policy_name)), table(std::move(levels)),
+      actionOf(std::move(actions)), ambRelease(amb_release),
+      dramRelease(dram_release)
+{
+    panicIfNot(static_cast<int>(actionOf.size()) == table.numLevels(),
+               "LeveledPolicy: need exactly one action per level");
+}
+
+DtmAction
+LeveledPolicy::decide(const ThermalReading &r, Seconds)
+{
+    int top = table.numLevels() - 1;
+    lastLvl = table.level(r);
+    if (lastLvl == top)
+        latched = true;
+    else if (latched && r.amb <= ambRelease && r.dram <= dramRelease)
+        latched = false;
+    if (latched)
+        lastLvl = top;
+    return actionOf[static_cast<std::size_t>(lastLvl)];
+}
+
+namespace
+{
+
+DtmAction
+act(bool on, GBps cap, int cores, std::size_t dvfs)
+{
+    DtmAction a;
+    a.memoryOn = on;
+    a.bandwidthCap = cap;
+    a.activeCores = cores;
+    a.dvfsLevel = dvfs;
+    return a;
+}
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+} // namespace
+
+LeveledPolicy
+makeCh4BwPolicy()
+{
+    return LeveledPolicy("DTM-BW", ch4EmergencyLevels(),
+                         {act(true, kInf, 4, 0), act(true, 19.2, 4, 0),
+                          act(true, 12.8, 4, 0), act(true, 6.4, 4, 0),
+                          act(false, 0.0, 4, 0)},
+                         109.0, 84.0);
+}
+
+LeveledPolicy
+makeCh4AcgPolicy()
+{
+    return LeveledPolicy("DTM-ACG", ch4EmergencyLevels(),
+                         {act(true, kInf, 4, 0), act(true, kInf, 3, 0),
+                          act(true, kInf, 2, 0), act(true, kInf, 1, 0),
+                          act(false, 0.0, 0, 0)},
+                         109.0, 84.0);
+}
+
+LeveledPolicy
+makeCh4CdvfsPolicy()
+{
+    return LeveledPolicy("DTM-CDVFS", ch4EmergencyLevels(),
+                         {act(true, kInf, 4, 0), act(true, kInf, 4, 1),
+                          act(true, kInf, 4, 2), act(true, kInf, 4, 3),
+                          act(false, 0.0, 4, 3)},
+                         109.0, 84.0);
+}
+
+} // namespace memtherm

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The DTM schemes of Sections 4.2 and 5.2 without formal control:
+ *
+ *  - DTM-TS     thermal shutdown with TDP/TRP hysteresis
+ *  - DTM-BW     leveled bandwidth throttling
+ *  - DTM-ACG    adaptive core gating
+ *  - DTM-CDVFS  coordinated DVFS
+ *  - DTM-COMB   combined gating + DVFS (Chapter 5)
+ *
+ * All leveled schemes share one mechanism: quantize the temperature into
+ * emergency levels and look the running state up in a per-level table.
+ */
+
+#ifndef MEMTHERM_CORE_DTM_BASIC_POLICIES_HH
+#define MEMTHERM_CORE_DTM_BASIC_POLICIES_HH
+
+#include <vector>
+
+#include "core/dtm/emergency_levels.hh"
+
+namespace memtherm
+{
+
+/**
+ * DTM-TS: stop all memory transactions when either sensor reaches its
+ * TDP; resume when both have fallen to their TRPs (Section 4.2.1).
+ */
+class TsPolicy : public DtmPolicy
+{
+  public:
+    /**
+     * @param amb_tdp/amb_trp   AMB trigger/release temperatures
+     * @param dram_tdp/dram_trp DRAM trigger/release temperatures
+     */
+    TsPolicy(Celsius amb_tdp, Celsius amb_trp, Celsius dram_tdp,
+             Celsius dram_trp);
+
+    DtmAction decide(const ThermalReading &r, Seconds now) override;
+    std::string name() const override { return "DTM-TS"; }
+    void reset() override { shutdown = false; }
+
+    /** True while the memory is shut down. */
+    bool isShutdown() const { return shutdown; }
+
+  private:
+    Celsius ambTdp, ambTrp, dramTdp, dramTrp;
+    bool shutdown = false;
+};
+
+/**
+ * Generic leveled policy: emergency level -> action table. DTM-BW,
+ * DTM-ACG, DTM-CDVFS and DTM-COMB are instances.
+ *
+ * When the highest level is entered (the memory-off emergency), the
+ * policy latches there until both sensors fall back to their release
+ * temperatures — the paper's L5 handling: "the memory is shut down until
+ * the AMB temperature drops below 109.0 C" (Section 4.4.2).
+ */
+class LeveledPolicy : public DtmPolicy
+{
+  public:
+    /**
+     * @param policy_name  display name
+     * @param levels       emergency-level boundaries
+     * @param actions      one action per level (size == levels.numLevels())
+     * @param amb_release  AMB temperature releasing a latched shutdown
+     * @param dram_release DRAM temperature releasing a latched shutdown
+     */
+    LeveledPolicy(std::string policy_name, EmergencyLevels levels,
+                  std::vector<DtmAction> actions, Celsius amb_release,
+                  Celsius dram_release);
+
+    DtmAction decide(const ThermalReading &r, Seconds now) override;
+    std::string name() const override { return policyName; }
+    void reset() override { latched = false; }
+
+    /** Level selected at the last decide() call. */
+    int lastLevel() const { return lastLvl; }
+    /** True while a top-level shutdown is latched. */
+    bool isLatched() const { return latched; }
+    const EmergencyLevels &levelTable() const { return table; }
+
+  private:
+    std::string policyName;
+    EmergencyLevels table;
+    std::vector<DtmAction> actionOf;
+    Celsius ambRelease;
+    Celsius dramRelease;
+    int lastLvl = 0;
+    bool latched = false;
+};
+
+/** Table 4.3 DTM-BW: caps {inf, 19.2, 12.8, 6.4, off} GB/s. */
+LeveledPolicy makeCh4BwPolicy();
+
+/** Table 4.3 DTM-ACG: active cores {4, 3, 2, 1, 0(off)}. */
+LeveledPolicy makeCh4AcgPolicy();
+
+/** Table 4.3 DTM-CDVFS: DVFS levels {0, 1, 2, 3, stopped}. */
+LeveledPolicy makeCh4CdvfsPolicy();
+
+} // namespace memtherm
+
+#endif // MEMTHERM_CORE_DTM_BASIC_POLICIES_HH

@@ -1,0 +1,71 @@
+#include "core/dtm/emergency_levels.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace memtherm
+{
+
+namespace
+{
+
+int
+levelOf(const std::vector<Celsius> &bounds, Celsius t)
+{
+    int lvl = 0;
+    for (Celsius b : bounds) {
+        if (t >= b)
+            ++lvl;
+        else
+            break;
+    }
+    return lvl;
+}
+
+} // namespace
+
+EmergencyLevels::EmergencyLevels(std::vector<Celsius> amb_bounds,
+                                 std::vector<Celsius> dram_bounds)
+    : ambB(std::move(amb_bounds)), dramB(std::move(dram_bounds))
+{
+    panicIfNot(ambB.size() == dramB.size(),
+               "EmergencyLevels: sensor tables must have equal depth");
+    panicIfNot(!ambB.empty(), "EmergencyLevels: need >= 1 boundary");
+    panicIfNot(std::is_sorted(ambB.begin(), ambB.end()) &&
+                   std::is_sorted(dramB.begin(), dramB.end()),
+               "EmergencyLevels: boundaries must be ascending");
+}
+
+int
+EmergencyLevels::ambLevel(Celsius t) const
+{
+    return levelOf(ambB, t);
+}
+
+int
+EmergencyLevels::dramLevel(Celsius t) const
+{
+    return levelOf(dramB, t);
+}
+
+int
+EmergencyLevels::level(const ThermalReading &r) const
+{
+    return std::max(ambLevel(r.amb), dramLevel(r.dram));
+}
+
+int
+EmergencyLevels::numLevels() const
+{
+    return static_cast<int>(ambB.size()) + 1;
+}
+
+EmergencyLevels
+ch4EmergencyLevels()
+{
+    return EmergencyLevels({108.0, 109.0, 109.5, 110.0},
+                           {83.0, 84.0, 84.5, 85.0});
+}
+
+} // namespace memtherm

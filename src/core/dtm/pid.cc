@@ -1,0 +1,81 @@
+#include "core/dtm/pid.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace memtherm
+{
+
+PidParams
+ambPidParams()
+{
+    PidParams p;
+    p.kc = 10.4;
+    p.ki = 180.24;
+    p.kd = 0.001;
+    p.target = 109.8;
+    p.integralGate = 109.0;
+    p.outputScale = 10.4;
+    return p;
+}
+
+PidParams
+dramPidParams()
+{
+    PidParams p;
+    p.kc = 12.4;
+    p.ki = 155.12;
+    p.kd = 0.001;
+    p.target = 84.8;
+    p.integralGate = 84.0;
+    p.outputScale = 12.4;
+    return p;
+}
+
+PidController::PidController(const PidParams &p) : params(p)
+{
+    panicIfNot(p.outputScale > 0.0, "PidController: outputScale must be >0");
+}
+
+double
+PidController::update(Celsius temp, Seconds dt)
+{
+    panicIfNot(dt > 0.0, "PidController: dt must be positive");
+    double e = params.target - temp;
+
+    double derivative = hasPrev ? (e - prevError) / dt : 0.0;
+    prevError = e;
+    hasPrev = true;
+
+    // Tentative integral step; commit only if it passes the anti-windup
+    // rules below.
+    double new_integral = integral;
+    if (temp > params.integralGate)
+        new_integral += e * dt;
+
+    double raw = params.kc *
+                 (e + params.ki * new_integral + params.kd * derivative);
+    double u = std::clamp(raw / params.outputScale, 0.0, 1.0);
+
+    // Freeze the integral while the actuator is saturated and the new
+    // error would push it further into saturation (classic clamping).
+    bool saturated_high = u >= 1.0 && e > 0.0;
+    bool saturated_low = u <= 0.0 && e < 0.0;
+    if (!saturated_high && !saturated_low)
+        integral = new_integral;
+
+    lastU = u;
+    return u;
+}
+
+void
+PidController::reset()
+{
+    integral = 0.0;
+    prevError = 0.0;
+    hasPrev = false;
+    lastU = 1.0;
+}
+
+} // namespace memtherm

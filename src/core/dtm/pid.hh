@@ -1,0 +1,74 @@
+/**
+ * @file
+ * PID formal controller (Section 4.2.3, Eq. 4.1):
+ *
+ *   m(t) = Kc * ( e(t) + KI * Int(e) + KD * de/dt )
+ *
+ * with e(t) = target - measured. Two anti-windup measures from the paper:
+ * the integral term is enabled only once the temperature exceeds a gate
+ * threshold, and it is frozen while the control output saturates the
+ * actuator.
+ *
+ * The controller output is normalized to a performance fraction
+ * u in [0, 1] (1 = full speed); policies quantize u onto their actuator.
+ */
+
+#ifndef MEMTHERM_CORE_DTM_PID_HH
+#define MEMTHERM_CORE_DTM_PID_HH
+
+#include "common/units.hh"
+
+namespace memtherm
+{
+
+/** Tuning constants for one PID controller. */
+struct PidParams
+{
+    double kc = 10.4;          ///< proportional constant
+    double ki = 180.24;        ///< integral constant
+    double kd = 0.001;         ///< differential constant
+    Celsius target = 109.8;    ///< temperature setpoint
+    Celsius integralGate = 109.0; ///< integral active only above this
+    double outputScale = 10.4; ///< raw output mapped to u = raw / scale
+};
+
+/** Paper-tuned constants for the AMB controller (Section 4.3.4). */
+PidParams ambPidParams();
+/** Paper-tuned constants for the DRAM controller. */
+PidParams dramPidParams();
+
+/**
+ * One PID control loop.
+ */
+class PidController
+{
+  public:
+    explicit PidController(const PidParams &p);
+
+    /**
+     * Advance the controller by one DTM interval.
+     * @param temp measured temperature
+     * @param dt   interval length (s), > 0
+     * @return normalized performance fraction u in [0, 1]
+     */
+    double update(Celsius temp, Seconds dt);
+
+    /** Last computed u. */
+    double output() const { return lastU; }
+
+    /** Clear the integral and derivative history. */
+    void reset();
+
+    const PidParams &p() const { return params; }
+
+  private:
+    PidParams params;
+    double integral = 0.0;
+    double prevError = 0.0;
+    bool hasPrev = false;
+    double lastU = 1.0;
+};
+
+} // namespace memtherm
+
+#endif // MEMTHERM_CORE_DTM_PID_HH

@@ -1,0 +1,140 @@
+#include "core/dtm/pid_policies.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace memtherm
+{
+
+PidPolicy::PidPolicy(PidActuator kind, const PidParams &amb,
+                     const PidParams &dram, const ThermalLimits &limits,
+                     Seconds dtm_interval, int n_cores, std::size_t n_dvfs,
+                     std::vector<GBps> bw_caps)
+    : actuator(kind), ambCtl(amb), dramCtl(dram), tdp(limits),
+      interval(dtm_interval), nCores(n_cores), nDvfs(n_dvfs),
+      bwCaps(std::move(bw_caps))
+{
+    panicIfNot(dtm_interval > 0.0, "PidPolicy: interval must be positive");
+    panicIfNot(n_cores >= 1, "PidPolicy: need >= 1 core");
+    panicIfNot(n_dvfs >= 1, "PidPolicy: need >= 1 DVFS level");
+    panicIfNot(!bwCaps.empty(), "PidPolicy: need >= 1 bandwidth cap");
+}
+
+DtmAction
+PidPolicy::decide(const ThermalReading &r, Seconds now)
+{
+    Seconds dt = interval;
+    if (hasPrevTime && now > prevTime)
+        dt = now - prevTime;
+    prevTime = now;
+    hasPrevTime = true;
+
+    double u = std::min(ambCtl.update(r.amb, dt), dramCtl.update(r.dram, dt));
+    lastU = u;
+
+    DtmAction a;
+    // Safety override: the highest emergency level always shuts the
+    // memory down, PID or not (Section 4.2.2).
+    if (r.amb >= tdp.ambTdp || r.dram >= tdp.dramTdp) {
+        a.memoryOn = false;
+        a.bandwidthCap = 0.0;
+        if (actuator == PidActuator::CoreGating)
+            a.activeCores = 0;
+        if (actuator == PidActuator::Dvfs)
+            a.dvfsLevel = nDvfs - 1;
+        return a;
+    }
+
+    switch (actuator) {
+      case PidActuator::Bandwidth: {
+        // u == 1 -> unconstrained; decreasing u walks down the cap table;
+        // u == 0 -> memory off.
+        std::size_t steps = bwCaps.size() + 1; // +1 for the off setting
+        auto idx = static_cast<long>(std::lround((1.0 - u) * steps));
+        idx = std::clamp<long>(idx, 0, static_cast<long>(steps));
+        if (idx == 0) {
+            // unconstrained
+        } else if (idx <= static_cast<long>(bwCaps.size())) {
+            a.bandwidthCap = bwCaps[static_cast<std::size_t>(idx - 1)];
+        } else {
+            a.memoryOn = false;
+            a.bandwidthCap = 0.0;
+        }
+        break;
+      }
+      case PidActuator::CoreGating: {
+        auto cores = static_cast<long>(std::lround(u * nCores));
+        cores = std::clamp<long>(cores, 0, nCores);
+        a.activeCores = static_cast<int>(cores);
+        if (cores == 0) {
+            a.memoryOn = false;
+            a.bandwidthCap = 0.0;
+        }
+        break;
+      }
+      case PidActuator::Dvfs: {
+        // u == 1 -> level 0 (fastest); u == 0 -> memory off.
+        std::size_t steps = nDvfs; // nDvfs levels plus the off setting
+        auto idx = static_cast<long>(std::lround((1.0 - u) * steps));
+        idx = std::clamp<long>(idx, 0, static_cast<long>(steps));
+        if (idx >= static_cast<long>(nDvfs)) {
+            a.memoryOn = false;
+            a.bandwidthCap = 0.0;
+            a.dvfsLevel = nDvfs - 1;
+        } else {
+            a.dvfsLevel = static_cast<std::size_t>(idx);
+        }
+        break;
+      }
+    }
+    return a;
+}
+
+std::string
+PidPolicy::name() const
+{
+    switch (actuator) {
+      case PidActuator::Bandwidth:
+        return "DTM-BW+PID";
+      case PidActuator::CoreGating:
+        return "DTM-ACG+PID";
+      case PidActuator::Dvfs:
+        return "DTM-CDVFS+PID";
+    }
+    return "DTM-PID";
+}
+
+void
+PidPolicy::reset()
+{
+    ambCtl.reset();
+    dramCtl.reset();
+    hasPrevTime = false;
+    prevTime = 0.0;
+    lastU = 1.0;
+}
+
+PidPolicy
+makeCh4BwPidPolicy()
+{
+    return PidPolicy(PidActuator::Bandwidth, ambPidParams(), dramPidParams(),
+                     ThermalLimits{});
+}
+
+PidPolicy
+makeCh4AcgPidPolicy()
+{
+    return PidPolicy(PidActuator::CoreGating, ambPidParams(),
+                     dramPidParams(), ThermalLimits{});
+}
+
+PidPolicy
+makeCh4CdvfsPidPolicy()
+{
+    return PidPolicy(PidActuator::Dvfs, ambPidParams(), dramPidParams(),
+                     ThermalLimits{});
+}
+
+} // namespace memtherm

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * DTM schemes driven by the PID formal controller (Section 4.2.3).
+ *
+ * Two controllers run side by side — one against the AMB setpoint, one
+ * against the DRAM setpoint — and the more restrictive output drives the
+ * actuator (for any given configuration one of the two is always the
+ * binding constraint). A hard safety override shuts the memory down at
+ * the TDP, mirroring the L5 emergency level.
+ */
+
+#ifndef MEMTHERM_CORE_DTM_PID_POLICIES_HH
+#define MEMTHERM_CORE_DTM_PID_POLICIES_HH
+
+#include <vector>
+
+#include "core/dtm/dtm_policy.hh"
+#include "core/dtm/pid.hh"
+#include "core/thermal/thermal_params.hh"
+
+namespace memtherm
+{
+
+/** What the PID output actuates. */
+enum class PidActuator { Bandwidth, CoreGating, Dvfs };
+
+/**
+ * PID-controlled DTM policy. The normalized controller output
+ * u in [0, 1] is quantized onto the actuator's discrete settings:
+ * bandwidth caps, active-core count, or DVFS level.
+ */
+class PidPolicy : public DtmPolicy
+{
+  public:
+    /**
+     * @param kind         actuator to drive
+     * @param amb          AMB controller constants
+     * @param dram         DRAM controller constants
+     * @param limits       TDPs for the safety override
+     * @param dtm_interval nominal decision period (first-call dt)
+     * @param n_cores      cores available to the gating actuator
+     * @param n_dvfs       DVFS levels available
+     * @param bw_caps      finite bandwidth caps, fastest first
+     */
+    PidPolicy(PidActuator kind, const PidParams &amb, const PidParams &dram,
+              const ThermalLimits &limits, Seconds dtm_interval = 0.01,
+              int n_cores = 4, std::size_t n_dvfs = 4,
+              std::vector<GBps> bw_caps = {19.2, 12.8, 6.4});
+
+    DtmAction decide(const ThermalReading &r, Seconds now) override;
+    std::string name() const override;
+    void reset() override;
+
+    /** Last normalized controller output. */
+    double lastOutput() const { return lastU; }
+
+  private:
+    PidActuator actuator;
+    PidController ambCtl;
+    PidController dramCtl;
+    ThermalLimits tdp;
+    Seconds interval;
+    int nCores;
+    std::size_t nDvfs;
+    std::vector<GBps> bwCaps;
+
+    Seconds prevTime = 0.0;
+    bool hasPrevTime = false;
+    double lastU = 1.0;
+};
+
+/** Factory: Chapter 4 DTM-BW+PID. */
+PidPolicy makeCh4BwPidPolicy();
+/** Factory: Chapter 4 DTM-ACG+PID. */
+PidPolicy makeCh4AcgPidPolicy();
+/** Factory: Chapter 4 DTM-CDVFS+PID. */
+PidPolicy makeCh4CdvfsPidPolicy();
+
+} // namespace memtherm
+
+#endif // MEMTHERM_CORE_DTM_PID_POLICIES_HH

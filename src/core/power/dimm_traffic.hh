@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Per-DIMM traffic decomposition on an FBDIMM channel.
+ *
+ * The four traffic categories of Fig. 3.2: local reads/writes terminate at
+ * this DIMM's DRAMs; bypass reads/writes are forwarded along the daisy
+ * chain on behalf of DIMMs farther from the memory controller.
+ */
+
+#ifndef MEMTHERM_CORE_POWER_DIMM_TRAFFIC_HH
+#define MEMTHERM_CORE_POWER_DIMM_TRAFFIC_HH
+
+#include <vector>
+
+#include "common/units.hh"
+
+namespace memtherm
+{
+
+/** Throughput seen by one AMB/DIMM, split into the Fig. 3.2 categories. */
+struct DimmTraffic
+{
+    GBps localRead = 0.0;
+    GBps localWrite = 0.0;
+    GBps bypassRead = 0.0;
+    GBps bypassWrite = 0.0;
+
+    GBps local() const { return localRead + localWrite; }
+    GBps bypass() const { return bypassRead + bypassWrite; }
+};
+
+/**
+ * Decompose a channel's read/write throughput into per-DIMM traffic.
+ *
+ * DIMM 0 is closest to the memory controller. With the given per-DIMM
+ * share vector (fractions summing to 1; uniform interleave when empty),
+ * traffic destined for DIMM j > i passes through AMB i as bypass traffic
+ * (commands/write data southbound, read data northbound — both charged
+ * once at data size, matching the paper's throughput bookkeeping).
+ *
+ * @param channel_read  total read throughput entering the channel (GB/s)
+ * @param channel_write total write throughput entering the channel (GB/s)
+ * @param n_dimms       DIMMs on the channel (>= 1)
+ * @param shares        optional per-DIMM fraction of local traffic
+ * @return per-DIMM traffic, index 0 nearest the controller
+ */
+std::vector<DimmTraffic>
+decomposeChannelTraffic(GBps channel_read, GBps channel_write, int n_dimms,
+                        const std::vector<double> &shares = {});
+
+} // namespace memtherm
+
+#endif // MEMTHERM_CORE_POWER_DIMM_TRAFFIC_HH

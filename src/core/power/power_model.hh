@@ -1,0 +1,110 @@
+/**
+ * @file
+ * FBDIMM power models: DRAM chips (Eq. 3.1) and AMB (Eq. 3.2).
+ */
+
+#ifndef MEMTHERM_CORE_POWER_POWER_MODEL_HH
+#define MEMTHERM_CORE_POWER_POWER_MODEL_HH
+
+#include "core/power/dimm_traffic.hh"
+#include "core/power/power_params.hh"
+
+namespace memtherm
+{
+
+/**
+ * Power of all DRAM chips on one DIMM (Eq. 3.1).
+ */
+class DramPowerModel
+{
+  public:
+    explicit DramPowerModel(DramPowerParams p = {}) : params(p) {}
+
+    /** Power given this DIMM's local read/write throughput. */
+    Watts
+    power(GBps local_read, GBps local_write) const
+    {
+        return params.pStatic + params.alphaRead * local_read +
+               params.alphaWrite * local_write;
+    }
+
+    /** Power from a traffic record (bypass traffic does not heat DRAMs). */
+    Watts
+    power(const DimmTraffic &t) const
+    {
+        return power(t.localRead, t.localWrite);
+    }
+
+    const DramPowerParams &p() const { return params; }
+
+  private:
+    DramPowerParams params;
+};
+
+/**
+ * Power of one AMB (Eq. 3.2).
+ */
+class AmbPowerModel
+{
+  public:
+    explicit AmbPowerModel(AmbPowerParams p = {}) : params(p) {}
+
+    /**
+     * Power given bypass/local throughput.
+     * @param last true when this is the farthest DIMM on the channel
+     */
+    Watts
+    power(GBps bypass, GBps local, bool last) const
+    {
+        Watts idle = last ? params.pIdleLast : params.pIdleOther;
+        return idle + params.beta * bypass + params.gamma * local;
+    }
+
+    /** Power from a traffic record. */
+    Watts
+    power(const DimmTraffic &t, bool last) const
+    {
+        return power(t.bypass(), t.local(), last);
+    }
+
+    const AmbPowerParams &p() const { return params; }
+
+  private:
+    AmbPowerParams params;
+};
+
+/** Combined AMB + DRAM power of one DIMM. */
+struct DimmPower
+{
+    Watts amb = 0.0;
+    Watts dram = 0.0;
+    Watts total() const { return amb + dram; }
+};
+
+/**
+ * Convenience model evaluating both components of one DIMM.
+ */
+class DimmPowerModel
+{
+  public:
+    DimmPowerModel(DramPowerParams dp = {}, AmbPowerParams ap = {})
+        : dram(dp), amb(ap)
+    {}
+
+    DimmPower
+    power(const DimmTraffic &t, bool last) const
+    {
+        return {amb.power(t, last), dram.power(t)};
+    }
+
+    const DramPowerModel &dramModel() const { return dram; }
+    const AmbPowerModel &ambModel() const { return amb; }
+
+  private:
+    DramPowerModel dram;
+    AmbPowerModel amb;
+};
+
+} // namespace memtherm
+
+#endif // MEMTHERM_CORE_POWER_POWER_MODEL_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Power-model parameters for FBDIMM with 1GB DDR2-667x8 DRAM chips
+ * (110nm process), after Table 3.1 and Section 3.3 of the paper.
+ */
+
+#ifndef MEMTHERM_CORE_POWER_POWER_PARAMS_HH
+#define MEMTHERM_CORE_POWER_POWER_PARAMS_HH
+
+#include "common/units.hh"
+
+namespace memtherm
+{
+
+/**
+ * DRAM-chip power model coefficients (Eq. 3.1), per DIMM.
+ *
+ * P_DRAM = pStatic + alphaRead * Tput_read + alphaWrite * Tput_write
+ *
+ * Derived from the Micron DDR2 system-power calculator assuming close-page
+ * mode with auto-precharge (zero row-buffer hit rate), no low-power modes,
+ * and banks all-precharged 20% of the time. pStatic includes refresh.
+ */
+struct DramPowerParams
+{
+    Watts pStatic = 0.98;          ///< static + refresh power per DIMM
+    double alphaRead = 1.12;       ///< W per GB/s of read throughput
+    double alphaWrite = 1.16;      ///< W per GB/s of write throughput
+};
+
+/**
+ * AMB power model coefficients (Eq. 3.2, Table 3.1), per AMB.
+ *
+ * P_AMB = pIdle + beta * Tput_bypass + gamma * Tput_local
+ *
+ * The last AMB in the daisy chain idles lower because it synchronizes
+ * with only one link neighbor.
+ */
+struct AmbPowerParams
+{
+    Watts pIdleLast = 4.0;         ///< idle power, last DIMM in channel
+    Watts pIdleOther = 5.1;        ///< idle power, any other DIMM
+    double beta = 0.19;            ///< W per GB/s of bypass traffic
+    double gamma = 0.75;           ///< W per GB/s of local traffic
+};
+
+} // namespace memtherm
+
+#endif // MEMTHERM_CORE_POWER_POWER_PARAMS_HH

@@ -1,0 +1,115 @@
+#include "core/sim/experiment.hh"
+
+#include "common/logging.hh"
+#include "core/dtm/basic_policies.hh"
+#include "core/dtm/pid_policies.hh"
+
+namespace memtherm
+{
+
+std::unique_ptr<DtmPolicy>
+makeCh4Policy(const std::string &name, Seconds dtm_interval)
+{
+    ThermalLimits lim;
+    if (name == "No-limit")
+        return std::make_unique<NoLimitPolicy>();
+    if (name == "DTM-TS") {
+        return std::make_unique<TsPolicy>(lim.ambTdp, lim.ambTrp,
+                                          lim.dramTdp, lim.dramTrp);
+    }
+    if (name == "DTM-BW")
+        return std::make_unique<LeveledPolicy>(makeCh4BwPolicy());
+    if (name == "DTM-ACG")
+        return std::make_unique<LeveledPolicy>(makeCh4AcgPolicy());
+    if (name == "DTM-CDVFS")
+        return std::make_unique<LeveledPolicy>(makeCh4CdvfsPolicy());
+    if (name == "DTM-BW+PID") {
+        return std::make_unique<PidPolicy>(PidActuator::Bandwidth,
+                                           ambPidParams(), dramPidParams(),
+                                           lim, dtm_interval);
+    }
+    if (name == "DTM-ACG+PID") {
+        return std::make_unique<PidPolicy>(PidActuator::CoreGating,
+                                           ambPidParams(), dramPidParams(),
+                                           lim, dtm_interval);
+    }
+    if (name == "DTM-CDVFS+PID") {
+        return std::make_unique<PidPolicy>(PidActuator::Dvfs, ambPidParams(),
+                                           dramPidParams(), lim,
+                                           dtm_interval);
+    }
+    fatal("makeCh4Policy: unknown policy '" + name + "'");
+}
+
+std::vector<std::string>
+ch4PolicyNames(bool with_pid)
+{
+    if (!with_pid)
+        return {"DTM-TS", "DTM-BW", "DTM-ACG", "DTM-CDVFS"};
+    return {"DTM-TS",  "DTM-BW",    "DTM-BW+PID",    "DTM-ACG",
+            "DTM-ACG+PID", "DTM-CDVFS", "DTM-CDVFS+PID"};
+}
+
+SuiteResults
+runSuite(const SimConfig &cfg, const std::vector<Workload> &workloads,
+         const std::vector<std::string> &policy_names)
+{
+    ThermalSimulator sim(cfg);
+    SuiteResults out;
+    for (const auto &w : workloads) {
+        for (const auto &pname : policy_names) {
+            auto policy = makeCh4Policy(pname, cfg.dtmInterval);
+            out[w.name][pname] = sim.run(w, *policy);
+        }
+    }
+    return out;
+}
+
+double
+normalizedTo(const SuiteResults &r, const std::string &workload,
+             const std::string &policy, const std::string &base,
+             double (*metric)(const SimResult &))
+{
+    const auto &per_policy = r.at(workload);
+    double denom = metric(per_policy.at(base));
+    panicIfNot(denom > 0.0, "normalizedTo: base metric must be positive");
+    return metric(per_policy.at(policy)) / denom;
+}
+
+double
+metricRunningTime(const SimResult &r)
+{
+    return r.runningTime;
+}
+
+double
+metricTraffic(const SimResult &r)
+{
+    return r.totalTrafficGB();
+}
+
+double
+metricMemEnergy(const SimResult &r)
+{
+    return r.memEnergy;
+}
+
+double
+metricCpuEnergy(const SimResult &r)
+{
+    return r.cpuEnergy;
+}
+
+double
+metricTotalEnergy(const SimResult &r)
+{
+    return r.memEnergy + r.cpuEnergy;
+}
+
+double
+metricL2Misses(const SimResult &r)
+{
+    return r.totalL2Misses;
+}
+
+} // namespace memtherm

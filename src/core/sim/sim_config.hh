@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Configuration of the second-level (MEMSpot) thermal simulator.
+ */
+
+#ifndef MEMTHERM_CORE_SIM_SIM_CONFIG_HH
+#define MEMTHERM_CORE_SIM_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "core/thermal/memory_thermal.hh"
+#include "core/thermal/thermal_params.hh"
+#include "cpu/cpu_power.hh"
+#include "cpu/dvfs.hh"
+#include "cpu/perf_model.hh"
+
+namespace memtherm
+{
+
+/**
+ * Everything a simulation run needs besides the workload and the policy.
+ * Defaults model the Chapter 4 platform (Table 4.1) with the isolated
+ * thermal model under AOHS_1.5.
+ */
+struct SimConfig
+{
+    /// Memory organization: 2 logical (4 physical) channels, 4 DIMMs each.
+    MemoryOrgConfig org{4, 4};
+    CoolingConfig cooling = coolingAohs15();
+    AmbientParams ambient = isolatedAmbient(coolingAohs15());
+    MemSystemPerf memPerf{};
+    DvfsTable dvfs = simulatedCmpDvfs();
+    int nCores = 4;
+
+    /// Batch depth: copies of each application (the paper uses 50; the
+    /// bench harness uses fewer with scaled instruction volumes).
+    int copiesPerApp = 50;
+    double instrScale = 1.0;
+
+    Seconds window = 0.01;       ///< level-2 trace window (10 ms)
+    Seconds dtmInterval = 0.01;  ///< policy decision period
+    Seconds dtmOverhead = 25e-6; ///< per-decision lost time (Table 4.1)
+    Seconds rotationSlice = 0.1; ///< time-multiplex slice under gating
+
+    ThermalLimits limits{};
+    Seconds maxSimTime = 20000.0;
+    Seconds traceSample = 1.0;   ///< temperature/power trace resolution
+
+    TableCpuPowerModel cpuPowerTable{4};
+    /// When set, use the activity-based (Chapter 5) CPU power model.
+    std::optional<ActivityCpuPowerModel> cpuPowerActivity;
+
+    /// Count L2 sharers per 2-core socket (Chapter 5 platforms) instead of
+    /// across all cores (the Chapter 4 shared-L2 CMP).
+    bool perSocketL2 = false;
+
+    /// Sensor emulation (0 = ideal sensors, used in Chapter 4).
+    double sensorNoiseSigma = 0.0;
+    double sensorQuant = 0.0;
+    std::uint64_t sensorSeed = 42;
+};
+
+/**
+ * Chapter 4 configuration for a cooling setup and thermal model choice.
+ * @param cooling     AOHS_1.5 or FDHS_1.0
+ * @param integrated  true -> integrated thermal model (Section 3.5)
+ */
+SimConfig makeCh4Config(const CoolingConfig &cooling, bool integrated);
+
+} // namespace memtherm
+
+#endif // MEMTHERM_CORE_SIM_SIM_CONFIG_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Outputs of one MEMSpot simulation run.
+ */
+
+#ifndef MEMTHERM_CORE_SIM_SIM_RESULT_HH
+#define MEMTHERM_CORE_SIM_SIM_RESULT_HH
+
+#include <string>
+
+#include "common/time_series.hh"
+#include "common/units.hh"
+
+namespace memtherm
+{
+
+/** Aggregate statistics and traces of one (workload, policy) run. */
+struct SimResult
+{
+    std::string workload;
+    std::string policy;
+
+    bool completed = false;     ///< batch finished before maxSimTime
+    Seconds runningTime = 0.0;  ///< total batch running time
+
+    double totalInstr = 0.0;       ///< instructions executed
+    double totalReadGB = 0.0;      ///< read traffic
+    double totalWriteGB = 0.0;     ///< write traffic
+    double totalL2Misses = 0.0;    ///< demand L2 misses
+
+    Joules memEnergy = 0.0;   ///< FBDIMM subsystem energy
+    Joules cpuEnergy = 0.0;   ///< processor energy
+
+    Celsius maxAmb = 0.0;        ///< hottest AMB temperature seen
+    Celsius maxDram = 0.0;       ///< hottest DRAM temperature seen
+    Seconds timeAboveAmbTdp = 0.0;
+    Seconds timeAboveDramTdp = 0.0;
+
+    TimeSeries ambTrace{1.0};      ///< hottest AMB temperature over time
+    TimeSeries dramTrace{1.0};     ///< hottest DRAM temperature over time
+    TimeSeries inletTrace{1.0};    ///< memory inlet temperature over time
+    TimeSeries cpuPowerTrace{1.0}; ///< CPU power over time
+    TimeSeries bwTrace{1.0};       ///< achieved memory throughput over time
+
+    /** Total memory traffic in GB. */
+    double totalTrafficGB() const { return totalReadGB + totalWriteGB; }
+    /** Mean CPU power over the run. */
+    Watts avgCpuPower() const
+    {
+        return runningTime > 0.0 ? cpuEnergy / runningTime : 0.0;
+    }
+    /** Mean memory power over the run. */
+    Watts avgMemPower() const
+    {
+        return runningTime > 0.0 ? memEnergy / runningTime : 0.0;
+    }
+    /** Mean achieved bandwidth over the run. */
+    GBps avgBandwidth() const
+    {
+        return runningTime > 0.0 ? totalTrafficGB() / runningTime : 0.0;
+    }
+};
+
+} // namespace memtherm
+
+#endif // MEMTHERM_CORE_SIM_SIM_RESULT_HH

@@ -1,0 +1,257 @@
+#include "core/sim/thermal_simulator.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "core/thermal/ambient_model.hh"
+
+namespace memtherm
+{
+
+namespace
+{
+
+/** Apply sensor quantization and noise to an exact temperature. */
+Celsius
+senseTemp(Celsius exact, double sigma, double quant, Rng &rng)
+{
+    Celsius t = exact;
+    if (sigma > 0.0)
+        t += sigma * rng.gaussian();
+    if (quant > 0.0)
+        t = std::floor(t / quant) * quant;
+    return t;
+}
+
+} // namespace
+
+SimConfig
+makeCh4Config(const CoolingConfig &cooling, bool integrated)
+{
+    SimConfig cfg;
+    cfg.cooling = cooling;
+    cfg.ambient =
+        integrated ? integratedAmbient(cooling) : isolatedAmbient(cooling);
+    // xi calibration: Eq. 3.6's xi converts (V * IPCref) to heat. The
+    // paper's measured cores commit near one instruction per reference
+    // cycle; this model's memory-bound tasks run near a third of that,
+    // so xi scales up by the same factor to represent the same processor
+    // power (full-load preheat ~9 C at the default interaction degree).
+    cfg.ambient.psiCpuMemXi *= 3.0;
+    return cfg;
+}
+
+ThermalSimulator::ThermalSimulator(SimConfig c) : cfg(std::move(c))
+{
+    panicIfNot(cfg.window > 0.0, "ThermalSimulator: window must be > 0");
+    panicIfNot(cfg.dtmInterval >= cfg.window,
+               "ThermalSimulator: DTM interval must be >= window");
+    panicIfNot(cfg.nCores >= 1, "ThermalSimulator: need >= 1 core");
+}
+
+SimResult
+ThermalSimulator::run(const Workload &mix, DtmPolicy &policy) const
+{
+    policy.reset();
+
+    SimResult res;
+    res.workload = mix.name;
+    res.policy = policy.name();
+    res.ambTrace = TimeSeries(cfg.traceSample);
+    res.dramTrace = TimeSeries(cfg.traceSample);
+    res.inletTrace = TimeSeries(cfg.traceSample);
+    res.cpuPowerTrace = TimeSeries(cfg.traceSample);
+    res.bwTrace = TimeSeries(cfg.traceSample);
+
+    BatchJob batch(mix, cfg.copiesPerApp, cfg.instrScale);
+
+    // Core slots; round-robin dispatch from the batch queue.
+    std::vector<BatchJob::Instance *> slot(
+        static_cast<std::size_t>(cfg.nCores), nullptr);
+    for (auto &s : slot)
+        s = batch.nextPending();
+
+    AmbientModel ambient(cfg.ambient);
+    MemoryThermalModel mem(cfg.org, cfg.cooling, DimmPowerModel{},
+                           ambient.temperature());
+    // The machine idles long enough before the run for temperatures to
+    // settle (the measurement protocol of Section 5.4.1).
+    mem.resetToStable(0.0, 0.0, ambient.temperature());
+    Rng sensor_rng(cfg.sensorSeed);
+
+    const Seconds dt = cfg.window;
+    const GHz fmax = cfg.dvfs.maxFreq();
+    DtmAction action;
+    Seconds next_dtm = 0.0;
+    Seconds next_rotation = cfg.rotationSlice;
+    Seconds next_trace = cfg.traceSample;
+    std::size_t rotation = 0;
+    bool decided_this_window = false;
+
+    Seconds t = 0.0;
+    const Seconds eps = dt * 1e-6;
+    while (!batch.done() && t < cfg.maxSimTime) {
+        // --- DTM decision at interval boundaries -----------------------
+        decided_this_window = false;
+        if (t + eps >= next_dtm) {
+            MemoryThermalSample cur = mem.current();
+            ThermalReading reading;
+            reading.amb = senseTemp(cur.hottestAmb, cfg.sensorNoiseSigma,
+                                    cfg.sensorQuant, sensor_rng);
+            reading.dram = senseTemp(cur.hottestDram, cfg.sensorNoiseSigma,
+                                     cfg.sensorQuant, sensor_rng);
+            reading.inlet = ambient.temperature();
+            action = policy.decide(reading, t);
+            next_dtm += cfg.dtmInterval;
+            decided_this_window = true;
+        }
+
+        // --- schedule: pick the slots that run this window --------------
+        if (t + eps >= next_rotation) {
+            ++rotation;
+            next_rotation += cfg.rotationSlice;
+        }
+        std::vector<std::size_t> occupied;
+        for (std::size_t i = 0; i < slot.size(); ++i)
+            if (slot[i])
+                occupied.push_back(i);
+
+        int n_active = std::clamp(action.activeCores, 0,
+                                  static_cast<int>(occupied.size()));
+        bool time_shared =
+            n_active > 0 && n_active < static_cast<int>(occupied.size());
+        std::vector<std::size_t> scheduled;
+        for (int k = 0; k < n_active; ++k) {
+            std::size_t pick = (rotation + static_cast<std::size_t>(k)) %
+                               occupied.size();
+            scheduled.push_back(occupied[pick]);
+        }
+        std::sort(scheduled.begin(), scheduled.end());
+
+        // --- L2 sharer counts -------------------------------------------
+        // Chapter 4: one shared L2 across all cores. Chapter 5: one L2
+        // per 2-core socket.
+        std::vector<double> sharers(scheduled.size(),
+                                    static_cast<double>(scheduled.size()));
+        if (cfg.perSocketL2) {
+            for (std::size_t i = 0; i < scheduled.size(); ++i) {
+                std::size_t socket = scheduled[i] / 2;
+                double n = 0.0;
+                for (std::size_t j : scheduled)
+                    if (j / 2 == socket)
+                        n += 1.0;
+                sharers[i] = n;
+            }
+        }
+
+        // --- build level-1 window tasks ----------------------------------
+        const DvfsState &dv = cfg.dvfs.at(action.dvfsLevel);
+        std::vector<CoreTask> tasks;
+        std::vector<double> task_mpki;
+        tasks.reserve(scheduled.size());
+        for (std::size_t i = 0; i < scheduled.size(); ++i) {
+            const BatchJob::Instance *inst = slot[scheduled[i]];
+            const AppDescriptor &app = *inst->app;
+            double mpki = mpkiAtSharers(app.cache, sharers[i]) *
+                          phaseFactor(app, inst->cpuTime);
+            if (time_shared) {
+                mpki += switchMpki(app.refillLines, app.nominalGips,
+                                   cfg.rotationSlice);
+            }
+            CoreTask task;
+            task.cpiCore = app.cpiCore;
+            task.mpki = mpki;
+            task.writeFrac = app.writeFrac;
+            task.specFrac = app.specFrac;
+            task.mlpOverlap = app.mlpOverlap;
+            tasks.push_back(task);
+            task_mpki.push_back(mpki);
+        }
+
+        GBps cap = action.memoryOn ? action.bandwidthCap : 0.0;
+        WindowPerf perf =
+            solvePerfWindow(tasks, dv.freq, fmax, cap, cfg.memPerf);
+
+        // DTM control overhead: a decision window loses dtmOverhead of
+        // useful execution time (Table 4.1).
+        double progress_scale = 1.0;
+        if (decided_this_window && cfg.dtmOverhead > 0.0) {
+            progress_scale =
+                std::max(0.0, 1.0 - cfg.dtmOverhead / cfg.window);
+        }
+
+        // --- progress + retirement ---------------------------------------
+        double sum_v_ipc = 0.0;
+        for (std::size_t i = 0; i < scheduled.size(); ++i) {
+            BatchJob::Instance *inst = slot[scheduled[i]];
+            double instrs = perf.ips[i] * dt * progress_scale;
+            inst->remainingInstr -= instrs;
+            inst->cpuTime += dt;
+            res.totalInstr += instrs;
+            res.totalL2Misses += instrs * task_mpki[i] / 1000.0;
+            sum_v_ipc += dv.volts * (perf.ips[i] / (fmax * 1e9));
+            if (inst->remainingInstr <= 0.0) {
+                batch.retire(inst);
+                slot[scheduled[i]] = batch.nextPending();
+            }
+        }
+
+        GBps read = perf.totalRead * progress_scale;
+        GBps write = perf.totalWrite * progress_scale;
+        res.totalReadGB += read * dt;
+        res.totalWriteGB += write * dt;
+
+        // --- power + thermal ---------------------------------------------
+        Watts cpu_power;
+        if (cfg.cpuPowerActivity) {
+            std::vector<double> activities;
+            if (action.memoryOn) {
+                activities.reserve(scheduled.size());
+                for (std::size_t i = 0; i < scheduled.size(); ++i) {
+                    double cpi_total = dv.freq * 1e9 /
+                                       std::max(perf.ips[i], 1.0);
+                    activities.push_back(std::clamp(
+                        tasks[i].cpiCore / cpi_total, 0.0, 1.0));
+                }
+            }
+            cpu_power =
+                cfg.cpuPowerActivity->power(activities, action.dvfsLevel);
+        } else {
+            bool halted = !action.memoryOn;
+            cpu_power = cfg.cpuPowerTable.power(
+                halted ? 0 : n_active, action.dvfsLevel, halted);
+        }
+
+        Celsius inlet = ambient.advance(sum_v_ipc, cpu_power, dt);
+        MemoryThermalSample ms = mem.advance(read, write, inlet, dt);
+
+        res.memEnergy += ms.subsystemPower * dt;
+        res.cpuEnergy += cpu_power * dt;
+        res.maxAmb = std::max(res.maxAmb, ms.hottestAmb);
+        res.maxDram = std::max(res.maxDram, ms.hottestDram);
+        if (ms.hottestAmb > cfg.limits.ambTdp)
+            res.timeAboveAmbTdp += dt;
+        if (ms.hottestDram > cfg.limits.dramTdp)
+            res.timeAboveDramTdp += dt;
+
+        if (t + eps >= next_trace) {
+            res.ambTrace.add(ms.hottestAmb);
+            res.dramTrace.add(ms.hottestDram);
+            res.inletTrace.add(inlet);
+            res.cpuPowerTrace.add(cpu_power);
+            res.bwTrace.add(read + write);
+            next_trace += cfg.traceSample;
+        }
+
+        t += dt;
+    }
+
+    res.completed = batch.done();
+    res.runningTime = t;
+    return res;
+}
+
+} // namespace memtherm

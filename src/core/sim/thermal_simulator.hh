@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The two-level thermal simulator (Section 4.3.1, Fig. 4.1).
+ *
+ * Level 1 (the paper's cycle-accurate M5 + FBDIMM simulator) is the
+ * analytic performance model in src/cpu: for each 10 ms window it produces
+ * the IPC and memory throughput of the current design point (active cores,
+ * frequency/voltage, bandwidth cap). Level 2 ("MEMSpot") consumes those
+ * windows: it evaluates the FBDIMM power model, advances the thermal RC
+ * network and the ambient node, and invokes the DTM policy at every DTM
+ * interval. Batch-job scheduling (N copies of each application, round-
+ * robin core assignment, Section 4.3.2) lives here too.
+ */
+
+#ifndef MEMTHERM_CORE_SIM_THERMAL_SIMULATOR_HH
+#define MEMTHERM_CORE_SIM_THERMAL_SIMULATOR_HH
+
+#include "core/dtm/dtm_policy.hh"
+#include "core/sim/sim_config.hh"
+#include "core/sim/sim_result.hh"
+#include "workloads/workload.hh"
+
+namespace memtherm
+{
+
+/**
+ * Runs one (workload, policy) experiment to batch completion.
+ */
+class ThermalSimulator
+{
+  public:
+    explicit ThermalSimulator(SimConfig cfg);
+
+    /**
+     * Simulate the workload's batch job under the policy. The policy is
+     * reset() first; a fresh thermal state (idle at ambient) is used.
+     */
+    SimResult run(const Workload &mix, DtmPolicy &policy) const;
+
+    const SimConfig &config() const { return cfg; }
+
+  private:
+    SimConfig cfg;
+};
+
+} // namespace memtherm
+
+#endif // MEMTHERM_CORE_SIM_THERMAL_SIMULATOR_HH

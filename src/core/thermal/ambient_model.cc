@@ -1,0 +1,21 @@
+#include "core/thermal/ambient_model.hh"
+
+namespace memtherm
+{
+
+AmbientModel::AmbientModel(const AmbientParams &p)
+    : params(p), node(p.tauCpuDram, p.tInlet)
+{
+}
+
+Celsius
+AmbientModel::advance(double sum_v_ipc, Watts cpu_power, Seconds dt)
+{
+    if (!integrated()) {
+        // Isolated model: constant ambient, no dynamics.
+        return node.temperature();
+    }
+    return node.advance(stable(sum_v_ipc, cpu_power), dt);
+}
+
+} // namespace memtherm

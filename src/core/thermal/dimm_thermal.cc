@@ -1,0 +1,33 @@
+#include "core/thermal/dimm_thermal.hh"
+
+namespace memtherm
+{
+
+DimmThermalModel::DimmThermalModel(const CoolingConfig &cooling, Celsius t0)
+    : cfg(cooling), ambNode(cooling.tauAmb, t0), dramNode(cooling.tauDram, t0)
+{
+}
+
+DimmTemps
+DimmThermalModel::advance(Celsius ambient, const DimmPower &p, Seconds dt)
+{
+    Celsius sa = stableAmb(ambient, p);
+    Celsius sd = stableDram(ambient, p);
+    return {ambNode.advance(sa, dt), dramNode.advance(sd, dt)};
+}
+
+void
+DimmThermalModel::reset(Celsius t)
+{
+    ambNode.reset(t);
+    dramNode.reset(t);
+}
+
+void
+DimmThermalModel::resetToStable(Celsius ambient, const DimmPower &p)
+{
+    ambNode.reset(stableAmb(ambient, p));
+    dramNode.reset(stableDram(ambient, p));
+}
+
+} // namespace memtherm

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Thermal model of one FBDIMM: stable temperatures (Eqs. 3.3/3.4) and
+ * dynamic temperatures (Eq. 3.5) of its AMB and hottest DRAM chip.
+ */
+
+#ifndef MEMTHERM_CORE_THERMAL_DIMM_THERMAL_HH
+#define MEMTHERM_CORE_THERMAL_DIMM_THERMAL_HH
+
+#include "core/power/power_model.hh"
+#include "core/thermal/rc_node.hh"
+#include "core/thermal/thermal_params.hh"
+
+namespace memtherm
+{
+
+/** Temperatures of one DIMM's two hot spots. */
+struct DimmTemps
+{
+    Celsius amb = 0.0;
+    Celsius dram = 0.0;
+};
+
+/**
+ * Per-DIMM thermal state: two coupled RC nodes (AMB and hottest DRAM
+ * chip — the one next to the AMB), driven by the power model outputs and
+ * the DIMM's ambient (inlet air) temperature.
+ *
+ * The paper assumes no DIMM-to-DIMM thermal interaction (cooling air
+ * passes between DIMMs), so DIMMs are modeled independently.
+ */
+class DimmThermalModel
+{
+  public:
+    /**
+     * @param cooling Table 3.2 column to use
+     * @param t0      initial temperature of both nodes (idle ambient)
+     */
+    DimmThermalModel(const CoolingConfig &cooling, Celsius t0);
+
+    /** Eq. 3.3: stable AMB temperature for a given operating point. */
+    Celsius
+    stableAmb(Celsius ambient, const DimmPower &p) const
+    {
+        return ambient + p.amb * cfg.psiAmb + p.dram * cfg.psiDramToAmb;
+    }
+
+    /** Eq. 3.4: stable DRAM temperature for a given operating point. */
+    Celsius
+    stableDram(Celsius ambient, const DimmPower &p) const
+    {
+        return ambient + p.amb * cfg.psiAmbToDram + p.dram * cfg.psiDram;
+    }
+
+    /**
+     * Advance both nodes by dt at the given ambient and power.
+     * @return new temperatures
+     */
+    DimmTemps advance(Celsius ambient, const DimmPower &p, Seconds dt);
+
+    /** Current temperatures. */
+    DimmTemps
+    temps() const
+    {
+        return {ambNode.temperature(), dramNode.temperature()};
+    }
+
+    /** Reset both nodes to a temperature. */
+    void reset(Celsius t);
+
+    /** Reset both nodes to their stable points for a given load. */
+    void resetToStable(Celsius ambient, const DimmPower &p);
+
+    const CoolingConfig &cooling() const { return cfg; }
+
+  private:
+    CoolingConfig cfg;
+    RcNode ambNode;
+    RcNode dramNode;
+};
+
+} // namespace memtherm
+
+#endif // MEMTHERM_CORE_THERMAL_DIMM_THERMAL_HH

@@ -1,0 +1,125 @@
+#include "core/thermal/memory_thermal.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace memtherm
+{
+
+MemoryThermalModel::MemoryThermalModel(const MemoryOrgConfig &org,
+                                       const CoolingConfig &cooling,
+                                       const DimmPowerModel &power,
+                                       Celsius t0)
+    : orgCfg(org), pwr(power)
+{
+    panicIfNot(org.nChannels >= 1 && org.nDimmsPerChannel >= 1,
+               "MemoryThermalModel: bad organization");
+    dimms.reserve(org.nDimmsPerChannel);
+    for (int i = 0; i < org.nDimmsPerChannel; ++i)
+        dimms.emplace_back(cooling, t0);
+}
+
+std::vector<DimmPower>
+MemoryThermalModel::channelPower(GBps total_read, GBps total_write) const
+{
+    GBps ch_read = total_read / orgCfg.nChannels;
+    GBps ch_write = total_write / orgCfg.nChannels;
+    auto traffic = decomposeChannelTraffic(ch_read, ch_write,
+                                           orgCfg.nDimmsPerChannel);
+    std::vector<DimmPower> out(traffic.size());
+    for (std::size_t i = 0; i < traffic.size(); ++i) {
+        bool last = static_cast<int>(i) == orgCfg.nDimmsPerChannel - 1;
+        out[i] = pwr.power(traffic[i], last);
+    }
+    return out;
+}
+
+MemoryThermalSample
+MemoryThermalModel::advance(GBps total_read, GBps total_write,
+                            Celsius ambient, Seconds dt)
+{
+    auto powers = channelPower(total_read, total_write);
+    MemoryThermalSample s;
+    Watts channel_power = 0.0;
+    for (std::size_t i = 0; i < dimms.size(); ++i) {
+        DimmTemps t = dimms[i].advance(ambient, powers[i], dt);
+        s.hottestAmb = std::max(s.hottestAmb, t.amb);
+        s.hottestDram = std::max(s.hottestDram, t.dram);
+        channel_power += powers[i].total();
+    }
+    s.subsystemPower = channel_power * orgCfg.nChannels;
+    return s;
+}
+
+Celsius
+MemoryThermalModel::stableHottestAmb(GBps total_read, GBps total_write,
+                                     Celsius ambient) const
+{
+    auto powers = channelPower(total_read, total_write);
+    Celsius hottest = ambient;
+    for (std::size_t i = 0; i < dimms.size(); ++i)
+        hottest = std::max(hottest, dimms[i].stableAmb(ambient, powers[i]));
+    return hottest;
+}
+
+Celsius
+MemoryThermalModel::stableHottestDram(GBps total_read, GBps total_write,
+                                      Celsius ambient) const
+{
+    auto powers = channelPower(total_read, total_write);
+    Celsius hottest = ambient;
+    for (std::size_t i = 0; i < dimms.size(); ++i)
+        hottest = std::max(hottest, dimms[i].stableDram(ambient, powers[i]));
+    return hottest;
+}
+
+Watts
+MemoryThermalModel::subsystemPower(GBps total_read, GBps total_write) const
+{
+    auto powers = channelPower(total_read, total_write);
+    Watts channel_power = 0.0;
+    for (const auto &p : powers)
+        channel_power += p.total();
+    return channel_power * orgCfg.nChannels;
+}
+
+MemoryThermalSample
+MemoryThermalModel::current() const
+{
+    MemoryThermalSample s;
+    for (const auto &d : dimms) {
+        DimmTemps t = d.temps();
+        s.hottestAmb = std::max(s.hottestAmb, t.amb);
+        s.hottestDram = std::max(s.hottestDram, t.dram);
+    }
+    return s;
+}
+
+std::vector<DimmTemps>
+MemoryThermalModel::dimmTemps() const
+{
+    std::vector<DimmTemps> out;
+    out.reserve(dimms.size());
+    for (const auto &d : dimms)
+        out.push_back(d.temps());
+    return out;
+}
+
+void
+MemoryThermalModel::reset(Celsius t)
+{
+    for (auto &d : dimms)
+        d.reset(t);
+}
+
+void
+MemoryThermalModel::resetToStable(GBps total_read, GBps total_write,
+                                  Celsius ambient)
+{
+    auto powers = channelPower(total_read, total_write);
+    for (std::size_t i = 0; i < dimms.size(); ++i)
+        dimms[i].resetToStable(ambient, powers[i]);
+}
+
+} // namespace memtherm

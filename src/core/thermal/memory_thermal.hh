@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Whole-memory-subsystem power/thermal state.
+ *
+ * Channels are symmetric under uniform address interleave, so one
+ * representative channel's DIMMs are modeled thermally; subsystem power is
+ * scaled by the channel count for energy accounting.
+ */
+
+#ifndef MEMTHERM_CORE_THERMAL_MEMORY_THERMAL_HH
+#define MEMTHERM_CORE_THERMAL_MEMORY_THERMAL_HH
+
+#include <vector>
+
+#include "core/power/power_model.hh"
+#include "core/thermal/dimm_thermal.hh"
+
+namespace memtherm
+{
+
+/** Physical organization of the FBDIMM subsystem (Table 4.1 defaults). */
+struct MemoryOrgConfig
+{
+    int nChannels = 4;          ///< physical FBDIMM channels
+    int nDimmsPerChannel = 4;   ///< DIMMs per physical channel
+};
+
+/** One advance() step's outputs. */
+struct MemoryThermalSample
+{
+    Celsius hottestAmb = 0.0;    ///< max AMB temperature over DIMMs
+    Celsius hottestDram = 0.0;   ///< max DRAM temperature over DIMMs
+    Watts subsystemPower = 0.0;  ///< total FBDIMM power, all channels
+};
+
+/**
+ * Power + thermal model of the full FBDIMM subsystem.
+ */
+class MemoryThermalModel
+{
+  public:
+    /**
+     * @param org     channel/DIMM organization
+     * @param cooling Table 3.2 column
+     * @param power   per-DIMM power models
+     * @param t0      initial temperature of every node
+     */
+    MemoryThermalModel(const MemoryOrgConfig &org,
+                       const CoolingConfig &cooling,
+                       const DimmPowerModel &power, Celsius t0);
+
+    /**
+     * Advance all DIMM nodes by dt.
+     *
+     * @param total_read   system-wide read throughput (GB/s)
+     * @param total_write  system-wide write throughput (GB/s)
+     * @param ambient      current memory inlet temperature
+     * @param dt           time step (s)
+     */
+    MemoryThermalSample advance(GBps total_read, GBps total_write,
+                                Celsius ambient, Seconds dt);
+
+    /** Stable hottest-AMB temperature at an operating point (no advance). */
+    Celsius stableHottestAmb(GBps total_read, GBps total_write,
+                             Celsius ambient) const;
+
+    /** Stable hottest-DRAM temperature at an operating point. */
+    Celsius stableHottestDram(GBps total_read, GBps total_write,
+                              Celsius ambient) const;
+
+    /** Subsystem power at an operating point, without advancing. */
+    Watts subsystemPower(GBps total_read, GBps total_write) const;
+
+    /** Current hottest temperatures. */
+    MemoryThermalSample current() const;
+
+    /** Per-DIMM temperatures on the representative channel. */
+    std::vector<DimmTemps> dimmTemps() const;
+
+    /** Reset every node. */
+    void reset(Celsius t);
+
+    /**
+     * Reset every node to its stable point at the given operating point —
+     * e.g. (0, 0, ambient) models a machine that idled long enough for
+     * temperatures to settle before the run (the paper's experimental
+     * protocol, Section 5.4.1).
+     */
+    void resetToStable(GBps total_read, GBps total_write, Celsius ambient);
+
+    const MemoryOrgConfig &org() const { return orgCfg; }
+    const DimmPowerModel &powerModel() const { return pwr; }
+
+  private:
+    /** Per-DIMM power on the representative channel. */
+    std::vector<DimmPower> channelPower(GBps total_read,
+                                        GBps total_write) const;
+
+    MemoryOrgConfig orgCfg;
+    DimmPowerModel pwr;
+    std::vector<DimmThermalModel> dimms;
+};
+
+} // namespace memtherm
+
+#endif // MEMTHERM_CORE_THERMAL_MEMORY_THERMAL_HH

@@ -1,0 +1,115 @@
+#include "core/thermal/thermal_params.hh"
+
+#include "common/logging.hh"
+
+namespace memtherm
+{
+
+std::string
+CoolingConfig::name() const
+{
+    std::string s = spreader == HeatSpreader::AOHS ? "AOHS" : "FDHS";
+    switch (velocity) {
+      case AirVelocity::MPS_1_0:
+        return s + "_1.0";
+      case AirVelocity::MPS_1_5:
+        return s + "_1.5";
+      case AirVelocity::MPS_3_0:
+        return s + "_3.0";
+    }
+    return s;
+}
+
+CoolingConfig
+coolingConfig(HeatSpreader s, AirVelocity v)
+{
+    CoolingConfig c;
+    c.spreader = s;
+    c.velocity = v;
+    // Table 3.2.
+    if (s == HeatSpreader::AOHS) {
+        switch (v) {
+          case AirVelocity::MPS_1_0:
+            c.psiAmb = 11.2; c.psiDramToAmb = 4.3;
+            c.psiDram = 4.9; c.psiAmbToDram = 5.3;
+            break;
+          case AirVelocity::MPS_1_5:
+            c.psiAmb = 9.3; c.psiDramToAmb = 3.4;
+            c.psiDram = 4.0; c.psiAmbToDram = 4.1;
+            break;
+          case AirVelocity::MPS_3_0:
+            c.psiAmb = 6.6; c.psiDramToAmb = 2.2;
+            c.psiDram = 2.7; c.psiAmbToDram = 2.6;
+            break;
+        }
+    } else {
+        switch (v) {
+          case AirVelocity::MPS_1_0:
+            c.psiAmb = 8.0; c.psiDramToAmb = 4.4;
+            c.psiDram = 4.0; c.psiAmbToDram = 5.7;
+            break;
+          case AirVelocity::MPS_1_5:
+            c.psiAmb = 7.0; c.psiDramToAmb = 3.7;
+            c.psiDram = 3.3; c.psiAmbToDram = 4.5;
+            break;
+          case AirVelocity::MPS_3_0:
+            c.psiAmb = 5.5; c.psiDramToAmb = 2.9;
+            c.psiDram = 2.3; c.psiAmbToDram = 2.9;
+            break;
+        }
+    }
+    c.tauAmb = 50.0;
+    c.tauDram = 100.0;
+    return c;
+}
+
+CoolingConfig
+coolingAohs15()
+{
+    return coolingConfig(HeatSpreader::AOHS, AirVelocity::MPS_1_5);
+}
+
+CoolingConfig
+coolingFdhs10()
+{
+    return coolingConfig(HeatSpreader::FDHS, AirVelocity::MPS_1_0);
+}
+
+namespace
+{
+
+Celsius
+inletFor(const CoolingConfig &cooling, bool integrated)
+{
+    // Table 3.3: thermally constrained environments. The integrated model
+    // uses a 5 degC lower system inlet because the CPU preheat makes up
+    // the difference.
+    bool aohs = cooling.spreader == HeatSpreader::AOHS;
+    if (integrated)
+        return aohs ? 45.0 : 40.0;
+    return aohs ? 50.0 : 45.0;
+}
+
+} // namespace
+
+AmbientParams
+isolatedAmbient(const CoolingConfig &cooling)
+{
+    AmbientParams p;
+    p.tInlet = inletFor(cooling, false);
+    p.psiCpuMemXi = 0.0;
+    p.tauCpuDram = 20.0;
+    return p;
+}
+
+AmbientParams
+integratedAmbient(const CoolingConfig &cooling)
+{
+    AmbientParams p;
+    p.tInlet = inletFor(cooling, true);
+    p.psiCpuMemXi = 1.5;
+    p.tauCpuDram = 20.0;
+    return p;
+}
+
+} // namespace memtherm

@@ -1,0 +1,60 @@
+#include "cpu/cpu_power.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace memtherm
+{
+
+TableCpuPowerModel::TableCpuPowerModel(int n_cores) : nCores(n_cores)
+{
+    panicIfNot(n_cores >= 1, "TableCpuPowerModel: need >= 1 core");
+    // Table 4.4 DVFS column: 260, 193.4, 116.5, 80.6 W at four active
+    // cores. Expressed as per-core dynamic scaling relative to the fastest
+    // point: (P_level - P_halt) / (P_peak - P_halt).
+    const double peak_dyn = 260.0 - 62.0;
+    dvfsScale = {1.0, (193.4 - 62.0) / peak_dyn, (116.5 - 62.0) / peak_dyn,
+                 (80.6 - 62.0) / peak_dyn};
+}
+
+Watts
+TableCpuPowerModel::power(int active_cores, std::size_t dvfs_level,
+                          bool halted) const
+{
+    panicIfNot(active_cores >= 0 && active_cores <= nCores,
+               "TableCpuPowerModel: active core count out of range");
+    panicIfNot(dvfs_level < dvfsScale.size(),
+               "TableCpuPowerModel: DVFS level out of range");
+    if (halted || active_cores == 0)
+        return haltWatts;
+    double dyn = perCoreWatts * active_cores * dvfsScale[dvfs_level];
+    return haltWatts + dyn;
+}
+
+ActivityCpuPowerModel::ActivityCpuPowerModel(DvfsTable dvfs, int n_sockets,
+                                             Watts p_idle, Watts p_dyn,
+                                             double idle_v_exp)
+    : table(std::move(dvfs)), nSockets(n_sockets), pIdleSocket(p_idle),
+      pDynCore(p_dyn), idleVExp(idle_v_exp)
+{
+    panicIfNot(n_sockets >= 1, "ActivityCpuPowerModel: need >= 1 socket");
+}
+
+Watts
+ActivityCpuPowerModel::power(const std::vector<double> &activities,
+                             std::size_t dvfs_level) const
+{
+    const DvfsState &s = table.at(dvfs_level);
+    double vr = s.volts / table.maxVolts();
+    double fr = s.freq / table.maxFreq();
+    Watts p = pIdleSocket * nSockets * std::pow(vr, idleVExp);
+    for (double a : activities) {
+        panicIfNot(a >= 0.0 && a <= 1.0,
+                   "ActivityCpuPowerModel: activity out of [0,1]");
+        p += pDynCore * vr * vr * fr * a;
+    }
+    return p;
+}
+
+} // namespace memtherm

@@ -1,0 +1,37 @@
+#include "cpu/dvfs.hh"
+
+#include "common/logging.hh"
+
+namespace memtherm
+{
+
+DvfsTable::DvfsTable(std::vector<DvfsState> states) : table(std::move(states))
+{
+    panicIfNot(!table.empty(), "DvfsTable: need at least one state");
+    for (std::size_t i = 1; i < table.size(); ++i) {
+        panicIfNot(table[i].freq <= table[i - 1].freq,
+                   "DvfsTable: states must be ordered fastest-first");
+    }
+}
+
+const DvfsState &
+DvfsTable::at(std::size_t level) const
+{
+    panicIfNot(level < table.size(), "DvfsTable: level out of range");
+    return table[level];
+}
+
+DvfsTable
+simulatedCmpDvfs()
+{
+    return DvfsTable({{3.2, 1.55}, {2.8, 1.35}, {1.6, 1.15}, {0.8, 0.95}});
+}
+
+DvfsTable
+xeon5160Dvfs()
+{
+    return DvfsTable(
+        {{3.0, 1.2125}, {2.667, 1.1625}, {2.333, 1.1000}, {2.0, 1.0375}});
+}
+
+} // namespace memtherm

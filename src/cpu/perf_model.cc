@@ -1,0 +1,140 @@
+#include "cpu/perf_model.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace memtherm
+{
+
+namespace
+{
+
+/** Per-task demand at a given effective latency. */
+struct Demand
+{
+    double ips = 0.0;
+    GBps read = 0.0;
+    GBps write = 0.0;
+};
+
+Demand
+taskDemand(const CoreTask &t, GHz f, GHz fmax, double latency_ns,
+           const MemSystemPerf &mem)
+{
+    double stall_cpi =
+        t.mpki / 1000.0 * latency_ns * f * (1.0 - t.mlpOverlap);
+    double cpi = t.cpiCore + stall_cpi;
+    Demand d;
+    d.ips = f * 1e9 / cpi;
+    double miss_rate = d.ips * t.mpki / 1000.0; // misses per second
+    double spec = t.specFrac * (f / fmax);
+    d.read = miss_rate * mem.lineBytes * (1.0 + spec) / bytesPerGB;
+    d.write = miss_rate * mem.lineBytes * t.writeFrac / bytesPerGB;
+    return d;
+}
+
+GBps
+totalDemand(const std::vector<CoreTask> &tasks, GHz f, GHz fmax,
+            double latency_ns, const MemSystemPerf &mem)
+{
+    GBps total = 0.0;
+    for (const auto &t : tasks) {
+        Demand d = taskDemand(t, f, fmax, latency_ns, mem);
+        total += d.read + d.write;
+    }
+    return total;
+}
+
+WindowPerf
+fill(const std::vector<CoreTask> &tasks, GHz f, GHz fmax, double latency_ns,
+     const MemSystemPerf &mem, bool saturated)
+{
+    WindowPerf out;
+    out.latencyNs = latency_ns;
+    out.saturated = saturated;
+    out.ips.reserve(tasks.size());
+    out.taskTraffic.reserve(tasks.size());
+    for (const auto &t : tasks) {
+        Demand d = taskDemand(t, f, fmax, latency_ns, mem);
+        out.ips.push_back(d.ips);
+        out.taskTraffic.push_back(d.read + d.write);
+        out.totalRead += d.read;
+        out.totalWrite += d.write;
+    }
+    return out;
+}
+
+} // namespace
+
+WindowPerf
+solvePerfWindow(const std::vector<CoreTask> &tasks, GHz freq, GHz fmax,
+                GBps cap, const MemSystemPerf &mem)
+{
+    panicIfNot(freq > 0.0 && fmax >= freq, "solvePerfWindow: bad frequency");
+    panicIfNot(cap >= 0.0, "solvePerfWindow: negative bandwidth cap");
+
+    if (tasks.empty())
+        return {};
+
+    // The physical channel saturates below its raw peak (scheduling and
+    // bank-conflict losses); a DTM traffic cap, however, is an exact
+    // budget enforced by row-activation counting (Section 5.2.1).
+    GBps cap_eff = std::min(cap, mem.peakBandwidth * mem.maxUtilization);
+
+    // Memory fully shut down: tasks with misses make no progress.
+    if (cap_eff <= 1e-9) {
+        WindowPerf out;
+        out.latencyNs = std::numeric_limits<double>::infinity();
+        out.saturated = true;
+        for (const auto &t : tasks) {
+            if (t.mpki <= 0.0) {
+                out.ips.push_back(freq * 1e9 / t.cpiCore);
+            } else {
+                out.ips.push_back(0.0);
+            }
+            out.taskTraffic.push_back(0.0);
+        }
+        return out;
+    }
+
+    // Self-consistent queueing fixed point: the effective miss latency is
+    //   L = L0 * (1 + k * rho / (1 - rho)),  rho = D(L) / cap_eff
+    // D(L) is strictly decreasing in L, so
+    //   f(L) = L - L0 * (1 + k * rho(L) / (1 - rho(L)))
+    // is strictly increasing and has a unique root. Delivered throughput
+    // is continuous in demand: far below saturation L ~= L0; when demand
+    // exceeds the cap, rho -> 1 and delivery approaches the cap from
+    // below, with memory-bound tasks absorbing the queueing latency while
+    // compute-bound tasks keep their rate.
+    const double l0 = mem.idleLatencyNs;
+    const double qk = mem.queueFactor;
+    const double rho_max = 0.9999;
+    auto implied = [&](double latency) {
+        double rho = std::min(
+            totalDemand(tasks, freq, fmax, latency, mem) / cap_eff,
+            rho_max);
+        return l0 * (1.0 + qk * rho / (1.0 - rho));
+    };
+
+    double lo = l0;
+    double hi = std::max(l0 * 2.0, implied(l0));
+    while (hi < implied(hi) && hi < l0 * 1e7)
+        hi *= 2.0;
+    for (int i = 0; i < 60; ++i) {
+        double mid = 0.5 * (lo + hi);
+        if (mid < implied(mid)) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    double l = hi;
+    bool saturated =
+        totalDemand(tasks, freq, fmax, l, mem) / cap_eff > 0.85;
+    return fill(tasks, freq, fmax, l, mem, saturated);
+}
+
+} // namespace memtherm

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Advanced Memory Buffer bookkeeping: the per-DIMM traffic split into the
+ * four Fig. 3.2 categories, measured in bytes, convertible to the GB/s
+ * DimmTraffic record the power model consumes.
+ */
+
+#ifndef MEMTHERM_DRAM_AMB_HH
+#define MEMTHERM_DRAM_AMB_HH
+
+#include <cstdint>
+
+#include "core/power/dimm_traffic.hh"
+
+namespace memtherm
+{
+
+/**
+ * Traffic counters of one AMB. The channel simulator calls addLocal()
+ * for requests terminating at this DIMM and addBypass() for requests it
+ * forwards along the daisy chain.
+ */
+class Amb
+{
+  public:
+    /**
+     * @param index position on the channel (0 = nearest the controller)
+     * @param last  true for the farthest DIMM
+     */
+    Amb(int index, bool last) : pos(index), lastDimm(last) {}
+
+    void
+    addLocal(bool write, std::uint64_t bytes)
+    {
+        (write ? localWriteBytes : localReadBytes) += bytes;
+    }
+
+    void
+    addBypass(bool write, std::uint64_t bytes)
+    {
+        (write ? bypassWriteBytes : bypassReadBytes) += bytes;
+    }
+
+    /** Convert the counters to throughput over a window. */
+    DimmTraffic
+    trafficOver(Seconds window) const
+    {
+        DimmTraffic t;
+        t.localRead = static_cast<double>(localReadBytes) /
+                      (window * bytesPerGB);
+        t.localWrite = static_cast<double>(localWriteBytes) /
+                       (window * bytesPerGB);
+        t.bypassRead = static_cast<double>(bypassReadBytes) /
+                       (window * bytesPerGB);
+        t.bypassWrite = static_cast<double>(bypassWriteBytes) /
+                        (window * bytesPerGB);
+        return t;
+    }
+
+    void
+    resetCounters()
+    {
+        localReadBytes = localWriteBytes = 0;
+        bypassReadBytes = bypassWriteBytes = 0;
+    }
+
+    int index() const { return pos; }
+    bool isLast() const { return lastDimm; }
+    std::uint64_t localBytes() const
+    {
+        return localReadBytes + localWriteBytes;
+    }
+    std::uint64_t bypassBytes() const
+    {
+        return bypassReadBytes + bypassWriteBytes;
+    }
+
+  private:
+    int pos;
+    bool lastDimm;
+    std::uint64_t localReadBytes = 0;
+    std::uint64_t localWriteBytes = 0;
+    std::uint64_t bypassReadBytes = 0;
+    std::uint64_t bypassWriteBytes = 0;
+};
+
+} // namespace memtherm
+
+#endif // MEMTHERM_DRAM_AMB_HH

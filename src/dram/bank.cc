@@ -1,0 +1,36 @@
+#include "dram/bank.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace memtherm
+{
+
+Bank::AccessTimes
+Bank::access(Tick act, bool write, Tick cas_defer)
+{
+    panicIfNot(act >= nextAct, "Bank: activation before bank is ready");
+
+    AccessTimes t;
+    t.act = act;
+    t.cas = act + nsToTick(timing.tRCD) + cas_defer;
+    if (write) {
+        t.dataStart = t.cas + nsToTick(timing.tWL);
+        t.dataEnd = t.dataStart + nsToTick(timing.tBURST);
+        // Write-to-precharge (tWPD) dominates tRAS for DDR2-667 writes.
+        t.pre = std::max(t.act + nsToTick(timing.tRAS),
+                         t.cas + nsToTick(timing.tWPD));
+    } else {
+        t.dataStart = t.cas + nsToTick(timing.tCL);
+        t.dataEnd = t.dataStart + nsToTick(timing.tBURST);
+        t.pre = std::max(t.act + nsToTick(timing.tRAS),
+                         t.cas + nsToTick(timing.tBURST + timing.tRPD));
+    }
+    t.readyAct = std::max(t.pre + nsToTick(timing.tRP),
+                          t.act + nsToTick(timing.tRC));
+    nextAct = t.readyAct;
+    return t;
+}
+
+} // namespace memtherm

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * DDR2 bank timing state under close-page auto-precharge (Section 3.3):
+ * every access is an ACT / CAS(-with-autoprecharge) / PRE triple.
+ */
+
+#ifndef MEMTHERM_DRAM_BANK_HH
+#define MEMTHERM_DRAM_BANK_HH
+
+#include "common/units.hh"
+#include "dram/timing.hh"
+
+namespace memtherm
+{
+
+/**
+ * One DRAM bank. Tracks when the next activation may issue and computes
+ * the command times of a close-page access.
+ */
+class Bank
+{
+  public:
+    explicit Bank(const DramTiming &t) : timing(t) {}
+
+    /** All command times of one close-page access. */
+    struct AccessTimes
+    {
+        Tick act = 0;       ///< row activation
+        Tick cas = 0;       ///< column access (RD or WR)
+        Tick dataStart = 0; ///< first data beat on the DDR2 bus
+        Tick dataEnd = 0;   ///< last data beat
+        Tick pre = 0;       ///< (auto-)precharge
+        Tick readyAct = 0;  ///< earliest next activation
+    };
+
+    /** Earliest time an ACT may issue to this bank. */
+    Tick earliestAct() const { return nextAct; }
+
+    /**
+     * Commit one access starting with an ACT at @p act (must be >=
+     * earliestAct()).
+     *
+     * @param act       activation time
+     * @param write     write access
+     * @param cas_defer extra delay imposed on the CAS beyond tRCD
+     *                  (e.g. a tWTR turnaround), in ticks
+     */
+    AccessTimes access(Tick act, bool write, Tick cas_defer = 0);
+
+    /** Reset to the unconstrained state. */
+    void reset() { nextAct = 0; }
+
+  private:
+    DramTiming timing;
+    Tick nextAct = 0;
+};
+
+} // namespace memtherm
+
+#endif // MEMTHERM_DRAM_BANK_HH

@@ -1,0 +1,188 @@
+#include "dram/fbdimm_channel.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace memtherm
+{
+
+FbdimmChannel::FbdimmChannel(const ChannelConfig &c)
+    : cfg(c), dimmLastAct(static_cast<std::size_t>(c.nDimms), 0),
+      dimmWrDataEnd(static_cast<std::size_t>(c.nDimms), 0),
+      check(c.nDimms, c.banksPerDimm, c.timing, c.checkProtocol)
+{
+    panicIfNot(cfg.nDimms >= 1 && cfg.banksPerDimm >= 1,
+               "FbdimmChannel: bad geometry");
+    panicIfNot(cfg.queueCapacity >= 1 && cfg.schedWindow >= 1,
+               "FbdimmChannel: bad queue configuration");
+    banks.assign(static_cast<std::size_t>(cfg.nDimms * cfg.banksPerDimm),
+                 Bank(cfg.timing));
+    ambChain.reserve(static_cast<std::size_t>(cfg.nDimms));
+    for (int i = 0; i < cfg.nDimms; ++i)
+        ambChain.emplace_back(i, i == cfg.nDimms - 1);
+}
+
+Bank &
+FbdimmChannel::bankOf(int dimm, int bank)
+{
+    return banks[static_cast<std::size_t>(dimm * cfg.banksPerDimm + bank)];
+}
+
+const Bank &
+FbdimmChannel::bankOf(int dimm, int bank) const
+{
+    return banks[static_cast<std::size_t>(dimm * cfg.banksPerDimm + bank)];
+}
+
+bool
+FbdimmChannel::enqueue(const MemRequest &req)
+{
+    panicIfNot(req.dimm >= 0 && req.dimm < cfg.nDimms,
+               "FbdimmChannel: DIMM index out of range");
+    panicIfNot(req.bank >= 0 && req.bank < cfg.banksPerDimm,
+               "FbdimmChannel: bank index out of range");
+    if (queue.size() >= cfg.queueCapacity)
+        return false;
+    queue.push_back(req);
+    return true;
+}
+
+FbdimmChannel::IssuePlan
+FbdimmChannel::plan(const MemRequest &req) const
+{
+    const auto &lnk = cfg.link;
+    const auto &t = cfg.timing;
+    auto d = static_cast<std::size_t>(req.dimm);
+
+    IssuePlan p;
+    // A write needs one (command + 16 B) frame per 16 B payload; a read's
+    // command pair occupies one of the three command slots of a frame, so
+    // its southbound reservation is a third of a frame (Section 3.2).
+    p.frames = req.write
+                   ? static_cast<unsigned>(
+                         (cfg.bytesPerRequest + lnk.southWriteBytes - 1) /
+                         lnk.southWriteBytes)
+                   : 1u;
+    Tick frame = nsToTick(lnk.frameNs);
+    Tick south_cost = req.write ? frame * p.frames
+                                : nsToTick(lnk.frameNs / lnk.southCmdSlots);
+    p.southCost = south_cost;
+    Tick hops = nsToTick(lnk.ambForwardNs) * req.dimm;
+
+    Tick t0 = std::max(req.arrival + nsToTick(lnk.controllerNs), southFree);
+    Tick at_dimm = t0 + frame * p.frames + hops;
+    Tick link_act = at_dimm + nsToTick(lnk.ambLocalNs);
+
+    // Bank and rank constraints may hold the activation back; the
+    // controller then defers sending the command frames.
+    Tick act = std::max({link_act, bankOf(req.dimm, req.bank).earliestAct(),
+                         dimmLastAct[d] + nsToTick(t.tRRD)});
+    p.sendStart = t0 + (act - link_act);
+    p.act = act;
+
+    Tick cas = act + nsToTick(t.tRCD);
+    if (!req.write) {
+        // Write-to-read turnaround on the DIMM's DDR2 bus.
+        Tick wtr_ready = dimmWrDataEnd[d] + nsToTick(t.tWTR);
+        if (cas < wtr_ready)
+            p.casDefer = wtr_ready - cas;
+    }
+    p.cas = cas + p.casDefer;
+
+    if (req.write) {
+        p.done = p.cas + nsToTick(t.tWL + t.tBURST);
+    } else {
+        Tick data_at_amb = p.cas + nsToTick(t.tCL + t.tBURST);
+        p.northSlot = std::max(data_at_amb, northFree);
+        int return_hops =
+            lnk.variableReadLatency ? req.dimm : cfg.nDimms - 1;
+        p.done = p.northSlot + frame +
+                 nsToTick(lnk.ambForwardNs) * return_hops;
+    }
+    return p;
+}
+
+void
+FbdimmChannel::commit(const MemRequest &req, const IssuePlan &p)
+{
+    auto d = static_cast<std::size_t>(req.dimm);
+    Tick frame = nsToTick(cfg.link.frameNs);
+
+    southFree = p.sendStart + p.southCost;
+    Bank::AccessTimes bt =
+        bankOf(req.dimm, req.bank).access(p.act, req.write, p.casDefer);
+    dimmLastAct[d] = p.act;
+    if (req.write) {
+        dimmWrDataEnd[d] = bt.dataEnd;
+    } else {
+        northFree = p.northSlot + frame;
+    }
+
+    check.record(DramCmd::ACT, req.dimm, req.bank, bt.act);
+    check.record(req.write ? DramCmd::WR : DramCmd::RD, req.dimm, req.bank,
+                 bt.cas);
+    check.record(DramCmd::PRE, req.dimm, req.bank, bt.pre);
+
+    // Traffic bookkeeping: the request's bytes are local at the target
+    // DIMM and bypass at every AMB between it and the controller.
+    std::uint64_t bytes = cfg.bytesPerRequest;
+    ambChain[d].addLocal(req.write, bytes);
+    for (int i = 0; i < req.dimm; ++i)
+        ambChain[static_cast<std::size_t>(i)].addBypass(req.write, bytes);
+
+    double latency_ns = static_cast<double>(p.done - req.arrival) /
+                        static_cast<double>(tickPerNs);
+    if (req.write) {
+        ++st.writes;
+        st.writeBytes += bytes;
+        st.writeLatencyNs.add(latency_ns);
+    } else {
+        ++st.reads;
+        st.readBytes += bytes;
+        st.readLatencyNs.add(latency_ns);
+    }
+    st.lastCompletion = std::max(st.lastCompletion, p.done);
+}
+
+bool
+FbdimmChannel::issueOne()
+{
+    if (queue.empty())
+        return false;
+
+    // First-ready FCFS over the scan window: earliest feasible
+    // activation wins; ties go to the older request.
+    std::size_t window = std::min<std::size_t>(cfg.schedWindow,
+                                               queue.size());
+    std::size_t best = 0;
+    IssuePlan best_plan = plan(queue[0]);
+    for (std::size_t i = 1; i < window; ++i) {
+        IssuePlan p = plan(queue[i]);
+        if (p.act < best_plan.act) {
+            best = i;
+            best_plan = p;
+        }
+    }
+    MemRequest req = queue[best];
+    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(best));
+    commit(req, best_plan);
+    return true;
+}
+
+void
+FbdimmChannel::drain()
+{
+    while (issueOne()) {
+    }
+}
+
+void
+FbdimmChannel::resetStats()
+{
+    st = ChannelStats{};
+    for (auto &a : ambChain)
+        a.resetCounters();
+}
+
+} // namespace memtherm

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * One FBDIMM channel: the daisy chain of AMBs, the south/northbound
+ * links, the per-DIMM DDR2 banks, and a close-page first-ready FCFS
+ * scheduler (Section 3.2, Table 4.1).
+ *
+ * The simulator uses lookahead scheduling: each request's full command
+ * schedule (southbound frames, ACT/CAS/PRE, northbound return) is
+ * computed analytically against the link and bank reservation state, so
+ * no global clock loop is needed. Every issued command is validated by a
+ * ProtocolChecker.
+ */
+
+#ifndef MEMTHERM_DRAM_FBDIMM_CHANNEL_HH
+#define MEMTHERM_DRAM_FBDIMM_CHANNEL_HH
+
+#include <deque>
+#include <vector>
+
+#include "common/stats.hh"
+#include "dram/amb.hh"
+#include "dram/bank.hh"
+#include "dram/protocol_checker.hh"
+#include "dram/request.hh"
+
+namespace memtherm
+{
+
+/** Channel geometry and policy knobs. */
+struct ChannelConfig
+{
+    int nDimms = 4;
+    int banksPerDimm = 8;
+    DramTiming timing{};
+    FbdimmChannelTiming link{};
+    unsigned queueCapacity = 64;   ///< controller buffer (Table 4.1)
+    unsigned schedWindow = 16;     ///< first-ready scan depth
+    std::uint64_t bytesPerRequest = 32; ///< half block per channel
+    bool checkProtocol = true;
+};
+
+/** Aggregate counters of one channel. */
+struct ChannelStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t readBytes = 0;
+    std::uint64_t writeBytes = 0;
+    Accumulator readLatencyNs;  ///< arrival-to-data-return
+    Accumulator writeLatencyNs; ///< arrival-to-data-written
+    Tick lastCompletion = 0;    ///< time the last request finished
+};
+
+/**
+ * FBDIMM channel simulator.
+ */
+class FbdimmChannel
+{
+  public:
+    explicit FbdimmChannel(const ChannelConfig &cfg);
+
+    /**
+     * Queue a request; returns false when the controller buffer is full
+     * (callers may retry after issueOne()).
+     */
+    bool enqueue(const MemRequest &req);
+
+    /** Requests waiting in the controller buffer. */
+    std::size_t pending() const { return queue.size(); }
+
+    /**
+     * Schedule and retire one request (first-ready FCFS over the scan
+     * window). Returns false when the queue is empty.
+     */
+    bool issueOne();
+
+    /** Issue everything queued. */
+    void drain();
+
+    const ChannelStats &stats() const { return st; }
+    const std::vector<Amb> &ambs() const { return ambChain; }
+    const ProtocolChecker &checker() const { return check; }
+    const ChannelConfig &config() const { return cfg; }
+
+    /** Reset statistics and AMB counters (timing state retained). */
+    void resetStats();
+
+  private:
+    /** The full command schedule of one candidate request. */
+    struct IssuePlan
+    {
+        Tick sendStart = 0; ///< first southbound frame
+        Tick act = 0;
+        Tick cas = 0;
+        Tick done = 0;      ///< data returned (read) / written (write)
+        unsigned frames = 1;
+        Tick southCost = 0; ///< southbound link reservation
+        Tick casDefer = 0;
+        Tick northSlot = 0; ///< reserved northbound frame (reads)
+    };
+
+    IssuePlan plan(const MemRequest &req) const;
+    void commit(const MemRequest &req, const IssuePlan &p);
+
+    Bank &bankOf(int dimm, int bank);
+    const Bank &bankOf(int dimm, int bank) const;
+
+    ChannelConfig cfg;
+    std::vector<Bank> banks;          ///< dimm-major
+    std::vector<Tick> dimmLastAct;    ///< for tRRD
+    std::vector<Tick> dimmWrDataEnd;  ///< for tWTR
+    Tick southFree = 0;
+    Tick northFree = 0;
+    std::deque<MemRequest> queue;
+    std::vector<Amb> ambChain;
+    ProtocolChecker check;
+    ChannelStats st;
+};
+
+} // namespace memtherm
+
+#endif // MEMTHERM_DRAM_FBDIMM_CHANNEL_HH

@@ -1,0 +1,89 @@
+#include "dram/memory_controller.hh"
+
+#include "common/logging.hh"
+
+namespace memtherm
+{
+
+FbdimmMemorySystem::FbdimmMemorySystem(const MemSystemConfig &c)
+    : cfg(c), map(c.nChannelPairs, c.channel.nDimms, c.channel.banksPerDimm,
+                  c.blockBytes)
+{
+    panicIfNot(cfg.nChannelPairs >= 1, "FbdimmMemorySystem: need channels");
+    panicIfNot(cfg.blockBytes == 2 * cfg.channel.bytesPerRequest,
+               "FbdimmMemorySystem: block must split into two half-blocks");
+    int n_physical = 2 * cfg.nChannelPairs;
+    chans.reserve(static_cast<std::size_t>(n_physical));
+    for (int i = 0; i < n_physical; ++i)
+        chans.push_back(std::make_unique<FbdimmChannel>(cfg.channel));
+}
+
+void
+FbdimmMemorySystem::accessBlock(std::uint64_t addr, bool write, Tick at,
+                                std::uint64_t id)
+{
+    DecodedAddr d = map.decode(addr);
+    MemRequest req;
+    req.id = id;
+    req.addr = addr;
+    req.write = write;
+    req.arrival = at;
+    req.dimm = d.dimm;
+    req.bank = d.bank;
+    for (int half = 0; half < 2; ++half) {
+        auto ch =
+            static_cast<std::size_t>(2 * d.channelPair + half);
+        while (!chans[ch]->enqueue(req)) {
+            // Controller buffer full: retire the oldest queued request.
+            panicIfNot(chans[ch]->issueOne(),
+                       "FbdimmMemorySystem: full queue with nothing "
+                       "issueable");
+        }
+    }
+}
+
+void
+FbdimmMemorySystem::drain()
+{
+    for (auto &c : chans)
+        c->drain();
+}
+
+ChannelStats
+FbdimmMemorySystem::aggregateStats() const
+{
+    ChannelStats agg;
+    for (const auto &c : chans) {
+        const ChannelStats &s = c->stats();
+        agg.reads += s.reads;
+        agg.writes += s.writes;
+        agg.readBytes += s.readBytes;
+        agg.writeBytes += s.writeBytes;
+        agg.readLatencyNs.merge(s.readLatencyNs);
+        agg.writeLatencyNs.merge(s.writeLatencyNs);
+        agg.lastCompletion = std::max(agg.lastCompletion, s.lastCompletion);
+    }
+    return agg;
+}
+
+std::uint64_t
+FbdimmMemorySystem::totalBytes() const
+{
+    ChannelStats s = aggregateStats();
+    return s.readBytes + s.writeBytes;
+}
+
+Tick
+FbdimmMemorySystem::lastCompletion() const
+{
+    return aggregateStats().lastCompletion;
+}
+
+void
+FbdimmMemorySystem::resetStats()
+{
+    for (auto &c : chans)
+        c->resetStats();
+}
+
+} // namespace memtherm

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Multi-channel FBDIMM memory system: the controller front end that
+ * splits 64 B block accesses across a ganged channel pair (Section 3.3:
+ * "burst length four ... a single L2 cache block of 64 bytes over two
+ * FBDIMM channels") and aggregates statistics.
+ */
+
+#ifndef MEMTHERM_DRAM_MEMORY_CONTROLLER_HH
+#define MEMTHERM_DRAM_MEMORY_CONTROLLER_HH
+
+#include <memory>
+#include <vector>
+
+#include "dram/fbdimm_channel.hh"
+#include "dram/request.hh"
+
+namespace memtherm
+{
+
+/** Whole-memory-system configuration (Table 4.1 defaults). */
+struct MemSystemConfig
+{
+    int nChannelPairs = 2;      ///< logical channels (4 physical)
+    ChannelConfig channel{};
+    std::uint64_t blockBytes = 64;
+};
+
+/**
+ * The memory system: 2 * nChannelPairs physical FBDIMM channels.
+ */
+class FbdimmMemorySystem
+{
+  public:
+    explicit FbdimmMemorySystem(const MemSystemConfig &cfg);
+
+    /**
+     * Issue one block access: decodes the address and enqueues a 32 B
+     * half-block request on both channels of the target pair, draining
+     * the channels as needed to make room.
+     *
+     * @param addr  byte address of the block
+     * @param write store access
+     * @param at    arrival time
+     * @param id    caller-assigned identifier
+     */
+    void accessBlock(std::uint64_t addr, bool write, Tick at,
+                     std::uint64_t id = 0);
+
+    /** Issue everything still queued. */
+    void drain();
+
+    /** Combined statistics over all physical channels. */
+    ChannelStats aggregateStats() const;
+
+    /** Total bytes moved (reads + writes). */
+    std::uint64_t totalBytes() const;
+
+    /** Time at which the last request completed, over all channels. */
+    Tick lastCompletion() const;
+
+    const AddressMap &addressMap() const { return map; }
+    const std::vector<std::unique_ptr<FbdimmChannel>> &channels() const
+    {
+        return chans;
+    }
+
+    /** Reset statistics on every channel. */
+    void resetStats();
+
+  private:
+    MemSystemConfig cfg;
+    AddressMap map;
+    std::vector<std::unique_ptr<FbdimmChannel>> chans;
+};
+
+} // namespace memtherm
+
+#endif // MEMTHERM_DRAM_MEMORY_CONTROLLER_HH

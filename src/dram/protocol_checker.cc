@@ -1,0 +1,109 @@
+#include "dram/protocol_checker.hh"
+
+#include <string>
+
+#include "common/logging.hh"
+
+namespace memtherm
+{
+
+namespace
+{
+
+/** Check a minimum spacing between two command times. */
+void
+require(bool ever, Tick earlier, Tick when, double min_ns,
+        const char *what)
+{
+    if (!ever)
+        return;
+    Tick min_gap = nsToTick(min_ns);
+    if (when < earlier + min_gap) {
+        panic(std::string("protocol violation: ") + what + " spacing " +
+              std::to_string(when - earlier) + " < " +
+              std::to_string(min_gap) + " ticks");
+    }
+}
+
+} // namespace
+
+ProtocolChecker::ProtocolChecker(int n_dimms, int n_banks,
+                                 const DramTiming &t, bool on)
+    : nDimms(n_dimms), nBanks(n_banks), timing(t), enabled(on),
+      banks(static_cast<std::size_t>(n_dimms * n_banks)),
+      dimmLastAct(static_cast<std::size_t>(n_dimms), 0),
+      dimmEverAct(static_cast<std::size_t>(n_dimms), false),
+      dimmLastWrData(static_cast<std::size_t>(n_dimms), 0),
+      dimmEverWr(static_cast<std::size_t>(n_dimms), false)
+{
+    panicIfNot(n_dimms >= 1 && n_banks >= 1, "ProtocolChecker: geometry");
+}
+
+ProtocolChecker::BankHistory &
+ProtocolChecker::bankOf(int dimm, int bank)
+{
+    panicIfNot(dimm >= 0 && dimm < nDimms && bank >= 0 && bank < nBanks,
+               "ProtocolChecker: dimm/bank out of range");
+    return banks[static_cast<std::size_t>(dimm * nBanks + bank)];
+}
+
+void
+ProtocolChecker::record(DramCmd cmd, int dimm, int bank, Tick when)
+{
+    if (!enabled)
+        return;
+    BankHistory &b = bankOf(dimm, bank);
+    auto d = static_cast<std::size_t>(dimm);
+    ++nCommands;
+
+    switch (cmd) {
+      case DramCmd::ACT:
+        require(b.everAct, b.lastAct, when, timing.tRC, "ACT->ACT (tRC)");
+        require(b.everPre, b.lastPre, when, timing.tRP, "PRE->ACT (tRP)");
+        require(dimmEverAct[d], dimmLastAct[d], when, timing.tRRD,
+                "ACT->ACT same DIMM (tRRD)");
+        panicIfNot(!b.open, "protocol violation: ACT to an open bank");
+        b.lastAct = when;
+        b.everAct = true;
+        b.open = true;
+        dimmLastAct[d] = when;
+        dimmEverAct[d] = true;
+        break;
+
+      case DramCmd::RD:
+        panicIfNot(b.open, "protocol violation: RD to a closed bank");
+        require(true, b.lastAct, when, timing.tRCD, "ACT->RD (tRCD)");
+        require(dimmEverWr[d], dimmLastWrData[d], when, timing.tWTR,
+                "WR->RD turnaround (tWTR)");
+        b.lastRd = when;
+        b.everRd = true;
+        break;
+
+      case DramCmd::WR:
+        panicIfNot(b.open, "protocol violation: WR to a closed bank");
+        require(true, b.lastAct, when, timing.tRCD, "ACT->WR (tRCD)");
+        b.lastWr = when;
+        b.everWr = true;
+        dimmLastWrData[d] =
+            when + nsToTick(timing.tWL + timing.tBURST);
+        dimmEverWr[d] = true;
+        break;
+
+      case DramCmd::PRE:
+        panicIfNot(b.open, "protocol violation: PRE to a closed bank");
+        require(true, b.lastAct, when, timing.tRAS, "ACT->PRE (tRAS)");
+        if (b.everRd && b.lastRd > b.lastAct) {
+            require(true, b.lastRd, when,
+                    timing.tBURST + timing.tRPD, "RD->PRE (tRPD)");
+        }
+        if (b.everWr && b.lastWr > b.lastAct) {
+            require(true, b.lastWr, when, timing.tWPD, "WR->PRE (tWPD)");
+        }
+        b.lastPre = when;
+        b.everPre = true;
+        b.open = false;
+        break;
+    }
+}
+
+} // namespace memtherm

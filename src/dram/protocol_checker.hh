@@ -1,0 +1,79 @@
+/**
+ * @file
+ * DDR2 protocol checker: validates that a command stream respects the
+ * device timing constraints of Table 4.1. The channel simulator feeds
+ * every command it issues through a checker, so any scheduling bug that
+ * violates tRC/tRCD/tRAS/tRP/tRRD/tWTR surfaces as a panic in tests.
+ */
+
+#ifndef MEMTHERM_DRAM_PROTOCOL_CHECKER_HH
+#define MEMTHERM_DRAM_PROTOCOL_CHECKER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/timing.hh"
+
+namespace memtherm
+{
+
+/** DRAM command kinds the checker understands. */
+enum class DramCmd { ACT, RD, WR, PRE };
+
+/**
+ * Incremental timing validator for one channel.
+ */
+class ProtocolChecker
+{
+  public:
+    /**
+     * @param n_dimms  DIMMs on the channel
+     * @param n_banks  banks per DIMM
+     * @param t        device timing
+     * @param enabled  when false, record() is a no-op
+     */
+    ProtocolChecker(int n_dimms, int n_banks, const DramTiming &t,
+                    bool enabled = true);
+
+    /**
+     * Record one command; panics on a timing violation.
+     * @param cmd  command kind
+     * @param dimm target DIMM
+     * @param bank target bank
+     * @param when issue time (ticks)
+     */
+    void record(DramCmd cmd, int dimm, int bank, Tick when);
+
+    /** Commands validated so far. */
+    std::uint64_t commandCount() const { return nCommands; }
+    bool isEnabled() const { return enabled; }
+
+  private:
+    struct BankHistory
+    {
+        Tick lastAct = 0;
+        Tick lastRd = 0;
+        Tick lastWr = 0;
+        Tick lastPre = 0;
+        bool everAct = false, everRd = false, everWr = false,
+             everPre = false;
+        bool open = false; ///< row open (ACT seen, no PRE yet)
+    };
+
+    BankHistory &bankOf(int dimm, int bank);
+
+    int nDimms;
+    int nBanks;
+    DramTiming timing;
+    bool enabled;
+    std::vector<BankHistory> banks;
+    std::vector<Tick> dimmLastAct;      ///< per DIMM, for tRRD
+    std::vector<bool> dimmEverAct;
+    std::vector<Tick> dimmLastWrData;   ///< write data end, for tWTR
+    std::vector<bool> dimmEverWr;
+    std::uint64_t nCommands = 0;
+};
+
+} // namespace memtherm
+
+#endif // MEMTHERM_DRAM_PROTOCOL_CHECKER_HH

@@ -1,0 +1,32 @@
+#include "dram/request.hh"
+
+#include "common/logging.hh"
+
+namespace memtherm
+{
+
+AddressMap::AddressMap(int n_channel_pairs, int n_dimms, int n_banks,
+                       std::uint64_t block_bytes)
+    : nPairs(n_channel_pairs), nDimms(n_dimms), nBanks(n_banks),
+      blockSize(block_bytes)
+{
+    panicIfNot(n_channel_pairs >= 1 && n_dimms >= 1 && n_banks >= 1,
+               "AddressMap: bad geometry");
+    panicIfNot(block_bytes >= 1, "AddressMap: bad block size");
+}
+
+DecodedAddr
+AddressMap::decode(std::uint64_t addr) const
+{
+    std::uint64_t block = addr / blockSize;
+    DecodedAddr d;
+    d.channelPair = static_cast<int>(block % nPairs);
+    block /= nPairs;
+    d.dimm = static_cast<int>(block % nDimms);
+    block /= nDimms;
+    d.bank = static_cast<int>(block % nBanks);
+    d.row = block / nBanks;
+    return d;
+}
+
+} // namespace memtherm

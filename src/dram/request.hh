@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Memory request types and the FBDIMM address map.
+ */
+
+#ifndef MEMTHERM_DRAM_REQUEST_HH
+#define MEMTHERM_DRAM_REQUEST_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+
+namespace memtherm
+{
+
+/** One 32 B half-block transfer on a single FBDIMM channel. */
+struct MemRequest
+{
+    std::uint64_t id = 0;      ///< caller-assigned identifier
+    std::uint64_t addr = 0;    ///< byte address (system-wide)
+    bool write = false;
+    Tick arrival = 0;          ///< time the request enters the controller
+    int dimm = 0;              ///< target DIMM on the channel
+    int bank = 0;              ///< target bank on the DIMM
+};
+
+/** Completion record for latency accounting. */
+struct MemCompletion
+{
+    std::uint64_t id = 0;
+    bool write = false;
+    Tick arrival = 0;
+    Tick done = 0;
+    int dimm = 0;
+
+    /** Request latency in nanoseconds. */
+    double
+    latencyNs() const
+    {
+        return static_cast<double>(done - arrival) /
+               static_cast<double>(tickPerNs);
+    }
+};
+
+/** Where a block address lands in the memory system. */
+struct DecodedAddr
+{
+    int channelPair = 0; ///< logical (ganged) channel pair
+    int dimm = 0;
+    int bank = 0;
+    std::uint64_t row = 0;
+};
+
+/**
+ * FBDIMM address map (Table 4.1 organization): 64 B blocks interleave
+ * across logical channel pairs, then DIMMs, then banks; the remainder is
+ * the row. Each 64 B access becomes two 32 B half-block requests, one on
+ * each physical channel of the pair.
+ */
+class AddressMap
+{
+  public:
+    /**
+     * @param n_channel_pairs logical channels (physical channels / 2)
+     * @param n_dimms         DIMMs per physical channel
+     * @param n_banks         banks per DIMM
+     * @param block_bytes     cache-block size
+     */
+    AddressMap(int n_channel_pairs, int n_dimms, int n_banks,
+               std::uint64_t block_bytes = 64);
+
+    /** Decode a byte address. */
+    DecodedAddr decode(std::uint64_t addr) const;
+
+    int channelPairs() const { return nPairs; }
+    int dimms() const { return nDimms; }
+    int banks() const { return nBanks; }
+    std::uint64_t blockBytes() const { return blockSize; }
+
+  private:
+    int nPairs;
+    int nDimms;
+    int nBanks;
+    std::uint64_t blockSize;
+};
+
+} // namespace memtherm
+
+#endif // MEMTHERM_DRAM_REQUEST_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * DDR2 / FBDIMM timing parameters (Table 4.1).
+ *
+ * All values in nanoseconds unless noted. The defaults model DDR2-667
+ * (5-5-5) devices behind an AMB, as simulated in the paper.
+ */
+
+#ifndef MEMTHERM_DRAM_TIMING_HH
+#define MEMTHERM_DRAM_TIMING_HH
+
+#include "common/units.hh"
+
+namespace memtherm
+{
+
+/** DDR2-667 5-5-5 device timing (Table 4.1). */
+struct DramTiming
+{
+    double tCK = 3.0;    ///< DRAM clock period (333 MHz)
+    double tRCD = 15.0;  ///< activate to read
+    double tCL = 15.0;   ///< read to data valid
+    double tRP = 15.0;   ///< precharge to activate
+    double tRAS = 39.0;  ///< activate to precharge
+    double tRC = 54.0;   ///< activate to activate, same bank
+    double tWTR = 9.0;   ///< write to read turnaround
+    double tWL = 12.0;   ///< write latency
+    double tWPD = 36.0;  ///< write to precharge delay
+    double tRPD = 9.0;   ///< read to precharge delay
+    double tRRD = 9.0;   ///< activate to activate, different banks
+    double tBURST = 6.0; ///< burst of 4 at 667 MT/s (4 beats x 1.5 ns)
+
+    /** Ticks for a value given in nanoseconds. */
+    static Tick ticks(double ns) { return nsToTick(ns); }
+};
+
+/**
+ * FBDIMM channel/AMB interconnect parameters (Section 3.2, Table 4.1).
+ *
+ * One "frame" is the paper's memory cycle: the southbound link carries
+ * three commands or one command plus 16 B of write data per frame; the
+ * northbound link carries 32 B of read data per frame. With a 6 ns frame
+ * the northbound peak is 32 B / 6 ns = 5.33 GB/s — exactly one DDR2-667
+ * channel, as Section 3.2 requires ("the maximum bandwidth of the
+ * northbound link matches that of one DDR2 channel").
+ */
+struct FbdimmChannelTiming
+{
+    double frameNs = 6.0;        ///< one south/northbound frame slot
+    double ambForwardNs = 3.0;   ///< per-hop AMB pass-through latency
+    double ambLocalNs = 9.0;     ///< AMB command decode + DDR2 issue
+    double controllerNs = 12.0;  ///< memory controller overhead
+    unsigned southCmdSlots = 3;  ///< commands per southbound frame
+    unsigned southWriteBytes = 16; ///< write payload per frame (w/ 1 cmd)
+    unsigned northReadBytes = 32;  ///< read payload per northbound frame
+    bool variableReadLatency = true; ///< VRL feature (Section 3.2)
+};
+
+} // namespace memtherm
+
+#endif // MEMTHERM_DRAM_TIMING_HH

@@ -1,0 +1,82 @@
+#include "dram/traffic_gen.hh"
+
+#include "common/logging.hh"
+
+namespace memtherm
+{
+
+TrafficGenerator::TrafficGenerator(const TrafficConfig &c)
+    : cfg(c), rng(c.seed)
+{
+    panicIfNot(cfg.rate > 0.0, "TrafficGenerator: rate must be positive");
+    panicIfNot(cfg.writeFrac >= 0.0 && cfg.writeFrac <= 1.0,
+               "TrafficGenerator: writeFrac out of [0,1]");
+    panicIfNot(cfg.footprintBytes >= cfg.blockBytes,
+               "TrafficGenerator: footprint smaller than a block");
+    interArrivalNs =
+        static_cast<double>(cfg.blockBytes) / cfg.rate; // bytes / (GB/s)
+}
+
+BlockAccess
+TrafficGenerator::next()
+{
+    BlockAccess a;
+    std::uint64_t blocks = cfg.footprintBytes / cfg.blockBytes;
+    if (cfg.sequential) {
+        a.addr = (seqAddr % blocks) * cfg.blockBytes;
+        ++seqAddr;
+    } else {
+        a.addr = rng.below(blocks) * cfg.blockBytes;
+    }
+    a.write = rng.uniform() < cfg.writeFrac;
+    a.at = cursor;
+    cursor += nsToTick(interArrivalNs);
+    return a;
+}
+
+MeasuredPerf
+measurePerf(FbdimmMemorySystem &mem, TrafficGenerator &gen,
+            std::uint64_t n_blocks)
+{
+    panicIfNot(n_blocks > 0, "measurePerf: need at least one block");
+    mem.resetStats();
+    Tick first = 0;
+    bool have_first = false;
+    std::uint64_t block_bytes = 0;
+    for (std::uint64_t i = 0; i < n_blocks; ++i) {
+        BlockAccess a = gen.next();
+        if (!have_first) {
+            first = a.at;
+            have_first = true;
+        }
+        mem.accessBlock(a.addr, a.write, a.at, i);
+        block_bytes += gen.config().blockBytes;
+    }
+    mem.drain();
+
+    MeasuredPerf out;
+    Tick end = mem.lastCompletion();
+    double elapsed_s = tickToSec(end > first ? end - first : 1);
+    out.achieved = static_cast<double>(block_bytes) /
+                   (elapsed_s * bytesPerGB);
+    ChannelStats s = mem.aggregateStats();
+    out.meanReadLatencyNs = s.readLatencyNs.mean();
+    out.maxReadLatencyNs = s.readLatencyNs.max();
+    return out;
+}
+
+MeasuredPerf
+saturationProbe(const MemSystemConfig &cfg, std::uint64_t n_blocks,
+                double write_frac, bool sequential)
+{
+    FbdimmMemorySystem mem(cfg);
+    TrafficConfig tc;
+    tc.rate = 1000.0; // far above any sustainable bandwidth
+    tc.writeFrac = write_frac;
+    tc.sequential = sequential;
+    tc.blockBytes = cfg.blockBytes;
+    TrafficGenerator gen(tc);
+    return measurePerf(mem, gen, n_blocks);
+}
+
+} // namespace memtherm

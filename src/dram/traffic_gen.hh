@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Synthetic block-access generators for driving the FBDIMM simulator,
+ * plus closed- and open-loop measurement helpers used to validate the
+ * MemSystemPerf constants of the analytic model.
+ */
+
+#ifndef MEMTHERM_DRAM_TRAFFIC_GEN_HH
+#define MEMTHERM_DRAM_TRAFFIC_GEN_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "dram/memory_controller.hh"
+
+namespace memtherm
+{
+
+/** One generated block access. */
+struct BlockAccess
+{
+    std::uint64_t addr = 0;
+    bool write = false;
+    Tick at = 0;
+};
+
+/** Generator parameters. */
+struct TrafficConfig
+{
+    GBps rate = 4.0;             ///< offered load (block bytes per time)
+    double writeFrac = 0.3;      ///< fraction of accesses that are writes
+    std::uint64_t footprintBytes = 1ULL << 30;
+    bool sequential = false;     ///< streaming vs uniform-random addresses
+    std::uint64_t blockBytes = 64;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Open-loop generator: block accesses at a fixed offered rate.
+ */
+class TrafficGenerator
+{
+  public:
+    explicit TrafficGenerator(const TrafficConfig &cfg);
+
+    /** Next access; arrival times advance by blockBytes / rate. */
+    BlockAccess next();
+
+    const TrafficConfig &config() const { return cfg; }
+
+  private:
+    TrafficConfig cfg;
+    Rng rng;
+    Tick cursor = 0;
+    double interArrivalNs;
+    std::uint64_t seqAddr = 0;
+};
+
+/** Result of a bandwidth/latency measurement run. */
+struct MeasuredPerf
+{
+    GBps achieved = 0.0;        ///< delivered bandwidth
+    double meanReadLatencyNs = 0.0;
+    double maxReadLatencyNs = 0.0;
+};
+
+/**
+ * Drive a memory system with @p n_blocks accesses from the generator and
+ * measure delivered bandwidth and read latency.
+ */
+MeasuredPerf measurePerf(FbdimmMemorySystem &mem, TrafficGenerator &gen,
+                         std::uint64_t n_blocks);
+
+/**
+ * Closed-loop saturation probe: offered load far above capacity; returns
+ * the sustainable bandwidth of the system.
+ */
+MeasuredPerf saturationProbe(const MemSystemConfig &cfg,
+                             std::uint64_t n_blocks, double write_frac,
+                             bool sequential = false);
+
+} // namespace memtherm
+
+#endif // MEMTHERM_DRAM_TRAFFIC_GEN_HH

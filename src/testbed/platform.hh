@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Chapter 5 testbed emulation: the Dell PowerEdge 1950 and the
+ * instrumented Intel SR1500AL (Section 5.3.1), expressed as integrated-
+ * thermal-model configurations.
+ *
+ * The real machines are replaced by calibrated platform descriptors (the
+ * DESIGN.md substitution S12): memory organization, layout-dependent
+ * CPU->memory thermal coupling, platform cooling resistances, Xeon 5160
+ * DVFS states, the activity-based CPU power model, thermal sensor
+ * quantization/noise, and the Table 5.1 emergency tables. Calibration
+ * anchors (paper -> model): SR1500AL idles near 80 C and rockets past
+ * 100 C on swim/mgrid (Fig. 5.4); PE1950 peaks in the mid-90s with no
+ * DTM (Fig. 5.5); CPU preheat of the memory inlet is ~10 C (Fig. 5.9).
+ */
+
+#ifndef MEMTHERM_TESTBED_PLATFORM_HH
+#define MEMTHERM_TESTBED_PLATFORM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sim/experiment.hh"
+
+namespace memtherm
+{
+
+/**
+ * A Chapter 5 server testbed.
+ */
+struct Platform
+{
+    std::string name;
+    SimConfig sim;                   ///< fully configured simulator setup
+    Celsius ambTdp = 100.0;          ///< (artificial) AMB TDP
+    std::vector<Celsius> ambBounds;  ///< Table 5.1 emergency boundaries
+    std::vector<GBps> bwCaps;        ///< DTM-BW caps per level (L1..L4)
+    GBps safetyCap = 3.0;            ///< open-loop cap at the top level
+};
+
+/**
+ * Dell PowerEdge 1950: two 2GB FBDIMMs on one channel, stand-alone in an
+ * air-conditioned room (26 C), artificial AMB TDP of 90 C, processors
+ * slightly misaligned with the DIMMs (weaker thermal coupling).
+ */
+Platform pe1950();
+
+/**
+ * Intel SR1500AL: four 2GB FBDIMMs, hot-box enclosure (default 36 C
+ * system ambient), conservative AMB TDP of 100 C, one processor in line
+ * with the DIMMs (strong thermal coupling).
+ *
+ * @param system_ambient hot-box setpoint; Section 5.4.5 also uses 26 C
+ * @param amb_tdp        100 C default; 90 C for the Fig. 5.12 experiment
+ */
+Platform sr1500al(Celsius system_ambient = 36.0, Celsius amb_tdp = 100.0);
+
+/**
+ * Construct a Chapter 5 policy for a platform: "No-limit", "DTM-BW",
+ * "DTM-ACG", "DTM-CDVFS" or "DTM-COMB" (Section 5.2.2).
+ *
+ * @param dvfs_floor lowest DVFS level the policy may select (used by the
+ *                   Fig. 5.13 low-frequency experiments: 3 pins 2.0 GHz)
+ */
+std::unique_ptr<DtmPolicy> makeCh5Policy(const Platform &p,
+                                         const std::string &name,
+                                         std::size_t dvfs_floor = 0);
+
+/**
+ * Run workloads x policies on a platform. No-limit runs follow the
+ * paper's protocol: the SR1500AL no-limit baseline runs at a 26 C room
+ * ambient instead of the hot box (Section 5.4.2).
+ */
+SuiteResults runCh5Suite(const Platform &p,
+                         const std::vector<Workload> &workloads,
+                         const std::vector<std::string> &policy_names);
+
+/** The Chapter 5 policy lineup. */
+std::vector<std::string> ch5PolicyNames();
+
+} // namespace memtherm
+
+#endif // MEMTHERM_TESTBED_PLATFORM_HH

@@ -1,0 +1,18 @@
+#include "workloads/app_descriptor.hh"
+
+#include <cmath>
+#include <numbers>
+
+namespace memtherm
+{
+
+double
+phaseFactor(const AppDescriptor &app, Seconds t)
+{
+    if (app.phaseAmp == 0.0 || app.phasePeriod <= 0.0)
+        return 1.0;
+    double x = t / app.phasePeriod + app.phaseShift;
+    return 1.0 + app.phaseAmp * std::sin(2.0 * std::numbers::pi * x);
+}
+
+} // namespace memtherm

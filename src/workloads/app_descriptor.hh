@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Synthetic application descriptors standing in for SPEC CPU2000/2006.
+ *
+ * The paper drives its level-1 simulator with SPEC binaries (SimPoint
+ * slices). We cannot run those here, so each application is summarized by
+ * the parameters that determine its memory/thermal behavior: core CPI,
+ * shared-L2 MPKI curve, write-back and speculative traffic fractions, MLP,
+ * total instruction volume, and a deterministic phase profile that
+ * modulates memory intensity over time (the source of the temperature
+ * fluctuation visible in Figs. 4.5 and 5.5). Parameter values are
+ * calibrated so the no-DTM throughput classes match the paper's
+ * (Section 4.3.2: eight apps above 10 GB/s, four between 5 and 10 GB/s
+ * when four copies run on the 4-core CMP).
+ */
+
+#ifndef MEMTHERM_WORKLOADS_APP_DESCRIPTOR_HH
+#define MEMTHERM_WORKLOADS_APP_DESCRIPTOR_HH
+
+#include <string>
+
+#include "cache/miss_model.hh"
+#include "common/units.hh"
+
+namespace memtherm
+{
+
+/** Benchmark suite an application belongs to. */
+enum class Suite { CPU2000, CPU2006 };
+
+/**
+ * Everything the performance model needs to know about one application.
+ */
+struct AppDescriptor
+{
+    std::string name;
+    Suite suite = Suite::CPU2000;
+
+    double cpiCore = 0.6;      ///< core cycles/instr excluding L2 misses
+    CacheShareCurve cache;     ///< MPKI vs. number of L2 sharers
+    double writeFrac = 0.3;    ///< writeback bytes per fill byte
+    double specFrac = 0.10;    ///< speculative read fraction at fmax
+    double mlpOverlap = 0.75;  ///< miss-latency overlap factor
+
+    double refillLines = 8000; ///< working-set refill per context switch
+    double nominalGips = 1.2;  ///< typical instruction rate (for slices)
+    double instrBillions = 13; ///< instructions per batch copy
+
+    double phaseAmp = 0.10;    ///< MPKI modulation amplitude
+    Seconds phasePeriod = 60;  ///< modulation period
+    double phaseShift = 0.0;   ///< phase offset in periods [0,1)
+};
+
+/**
+ * Deterministic memory-intensity modulation at absolute program time t:
+ * multiplies MPKI by 1 + amp * sin(2*pi*(t/period + shift)).
+ */
+double phaseFactor(const AppDescriptor &app, Seconds t);
+
+} // namespace memtherm
+
+#endif // MEMTHERM_WORKLOADS_APP_DESCRIPTOR_HH

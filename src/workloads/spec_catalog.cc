@@ -1,0 +1,114 @@
+#include "workloads/spec_catalog.hh"
+
+#include "common/logging.hh"
+
+namespace memtherm
+{
+
+namespace
+{
+
+/** Compact builder for catalog rows. */
+AppDescriptor
+app(std::string name, Suite suite, double cpi_core, double mpki_solo,
+    double mpki_shared, double write_frac, double spec_frac,
+    double mlp_overlap, double refill_lines, double nominal_gips,
+    double phase_amp, double phase_period, double phase_shift)
+{
+    AppDescriptor a;
+    a.name = std::move(name);
+    a.suite = suite;
+    a.cpiCore = cpi_core;
+    a.cache = {mpki_solo, mpki_shared, 4.0};
+    a.writeFrac = write_frac;
+    a.specFrac = spec_frac;
+    a.mlpOverlap = mlp_overlap;
+    a.refillLines = refill_lines;
+    a.nominalGips = nominal_gips;
+    a.instrBillions = 13.0;
+    a.phaseAmp = phase_amp;
+    a.phasePeriod = phase_period;
+    a.phaseShift = phase_shift;
+    return a;
+}
+
+} // namespace
+
+SpecCatalog::SpecCatalog()
+{
+    using enum Suite;
+    // SPEC CPU2000 — the >10 GB/s class (4 copies on the 4-core CMP).
+    // Streaming FP codes: high MPKI, cache-insensitive, high MLP.
+    apps.push_back(app("swim", CPU2000, 0.55, 44.0, 50.0, 0.45, 0.10,
+                       0.86, 6000, 1.15, 0.12, 45, 0.00));
+    apps.push_back(app("mgrid", CPU2000, 0.55, 39.0, 44.0, 0.30, 0.12,
+                       0.84, 8000, 1.20, 0.10, 60, 0.30));
+    apps.push_back(app("applu", CPU2000, 0.60, 41.0, 46.0, 0.35, 0.10,
+                       0.84, 9000, 1.10, 0.15, 75, 0.55));
+    // Cache-sensitive codes: large solo-vs-shared MPKI gap.
+    apps.push_back(app("galgel", CPU2000, 0.50, 7.0, 46.0, 0.20, 0.15,
+                       0.86, 40000, 1.40, 0.10, 50, 0.20));
+    apps.push_back(app("art", CPU2000, 0.45, 9.0, 52.0, 0.15, 0.12,
+                       0.86, 45000, 1.20, 0.18, 35, 0.70));
+    apps.push_back(app("equake", CPU2000, 0.70, 40.0, 46.0, 0.30, 0.10,
+                       0.84, 10000, 1.10, 0.12, 55, 0.10));
+    apps.push_back(app("lucas", CPU2000, 0.65, 43.0, 48.0, 0.40, 0.08,
+                       0.86, 7000, 1.10, 0.08, 90, 0.45));
+    apps.push_back(app("fma3d", CPU2000, 0.75, 35.0, 40.0, 0.35, 0.10,
+                       0.82, 12000, 1.10, 0.14, 65, 0.85));
+    // The 5–10 GB/s class.
+    apps.push_back(app("wupwise", CPU2000, 0.60, 8.0, 12.0, 0.30, 0.10,
+                       0.70, 15000, 1.90, 0.10, 70, 0.15));
+    apps.push_back(app("vpr", CPU2000, 0.85, 4.0, 15.0, 0.28, 0.10,
+                       0.58, 35000, 1.40, 0.08, 40, 0.60));
+    apps.push_back(app("mcf", CPU2000, 1.20, 30.0, 44.0, 0.20, 0.05,
+                       0.55, 30000, 0.50, 0.12, 80, 0.35));
+    apps.push_back(app("apsi", CPU2000, 0.70, 6.0, 17.0, 0.30, 0.10,
+                       0.66, 28000, 1.45, 0.10, 50, 0.90));
+
+    // SPEC CPU2006 applications of Chapter 5 (Table 5.2, W11/W12).
+    apps.push_back(app("milc", CPU2006, 0.70, 36.0, 42.0, 0.35, 0.10,
+                       0.82, 12000, 1.00, 0.12, 55, 0.05));
+    apps.push_back(app("leslie3d", CPU2006, 0.65, 34.0, 40.0, 0.35, 0.12,
+                       0.82, 11000, 1.05, 0.10, 65, 0.40));
+    apps.push_back(app("soplex", CPU2006, 0.80, 22.0, 41.0, 0.25, 0.08,
+                       0.72, 30000, 0.95, 0.12, 45, 0.75));
+    apps.push_back(app("GemsFDTD", CPU2006, 0.70, 35.0, 41.0, 0.30, 0.10,
+                       0.80, 13000, 1.00, 0.10, 70, 0.25));
+    apps.push_back(app("libquantum", CPU2006, 0.55, 38.0, 41.0, 0.25, 0.15,
+                       0.87, 4000, 1.25, 0.06, 100, 0.50));
+    apps.push_back(app("lbm", CPU2006, 0.60, 43.0, 48.0, 0.45, 0.10,
+                       0.86, 8000, 1.10, 0.10, 60, 0.65));
+    apps.push_back(app("omnetpp", CPU2006, 1.00, 15.0, 34.0, 0.25, 0.05,
+                       0.55, 32000, 0.70, 0.10, 50, 0.80));
+    apps.push_back(app("wrf", CPU2006, 0.75, 23.0, 28.0, 0.30, 0.10,
+                       0.74, 14000, 1.10, 0.10, 75, 0.95));
+}
+
+const SpecCatalog &
+SpecCatalog::instance()
+{
+    static SpecCatalog catalog;
+    return catalog;
+}
+
+const AppDescriptor &
+SpecCatalog::byName(const std::string &name) const
+{
+    for (const auto &a : apps)
+        if (a.name == name)
+            return a;
+    fatal("SpecCatalog: unknown application '" + name + "'");
+}
+
+std::vector<const AppDescriptor *>
+SpecCatalog::bySuite(Suite s) const
+{
+    std::vector<const AppDescriptor *> out;
+    for (const auto &a : apps)
+        if (a.suite == s)
+            out.push_back(&a);
+    return out;
+}
+
+} // namespace memtherm

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Catalog of the SPEC CPU2000/CPU2006 applications used in the paper
+ * (Sections 4.3.2 and 5.3.2) as synthetic descriptors.
+ */
+
+#ifndef MEMTHERM_WORKLOADS_SPEC_CATALOG_HH
+#define MEMTHERM_WORKLOADS_SPEC_CATALOG_HH
+
+#include <string>
+#include <vector>
+
+#include "workloads/app_descriptor.hh"
+
+namespace memtherm
+{
+
+/**
+ * Access the application catalog. Contains the twelve selected CPU2000
+ * applications (swim, mgrid, applu, galgel, art, equake, lucas, fma3d —
+ * the >10 GB/s class — and wupwise, vpr, mcf, apsi — the 5–10 GB/s class)
+ * and the eight CPU2006 applications of Chapter 5.
+ */
+class SpecCatalog
+{
+  public:
+    /** The process-wide catalog. */
+    static const SpecCatalog &instance();
+
+    /** Look up an application by name; fatal() when unknown. */
+    const AppDescriptor &byName(const std::string &name) const;
+
+    /** All applications of a suite, catalog order. */
+    std::vector<const AppDescriptor *> bySuite(Suite s) const;
+
+    /** All applications. */
+    const std::vector<AppDescriptor> &all() const { return apps; }
+
+  private:
+    SpecCatalog();
+    std::vector<AppDescriptor> apps;
+};
+
+} // namespace memtherm
+
+#endif // MEMTHERM_WORKLOADS_SPEC_CATALOG_HH

@@ -1,0 +1,120 @@
+#include "workloads/workload.hh"
+
+#include "common/logging.hh"
+#include "workloads/spec_catalog.hh"
+
+namespace memtherm
+{
+
+namespace
+{
+
+Workload
+mixOf(const std::string &name, const std::vector<std::string> &apps)
+{
+    const auto &cat = SpecCatalog::instance();
+    Workload w;
+    w.name = name;
+    for (const auto &a : apps)
+        w.apps.push_back(&cat.byName(a));
+    return w;
+}
+
+} // namespace
+
+Workload
+workloadMix(const std::string &name)
+{
+    // Tables 4.2 and 5.2.
+    if (name == "W1")
+        return mixOf(name, {"swim", "mgrid", "applu", "galgel"});
+    if (name == "W2")
+        return mixOf(name, {"art", "equake", "lucas", "fma3d"});
+    if (name == "W3")
+        return mixOf(name, {"swim", "applu", "art", "lucas"});
+    if (name == "W4")
+        return mixOf(name, {"mgrid", "galgel", "equake", "fma3d"});
+    if (name == "W5")
+        return mixOf(name, {"swim", "art", "wupwise", "vpr"});
+    if (name == "W6")
+        return mixOf(name, {"mgrid", "equake", "mcf", "apsi"});
+    if (name == "W7")
+        return mixOf(name, {"applu", "lucas", "wupwise", "mcf"});
+    if (name == "W8")
+        return mixOf(name, {"galgel", "fma3d", "vpr", "apsi"});
+    if (name == "W11")
+        return mixOf(name, {"milc", "leslie3d", "soplex", "GemsFDTD"});
+    if (name == "W12")
+        return mixOf(name, {"libquantum", "lbm", "omnetpp", "wrf"});
+    fatal("workloadMix: unknown mix '" + name + "'");
+}
+
+std::vector<Workload>
+cpu2000Mixes()
+{
+    std::vector<Workload> out;
+    for (int i = 1; i <= 8; ++i)
+        out.push_back(workloadMix("W" + std::to_string(i)));
+    return out;
+}
+
+std::vector<Workload>
+cpu2006Mixes()
+{
+    return {workloadMix("W11"), workloadMix("W12")};
+}
+
+Workload
+homogeneous(const std::string &app_name, int n)
+{
+    panicIfNot(n >= 1, "homogeneous: need >= 1 copy");
+    const auto &cat = SpecCatalog::instance();
+    Workload w;
+    w.name = app_name + "x" + std::to_string(n);
+    for (int i = 0; i < n; ++i)
+        w.apps.push_back(&cat.byName(app_name));
+    return w;
+}
+
+BatchJob::BatchJob(const Workload &mix, int copies_per_app,
+                   double instr_scale)
+{
+    panicIfNot(copies_per_app >= 1, "BatchJob: need >= 1 copy per app");
+    panicIfNot(instr_scale > 0.0, "BatchJob: instruction scale must be > 0");
+    pool.reserve(mix.apps.size() * copies_per_app);
+    // Interleave copies so the round-robin dispatch alternates apps:
+    // copy 0 of every app, then copy 1, ...
+    for (int c = 0; c < copies_per_app; ++c) {
+        for (const auto *a : mix.apps) {
+            Instance inst;
+            inst.app = a;
+            inst.remainingInstr = a->instrBillions * 1e9 * instr_scale;
+            pool.push_back(inst);
+        }
+    }
+}
+
+BatchJob::Instance *
+BatchJob::nextPending()
+{
+    if (nextIdx >= pool.size())
+        return nullptr;
+    ++nDispatched;
+    return &pool[nextIdx++];
+}
+
+bool
+BatchJob::done() const
+{
+    return nFinished == static_cast<int>(pool.size());
+}
+
+void
+BatchJob::retire(Instance *inst)
+{
+    panicIfNot(inst != nullptr && inst->remainingInstr <= 0.0,
+               "BatchJob: retiring an unfinished instance");
+    ++nFinished;
+}
+
+} // namespace memtherm

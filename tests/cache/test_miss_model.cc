@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit tests for the analytic shared-cache miss model and its agreement
+ * with the LRU cache simulator on qualitative behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/miss_model.hh"
+#include "cache/set_assoc_cache.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace memtherm
+{
+namespace
+{
+
+TEST(MissModel, EndpointsExact)
+{
+    CacheShareCurve c{10.0, 40.0, 4.0};
+    EXPECT_NEAR(mpkiAtSharers(c, 1.0), 10.0, 1e-12);
+    EXPECT_NEAR(mpkiAtSharers(c, 4.0), 40.0, 1e-12);
+}
+
+TEST(MissModel, MonotoneInSharers)
+{
+    CacheShareCurve c{10.0, 40.0, 4.0};
+    double prev = 0.0;
+    for (double s = 1.0; s <= 4.01; s += 0.25) {
+        double m = mpkiAtSharers(c, s);
+        EXPECT_GE(m, prev);
+        prev = m;
+    }
+}
+
+TEST(MissModel, ClampsOutsideRange)
+{
+    CacheShareCurve c{10.0, 40.0, 4.0};
+    EXPECT_DOUBLE_EQ(mpkiAtSharers(c, 0.5), 10.0);
+    EXPECT_DOUBLE_EQ(mpkiAtSharers(c, 8.0), 40.0);
+}
+
+TEST(MissModel, InsensitiveAppStaysFlat)
+{
+    CacheShareCurve c{30.0, 32.0, 4.0};
+    EXPECT_LT(mpkiAtSharers(c, 2.0) / mpkiAtSharers(c, 4.0), 1.01);
+    EXPECT_GT(mpkiAtSharers(c, 2.0) / mpkiAtSharers(c, 4.0), 0.90);
+}
+
+TEST(MissModel, HalvingSharersRecoversMostOfTheGap)
+{
+    // The DTM-ACG premise: 2 sharers instead of 4 recovers a large
+    // fraction of a cache-sensitive app's misses.
+    CacheShareCurve galgel{7.0, 46.0, 4.0};
+    double at2 = mpkiAtSharers(galgel, 2.0);
+    EXPECT_LT(at2, 0.45 * 46.0);
+}
+
+TEST(MissModel, SwitchPenaltyShrinksWithSlice)
+{
+    double p5 = switchMpki(40000, 1.4, 0.005);
+    double p20 = switchMpki(40000, 1.4, 0.020);
+    double p100 = switchMpki(40000, 1.4, 0.100);
+    EXPECT_GT(p5, p20);
+    EXPECT_GT(p20, p100);
+    EXPECT_NEAR(p5 / p100, 20.0, 1e-9);
+}
+
+TEST(MissModel, SwitchPenaltyNegligibleAtDefaultSlice)
+{
+    // Fig. 5.15: at the default 100 ms slice, thrash misses are noise;
+    // below 20 ms they become visible against MPKI ~10.
+    EXPECT_LT(switchMpki(30000, 1.2, 0.100), 0.5);
+    EXPECT_GT(switchMpki(30000, 1.2, 0.005), 3.0);
+}
+
+TEST(MissModel, InvalidArgsPanic)
+{
+    EXPECT_THROW(switchMpki(-1.0, 1.0, 0.1), PanicError);
+    EXPECT_THROW(switchMpki(1.0, 0.0, 0.1), PanicError);
+    EXPECT_THROW(switchMpki(1.0, 1.0, 0.0), PanicError);
+    EXPECT_THROW(mpkiAtSharers({0.0, 1.0, 4.0}, 2.0), PanicError);
+    EXPECT_THROW(mpkiAtSharers({1.0, 1.0, 1.0}, 2.0), PanicError);
+}
+
+/**
+ * Cross-validation against the LRU simulator: interleave N random-walk
+ * streams over a shared cache and verify per-stream miss counts grow
+ * with N — the contention behavior the analytic curve summarizes.
+ */
+TEST(MissModel, SimulatorShowsContentionGrowth)
+{
+    auto missesWithSharers = [](int n_sharers) {
+        SetAssocCache cache(CacheConfig{256 << 10, 8, 64});
+        Rng rng(11);
+        // Each stream cycles over its own 96 KB working set.
+        const std::uint64_t ws = 96 << 10;
+        std::vector<std::uint64_t> pos(n_sharers, 0);
+        std::uint64_t stream0_misses = 0, stream0_accesses = 0;
+        for (int i = 0; i < 400000; ++i) {
+            int s = i % n_sharers;
+            std::uint64_t base = 0x10000000ULL * (s + 1);
+            pos[s] = (pos[s] + 64) % ws;
+            bool hit = cache.access(base + pos[s], false).hit;
+            if (s == 0) {
+                ++stream0_accesses;
+                if (!hit)
+                    ++stream0_misses;
+            }
+        }
+        return static_cast<double>(stream0_misses) / stream0_accesses;
+    };
+    double solo = missesWithSharers(1);
+    double duo = missesWithSharers(2);
+    double quad = missesWithSharers(4);
+    // One 96 KB stream fits in 256 KB; four do not.
+    EXPECT_LT(solo, 0.01);
+    EXPECT_LE(solo, duo);
+    EXPECT_LT(duo, quad);
+    EXPECT_GT(quad, 0.5);
+}
+
+} // namespace
+} // namespace memtherm

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for the set-associative LRU cache simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/set_assoc_cache.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace memtherm
+{
+namespace
+{
+
+CacheConfig
+smallCache()
+{
+    // 4 KB, 2-way, 64 B lines -> 32 sets.
+    return CacheConfig{4096, 2, 64};
+}
+
+TEST(SetAssocCache, GeometryChecks)
+{
+    SetAssocCache c(smallCache());
+    EXPECT_EQ(c.numSets(), 32u);
+    EXPECT_THROW(SetAssocCache(CacheConfig{4096, 3, 64}), PanicError);
+    EXPECT_THROW(SetAssocCache(CacheConfig{4096, 2, 48}), PanicError);
+}
+
+TEST(SetAssocCache, MissThenHit)
+{
+    SetAssocCache c(smallCache());
+    EXPECT_FALSE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x103F, false).hit); // same line
+    EXPECT_FALSE(c.access(0x1040, false).hit); // next line
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(SetAssocCache, LruEviction)
+{
+    SetAssocCache c(smallCache());
+    // Three lines mapping to the same set (stride = numSets * line).
+    std::uint64_t stride = 32 * 64;
+    c.access(0 * stride, false);
+    c.access(1 * stride, false);
+    // Touch line 0 so line 1 is LRU.
+    c.access(0 * stride, false);
+    c.access(2 * stride, false); // evicts line 1
+    EXPECT_TRUE(c.contains(0 * stride));
+    EXPECT_FALSE(c.contains(1 * stride));
+    EXPECT_TRUE(c.contains(2 * stride));
+}
+
+TEST(SetAssocCache, DirtyEvictionProducesWriteback)
+{
+    SetAssocCache c(smallCache());
+    std::uint64_t stride = 32 * 64;
+    c.access(0 * stride, true); // dirty
+    c.access(1 * stride, false);
+    auto r = c.access(2 * stride, false); // evicts dirty line 0
+    EXPECT_TRUE(r.writeback);
+    EXPECT_EQ(r.victimAddr, 0u);
+    EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(SetAssocCache, CleanEvictionNoWriteback)
+{
+    SetAssocCache c(smallCache());
+    std::uint64_t stride = 32 * 64;
+    c.access(0 * stride, false);
+    c.access(1 * stride, false);
+    auto r = c.access(2 * stride, false);
+    EXPECT_FALSE(r.writeback);
+}
+
+TEST(SetAssocCache, WriteHitMarksDirty)
+{
+    SetAssocCache c(smallCache());
+    std::uint64_t stride = 32 * 64;
+    c.access(0 * stride, false); // clean fill
+    c.access(0 * stride, true);  // dirty it via a write hit
+    c.access(1 * stride, false);
+    auto r = c.access(2 * stride, false); // evict line 0
+    EXPECT_TRUE(r.writeback);
+}
+
+TEST(SetAssocCache, FlushInvalidatesEverything)
+{
+    SetAssocCache c(smallCache());
+    c.access(0x0, true);
+    c.flush();
+    EXPECT_FALSE(c.contains(0x0));
+}
+
+TEST(SetAssocCache, WorkingSetSmallerThanCacheHasNoCapacityMisses)
+{
+    SetAssocCache c(CacheConfig{1 << 20, 8, 64}); // 1 MB
+    // 512 KB working set, touched twice.
+    for (int pass = 0; pass < 2; ++pass)
+        for (std::uint64_t a = 0; a < (512 << 10); a += 64)
+            c.access(a, false);
+    // Second pass must be all hits.
+    EXPECT_EQ(c.misses(), (512u << 10) / 64);
+    EXPECT_EQ(c.hits(), (512u << 10) / 64);
+}
+
+TEST(SetAssocCache, ThrashingWorkingSetMissesEveryTime)
+{
+    SetAssocCache c(CacheConfig{4096, 2, 64});
+    // Cyclic sweep over 3x the cache size defeats LRU entirely.
+    for (int pass = 0; pass < 3; ++pass)
+        for (std::uint64_t a = 0; a < 3 * 4096; a += 64)
+            c.access(a, false);
+    EXPECT_EQ(c.hits(), 0u);
+}
+
+TEST(SetAssocCache, MissRatioTracksRandomWorkingSet)
+{
+    // Random accesses over 2x capacity: miss ratio settles near 0.5.
+    SetAssocCache c(CacheConfig{64 << 10, 8, 64});
+    Rng rng(3);
+    for (int i = 0; i < 200000; ++i)
+        c.access(rng.below(2 * (64 << 10)) & ~63ULL, false);
+    EXPECT_GT(c.missRatio(), 0.40);
+    EXPECT_LT(c.missRatio(), 0.60);
+}
+
+TEST(SetAssocCache, ResetStatsKeepsContents)
+{
+    SetAssocCache c(smallCache());
+    c.access(0x1000, false);
+    c.resetStats();
+    EXPECT_EQ(c.misses(), 0u);
+    EXPECT_TRUE(c.contains(0x1000));
+}
+
+} // namespace
+} // namespace memtherm

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for the streaming statistics accumulators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+namespace memtherm
+{
+namespace
+{
+
+TEST(Accumulator, EmptyIsZero)
+{
+    Accumulator a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+    EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+}
+
+TEST(Accumulator, BasicMoments)
+{
+    Accumulator a;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        a.add(x);
+    EXPECT_EQ(a.count(), 8u);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+    EXPECT_NEAR(a.stddev(), 2.0, 1e-12);
+}
+
+TEST(Accumulator, SingleSample)
+{
+    Accumulator a;
+    a.add(3.5);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(a.min(), 3.5);
+    EXPECT_DOUBLE_EQ(a.max(), 3.5);
+    EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
+TEST(Accumulator, MergeMatchesCombinedStream)
+{
+    Rng rng(7);
+    Accumulator left, right, all;
+    for (int i = 0; i < 1000; ++i) {
+        double x = rng.uniform(-5.0, 5.0);
+        all.add(x);
+        (i % 2 ? left : right).add(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), all.count());
+    EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(left.min(), all.min());
+    EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Accumulator, MergeWithEmpty)
+{
+    Accumulator a, empty;
+    a.add(1.0);
+    a.add(2.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(Correlation, PerfectPositive)
+{
+    std::vector<double> xs{1, 2, 3, 4, 5};
+    std::vector<double> ys{2, 4, 6, 8, 10};
+    EXPECT_NEAR(correlation(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Correlation, PerfectNegative)
+{
+    std::vector<double> xs{1, 2, 3, 4, 5};
+    std::vector<double> ys{10, 8, 6, 4, 2};
+    EXPECT_NEAR(correlation(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Correlation, ConstantSeriesIsZero)
+{
+    std::vector<double> xs{1, 2, 3};
+    std::vector<double> ys{4, 4, 4};
+    EXPECT_DOUBLE_EQ(correlation(xs, ys), 0.0);
+}
+
+TEST(Correlation, MismatchedLengthPanics)
+{
+    std::vector<double> xs{1, 2, 3};
+    std::vector<double> ys{1, 2};
+    EXPECT_THROW(correlation(xs, ys), PanicError);
+}
+
+TEST(Geomean, KnownValue)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Geomean, NonPositivePanics)
+{
+    EXPECT_THROW(geomean({1.0, 0.0}), PanicError);
+}
+
+} // namespace
+} // namespace memtherm

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Unit tests for the table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace memtherm
+{
+namespace
+{
+
+TEST(Table, PrintsHeaderAndRows)
+{
+    Table t("Demo", {"name", "value"});
+    t.addRow({"alpha", "1.0"});
+    t.addRow({"beta", "2.5"});
+    std::ostringstream os;
+    t.print(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("== Demo =="), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("2.5"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t("Demo", {"a", "b"});
+    t.addRow({"x", "y"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\nx,y\n");
+}
+
+TEST(Table, RowArityMismatchPanics)
+{
+    Table t("Demo", {"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), PanicError);
+}
+
+TEST(Table, NumFormatting)
+{
+    EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+    EXPECT_EQ(Table::num(-0.5, 1), "-0.5");
+}
+
+} // namespace
+} // namespace memtherm

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Unit tests for TimeSeries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/time_series.hh"
+
+namespace memtherm
+{
+namespace
+{
+
+TEST(TimeSeries, BasicAccounting)
+{
+    TimeSeries s(0.5);
+    s.add(1.0);
+    s.add(3.0);
+    EXPECT_EQ(s.size(), 2u);
+    EXPECT_DOUBLE_EQ(s.duration(), 1.0);
+    EXPECT_DOUBLE_EQ(s.at(0), 1.0);
+    EXPECT_DOUBLE_EQ(s.timeAt(1), 1.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(TimeSeries, IntegralIsPowerTimesTime)
+{
+    // 100 W for 10 samples of 1 s -> 1000 J.
+    TimeSeries s(1.0);
+    for (int i = 0; i < 10; ++i)
+        s.add(100.0);
+    EXPECT_DOUBLE_EQ(s.integral(), 1000.0);
+}
+
+TEST(TimeSeries, DownsampleAverages)
+{
+    TimeSeries s(1.0);
+    for (int i = 0; i < 5; ++i)
+        s.add(static_cast<double>(i)); // 0 1 2 3 4
+    TimeSeries d = s.downsample(2);
+    ASSERT_EQ(d.size(), 3u);
+    EXPECT_DOUBLE_EQ(d.period(), 2.0);
+    EXPECT_DOUBLE_EQ(d.at(0), 0.5);
+    EXPECT_DOUBLE_EQ(d.at(1), 2.5);
+    EXPECT_DOUBLE_EQ(d.at(2), 4.0); // tail partial group
+}
+
+TEST(TimeSeries, OutOfRangePanics)
+{
+    TimeSeries s(1.0);
+    s.add(1.0);
+    EXPECT_THROW(s.at(1), PanicError);
+    EXPECT_THROW(s.timeAt(1), PanicError);
+}
+
+TEST(TimeSeries, NonPositivePeriodPanics)
+{
+    EXPECT_THROW(TimeSeries(0.0), PanicError);
+}
+
+TEST(TimeSeries, EmptySeries)
+{
+    TimeSeries s(1.0);
+    EXPECT_TRUE(s.empty());
+    EXPECT_DOUBLE_EQ(s.integral(), 0.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+} // namespace
+} // namespace memtherm

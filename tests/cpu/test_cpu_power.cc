@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for the processor power models (Table 4.4; Section 5.4.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "cpu/cpu_power.hh"
+
+namespace memtherm
+{
+namespace
+{
+
+TEST(TableCpuPower, Table44CoreGatingColumn)
+{
+    // 62 W all-halt; 260 W with 4 active cores; linear in between.
+    TableCpuPowerModel m(4);
+    EXPECT_DOUBLE_EQ(m.power(0, 0, false), 62.0);
+    EXPECT_DOUBLE_EQ(m.power(1, 0, false), 111.5);
+    EXPECT_DOUBLE_EQ(m.power(2, 0, false), 161.0);
+    EXPECT_DOUBLE_EQ(m.power(3, 0, false), 210.5);
+    EXPECT_DOUBLE_EQ(m.power(4, 0, false), 260.0);
+}
+
+TEST(TableCpuPower, Table44DvfsColumn)
+{
+    // 260 / 193.4 / 116.5 / 80.6 W at the four operating points.
+    TableCpuPowerModel m(4);
+    EXPECT_NEAR(m.power(4, 0, false), 260.0, 1e-9);
+    EXPECT_NEAR(m.power(4, 1, false), 193.4, 1e-9);
+    EXPECT_NEAR(m.power(4, 2, false), 116.5, 1e-9);
+    EXPECT_NEAR(m.power(4, 3, false), 80.6, 1e-9);
+}
+
+TEST(TableCpuPower, HaltOverridesEverything)
+{
+    TableCpuPowerModel m(4);
+    EXPECT_DOUBLE_EQ(m.power(4, 0, true), 62.0);
+    EXPECT_DOUBLE_EQ(m.power(2, 3, true), 62.0);
+}
+
+TEST(TableCpuPower, InvalidArgsPanic)
+{
+    TableCpuPowerModel m(4);
+    EXPECT_THROW(m.power(5, 0, false), PanicError);
+    EXPECT_THROW(m.power(-1, 0, false), PanicError);
+    EXPECT_THROW(m.power(4, 4, false), PanicError);
+}
+
+TEST(ActivityCpuPower, IdleFloor)
+{
+    ActivityCpuPowerModel m(xeon5160Dvfs(), 2, 28.0, 17.0);
+    EXPECT_DOUBLE_EQ(m.power({}, 0), 56.0);
+}
+
+TEST(ActivityCpuPower, IdleFloorScalesWithVoltage)
+{
+    // The idle floor (clock tree, leakage) shrinks with supply voltage,
+    // which is where DTM-CDVFS's real-machine CPU power saving comes
+    // from on memory-bound workloads (Section 5.4.4).
+    ActivityCpuPowerModel m(xeon5160Dvfs(), 2, 28.0, 17.0, 1.0);
+    double vr = 1.0375 / 1.2125;
+    EXPECT_NEAR(m.power({}, 3), 56.0 * vr, 1e-9);
+}
+
+TEST(ActivityCpuPower, ScalesWithVSquaredF)
+{
+    // Zero idle exponent isolates the dynamic term.
+    ActivityCpuPowerModel m(xeon5160Dvfs(), 2, 28.0, 17.0, 0.0);
+    std::vector<double> act{1.0, 1.0, 1.0, 1.0};
+    double p0 = m.power(act, 0) - 56.0;
+    double p3 = m.power(act, 3) - 56.0;
+    double vr = 1.0375 / 1.2125;
+    double fr = 2.0 / 3.0;
+    EXPECT_NEAR(p3 / p0, vr * vr * fr, 1e-9);
+}
+
+TEST(ActivityCpuPower, StalledCoresDrawLittle)
+{
+    // Section 5.4.4: memory-stalled cores are already clock-gated by
+    // hardware, so gating them (removing them from the list) saves only
+    // their residual activity.
+    ActivityCpuPowerModel m(xeon5160Dvfs(), 2, 28.0, 17.0);
+    double busy = m.power({1.0, 1.0, 1.0, 1.0}, 0);
+    double stalled = m.power({0.2, 0.2, 0.2, 0.2}, 0);
+    double gated = m.power({0.2, 0.2}, 0);
+    EXPECT_GT(busy - stalled, 3.0 * (stalled - gated));
+}
+
+TEST(ActivityCpuPower, ActivityOutOfRangePanics)
+{
+    ActivityCpuPowerModel m(xeon5160Dvfs(), 2, 28.0, 17.0);
+    EXPECT_THROW(m.power({1.5}, 0), PanicError);
+    EXPECT_THROW(m.power({-0.1}, 0), PanicError);
+}
+
+} // namespace
+} // namespace memtherm

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Unit tests for DVFS tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "cpu/dvfs.hh"
+
+namespace memtherm
+{
+namespace
+{
+
+TEST(Dvfs, SimulatedCmpTable)
+{
+    // Table 4.1: 3.2 GHz @ 1.55 V ... 0.8 GHz @ 0.95 V.
+    DvfsTable t = simulatedCmpDvfs();
+    ASSERT_EQ(t.levels(), 4u);
+    EXPECT_DOUBLE_EQ(t.at(0).freq, 3.2);
+    EXPECT_DOUBLE_EQ(t.at(0).volts, 1.55);
+    EXPECT_DOUBLE_EQ(t.at(3).freq, 0.8);
+    EXPECT_DOUBLE_EQ(t.at(3).volts, 0.95);
+    EXPECT_DOUBLE_EQ(t.maxFreq(), 3.2);
+    EXPECT_DOUBLE_EQ(t.maxVolts(), 1.55);
+}
+
+TEST(Dvfs, Xeon5160Table)
+{
+    // Section 5.2.1: 3.000/2.667/2.333/2.000 GHz with matching voltages.
+    DvfsTable t = xeon5160Dvfs();
+    ASSERT_EQ(t.levels(), 4u);
+    EXPECT_DOUBLE_EQ(t.at(0).freq, 3.0);
+    EXPECT_DOUBLE_EQ(t.at(0).volts, 1.2125);
+    EXPECT_DOUBLE_EQ(t.at(3).freq, 2.0);
+    EXPECT_DOUBLE_EQ(t.at(3).volts, 1.0375);
+}
+
+TEST(Dvfs, VoltageDecreasesWithFrequency)
+{
+    for (const DvfsTable &t : {simulatedCmpDvfs(), xeon5160Dvfs()}) {
+        for (std::size_t i = 1; i < t.levels(); ++i) {
+            EXPECT_LT(t.at(i).freq, t.at(i - 1).freq);
+            EXPECT_LT(t.at(i).volts, t.at(i - 1).volts);
+        }
+    }
+}
+
+TEST(Dvfs, OutOfRangePanics)
+{
+    DvfsTable t = simulatedCmpDvfs();
+    EXPECT_THROW(t.at(4), PanicError);
+}
+
+TEST(Dvfs, UnorderedTablePanics)
+{
+    EXPECT_THROW(DvfsTable({{1.0, 1.0}, {2.0, 1.2}}), PanicError);
+    EXPECT_THROW(DvfsTable({}), PanicError);
+}
+
+} // namespace
+} // namespace memtherm

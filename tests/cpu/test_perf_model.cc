@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Unit and property tests for the analytic performance model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/logging.hh"
+#include "cpu/perf_model.hh"
+
+namespace memtherm
+{
+namespace
+{
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+CoreTask
+streamTask()
+{
+    CoreTask t;
+    t.cpiCore = 0.6;
+    t.mpki = 40.0;
+    t.writeFrac = 0.4;
+    t.specFrac = 0.1;
+    t.mlpOverlap = 0.84;
+    return t;
+}
+
+CoreTask
+computeTask()
+{
+    CoreTask t;
+    t.cpiCore = 0.8;
+    t.mpki = 0.2;
+    t.writeFrac = 0.2;
+    t.specFrac = 0.05;
+    t.mlpOverlap = 0.5;
+    return t;
+}
+
+TEST(PerfModel, EmptyTaskList)
+{
+    WindowPerf p = solvePerfWindow({}, 3.2, 3.2, kInf, {});
+    EXPECT_TRUE(p.ips.empty());
+    EXPECT_DOUBLE_EQ(p.totalRead + p.totalWrite, 0.0);
+}
+
+TEST(PerfModel, SingleTaskUnsaturated)
+{
+    MemSystemPerf mem;
+    WindowPerf p = solvePerfWindow({streamTask()}, 3.2, 3.2, kInf, mem);
+    ASSERT_EQ(p.ips.size(), 1u);
+    EXPECT_GT(p.ips[0], 0.5e9);
+    EXPECT_FALSE(p.saturated);
+    // Latency stays near idle at low utilization.
+    EXPECT_LT(p.latencyNs, mem.idleLatencyNs * 1.2);
+}
+
+TEST(PerfModel, ReadWriteSplitMatchesWriteFrac)
+{
+    CoreTask t = streamTask();
+    t.specFrac = 0.0;
+    WindowPerf p = solvePerfWindow({t}, 3.2, 3.2, kInf, {});
+    EXPECT_NEAR(p.totalWrite / p.totalRead, t.writeFrac, 1e-9);
+}
+
+TEST(PerfModel, FourTasksSaturateChannel)
+{
+    MemSystemPerf mem;
+    std::vector<CoreTask> tasks(4, streamTask());
+    for (auto &t : tasks)
+        t.mpki = 120.0;
+    WindowPerf p = solvePerfWindow(tasks, 3.2, 3.2, kInf, mem);
+    EXPECT_TRUE(p.saturated);
+    double total = p.totalRead + p.totalWrite;
+    EXPECT_LE(total, mem.peakBandwidth * mem.maxUtilization + 1e-6);
+    // The queueing knee is soft: delivery approaches the cap from below.
+    EXPECT_GT(total, mem.peakBandwidth * mem.maxUtilization * 0.85);
+}
+
+TEST(PerfModel, HardCapRespected)
+{
+    std::vector<CoreTask> tasks(4, streamTask());
+    WindowPerf p = solvePerfWindow(tasks, 3.2, 3.2, 6.4, {});
+    EXPECT_LE(p.totalRead + p.totalWrite, 6.4 + 1e-9);
+    EXPECT_TRUE(p.saturated);
+}
+
+TEST(PerfModel, ThroughputMonotoneInCap)
+{
+    // Delivered throughput must be continuous and non-decreasing in the
+    // cap — the regression that motivated the queueing fixed point.
+    std::vector<CoreTask> tasks(4, streamTask());
+    double prev = 0.0;
+    for (double cap = 2.0; cap < 26.0; cap += 0.5) {
+        WindowPerf p = solvePerfWindow(tasks, 3.2, 3.2, cap, {});
+        double total = p.totalRead + p.totalWrite;
+        EXPECT_GE(total, prev - 1e-6) << "cap " << cap;
+        prev = total;
+    }
+}
+
+TEST(PerfModel, ComputeTaskKeepsRateUnderContention)
+{
+    // A compute-bound task shares the window with three heavy streamers;
+    // the streamers absorb the queueing latency.
+    MemSystemPerf mem;
+    std::vector<CoreTask> tasks(3, streamTask());
+    for (auto &t : tasks)
+        t.mpki = 60.0;
+    tasks.push_back(computeTask());
+    WindowPerf p = solvePerfWindow(tasks, 3.2, 3.2, 6.4, mem);
+    WindowPerf solo = solvePerfWindow({computeTask()}, 3.2, 3.2, kInf, mem);
+    EXPECT_GT(p.ips[3], 0.8 * solo.ips[0]);
+    // Streamers lose far more.
+    WindowPerf stream_solo =
+        solvePerfWindow({tasks[0]}, 3.2, 3.2, kInf, mem);
+    EXPECT_LT(p.ips[0], 0.5 * stream_solo.ips[0]);
+}
+
+TEST(PerfModel, MemoryOffStopsMissingTasks)
+{
+    std::vector<CoreTask> tasks{streamTask(), computeTask()};
+    tasks[1].mpki = 0.0;
+    WindowPerf p = solvePerfWindow(tasks, 3.2, 3.2, 0.0, {});
+    EXPECT_DOUBLE_EQ(p.ips[0], 0.0);
+    EXPECT_GT(p.ips[1], 0.0); // pure-compute task keeps running
+    EXPECT_DOUBLE_EQ(p.totalRead + p.totalWrite, 0.0);
+}
+
+TEST(PerfModel, LowerFrequencyLowersDemand)
+{
+    std::vector<CoreTask> tasks(4, streamTask());
+    WindowPerf fast = solvePerfWindow(tasks, 3.2, 3.2, kInf, {});
+    WindowPerf slow = solvePerfWindow(tasks, 0.8, 3.2, kInf, {});
+    EXPECT_LT(slow.totalRead + slow.totalWrite,
+              fast.totalRead + fast.totalWrite);
+    // ... but memory-bound work degrades sub-linearly with frequency.
+    EXPECT_GT(slow.ips[0], 0.4 * fast.ips[0]);
+}
+
+TEST(PerfModel, SpeculativeTrafficScalesWithFrequency)
+{
+    CoreTask t = streamTask();
+    t.writeFrac = 0.0;
+    WindowPerf fast = solvePerfWindow({t}, 3.2, 3.2, kInf, {});
+    WindowPerf slow = solvePerfWindow({t}, 1.6, 3.2, kInf, {});
+    double fast_bpi = fast.totalRead * 1e9 / fast.ips[0];
+    double slow_bpi = slow.totalRead * 1e9 / slow.ips[0];
+    // Bytes per instruction shrink at lower frequency (fewer speculative
+    // fetches) — the DTM-CDVFS traffic-reduction mechanism (Sec. 4.4.2).
+    EXPECT_LT(slow_bpi, fast_bpi);
+    EXPECT_NEAR(fast_bpi / slow_bpi, (1.0 + 0.1) / (1.0 + 0.05), 1e-6);
+}
+
+TEST(PerfModel, HigherMpkiMeansMoreTraffic)
+{
+    CoreTask lo = streamTask(), hi = streamTask();
+    hi.mpki = lo.mpki * 2.0;
+    WindowPerf a = solvePerfWindow({lo}, 3.2, 3.2, kInf, {});
+    WindowPerf b = solvePerfWindow({hi}, 3.2, 3.2, kInf, {});
+    EXPECT_GT(b.totalRead, a.totalRead);
+    EXPECT_LT(b.ips[0], a.ips[0]);
+}
+
+TEST(PerfModel, InvalidArgsPanic)
+{
+    EXPECT_THROW(solvePerfWindow({streamTask()}, 0.0, 3.2, kInf, {}),
+                 PanicError);
+    EXPECT_THROW(solvePerfWindow({streamTask()}, 3.2, 1.6, kInf, {}),
+                 PanicError);
+    EXPECT_THROW(solvePerfWindow({streamTask()}, 3.2, 3.2, -1.0, {}),
+                 PanicError);
+}
+
+/**
+ * Property sweep: conservation — per-task traffic sums to the totals —
+ * and positivity across a grid of operating points.
+ */
+class PerfSweep : public ::testing::TestWithParam<std::tuple<double, double>>
+{
+};
+
+TEST_P(PerfSweep, ConservationAndBounds)
+{
+    auto [freq, cap] = GetParam();
+    std::vector<CoreTask> tasks{streamTask(), streamTask(), computeTask(),
+                                streamTask()};
+    WindowPerf p = solvePerfWindow(tasks, freq, 3.2, cap, {});
+    double sum = 0.0;
+    for (GBps t : p.taskTraffic)
+        sum += t;
+    EXPECT_NEAR(sum, p.totalRead + p.totalWrite, 1e-9);
+    for (double ips : p.ips) {
+        EXPECT_GE(ips, 0.0);
+        EXPECT_LT(ips, freq * 1e9 / 0.4); // bounded by core CPI
+    }
+    EXPECT_LE(p.totalRead + p.totalWrite, std::min(cap, 21.3) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PerfSweep,
+    ::testing::Combine(::testing::Values(0.8, 1.6, 2.8, 3.2),
+                       ::testing::Values(3.2, 6.4, 12.8, 19.2, 25.6)));
+
+} // namespace
+} // namespace memtherm

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for the DDR2 bank timing state machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "dram/bank.hh"
+
+namespace memtherm
+{
+namespace
+{
+
+TEST(Bank, ReadAccessTimes)
+{
+    DramTiming t;
+    Bank b(t);
+    auto a = b.access(1000 * tickPerNs, false);
+    EXPECT_EQ(a.act, 1000 * tickPerNs);
+    EXPECT_EQ(a.cas, a.act + nsToTick(t.tRCD));
+    EXPECT_EQ(a.dataStart, a.cas + nsToTick(t.tCL));
+    EXPECT_EQ(a.dataEnd, a.dataStart + nsToTick(t.tBURST));
+    // Close-page: precharge at max(tRAS, read-to-precharge).
+    EXPECT_EQ(a.pre, std::max(a.act + nsToTick(t.tRAS),
+                              a.cas + nsToTick(t.tBURST + t.tRPD)));
+    EXPECT_EQ(a.readyAct, std::max(a.pre + nsToTick(t.tRP),
+                                   a.act + nsToTick(t.tRC)));
+}
+
+TEST(Bank, WriteAccessTimes)
+{
+    DramTiming t;
+    Bank b(t);
+    auto a = b.access(0, true);
+    EXPECT_EQ(a.dataStart, a.cas + nsToTick(t.tWL));
+    EXPECT_EQ(a.pre, std::max(a.act + nsToTick(t.tRAS),
+                              a.cas + nsToTick(t.tWPD)));
+}
+
+TEST(Bank, BackToBackAccessesRespectTrc)
+{
+    DramTiming t;
+    Bank b(t);
+    auto a1 = b.access(0, false);
+    EXPECT_GE(b.earliestAct(), nsToTick(t.tRC));
+    auto a2 = b.access(b.earliestAct(), false);
+    EXPECT_GE(a2.act - a1.act, nsToTick(t.tRC));
+}
+
+TEST(Bank, EarlyActivationPanics)
+{
+    Bank b(DramTiming{});
+    b.access(0, false);
+    EXPECT_THROW(b.access(1, false), PanicError);
+}
+
+TEST(Bank, CasDeferPushesPrecharge)
+{
+    DramTiming t;
+    Bank b1(t), b2(t);
+    auto plain = b1.access(0, false);
+    auto deferred = b2.access(0, false, nsToTick(20.0));
+    EXPECT_EQ(deferred.cas, plain.cas + nsToTick(20.0));
+    EXPECT_GE(deferred.pre, plain.pre);
+}
+
+TEST(Bank, ResetClearsHistory)
+{
+    Bank b(DramTiming{});
+    b.access(0, false);
+    b.reset();
+    EXPECT_EQ(b.earliestAct(), 0u);
+}
+
+TEST(Bank, CycleTimeIs54ns)
+{
+    // Table 4.1: tRC = 54 ns bounds the per-bank access rate; a single
+    // bank therefore sustains at most ~18.5M accesses/s.
+    DramTiming t;
+    Bank b(t);
+    Tick when = 0;
+    for (int i = 0; i < 10; ++i) {
+        auto a = b.access(when, false);
+        when = a.readyAct;
+    }
+    EXPECT_GE(when, 9 * nsToTick(54.0));
+}
+
+} // namespace
+} // namespace memtherm

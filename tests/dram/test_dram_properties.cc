@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Property sweeps over the detailed FBDIMM simulator: bandwidth bounds,
+ * latency ordering, protocol integrity and traffic conservation across a
+ * grid of write fractions and access patterns.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/logging.hh"
+#include "dram/traffic_gen.hh"
+
+namespace memtherm
+{
+namespace
+{
+
+using DramParam = std::tuple<double, bool>; // write fraction, sequential
+
+class DramSweep : public ::testing::TestWithParam<DramParam>
+{
+};
+
+TEST_P(DramSweep, SaturationWithinPhysicalBounds)
+{
+    auto [write_frac, sequential] = GetParam();
+    MemSystemConfig cfg;
+    MeasuredPerf p = saturationProbe(cfg, 20000, write_frac, sequential);
+    // Lower bound: a working scheduler sustains at least half the
+    // northbound limit; upper bound: the link capacities
+    // (4 channels x (5.33 read + 2.67 write) GB/s).
+    EXPECT_GT(p.achieved, 10.0);
+    EXPECT_LT(p.achieved, 4 * (5.34 + 2.67));
+    EXPECT_GT(p.meanReadLatencyNs, 50.0);
+}
+
+TEST_P(DramSweep, ConservationOfBytes)
+{
+    auto [write_frac, sequential] = GetParam();
+    MemSystemConfig cfg;
+    FbdimmMemorySystem mem(cfg);
+    TrafficConfig tc;
+    tc.rate = 6.0;
+    tc.writeFrac = write_frac;
+    tc.sequential = sequential;
+    TrafficGenerator gen(tc);
+    const std::uint64_t blocks = 5000;
+    measurePerf(mem, gen, blocks);
+    // Every block's 64 bytes are accounted once.
+    EXPECT_EQ(mem.totalBytes(), blocks * 64);
+    // AMB counters agree: sum of local bytes over all channels == total.
+    std::uint64_t local = 0;
+    for (const auto &ch : mem.channels())
+        for (const auto &amb : ch->ambs())
+            local += amb.localBytes();
+    EXPECT_EQ(local, blocks * 64);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DramSweep,
+    ::testing::Combine(::testing::Values(0.0, 0.2, 0.5),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<DramParam> &info) {
+        return std::string("wf") +
+               std::to_string(int(std::get<0>(info.param) * 100)) +
+               (std::get<1>(info.param) ? "_seq" : "_rand");
+    });
+
+TEST(DramProperties, SequentialBeatsRandomOnLatency)
+{
+    // Sequential streams spread across banks round-robin and never
+    // collide in a bank; random streams occasionally do.
+    MemSystemConfig cfg;
+    MeasuredPerf seq = saturationProbe(cfg, 30000, 0.0, true);
+    MeasuredPerf rnd = saturationProbe(cfg, 30000, 0.0, false);
+    EXPECT_LE(seq.meanReadLatencyNs, rnd.meanReadLatencyNs * 1.05);
+}
+
+TEST(DramProperties, MoreDimmsMoreBankParallelism)
+{
+    // With a tiny footprint hammering few banks, an 8-DIMM channel
+    // sustains more than a 2-DIMM one.
+    auto probe = [](int dimms) {
+        MemSystemConfig cfg;
+        cfg.channel.nDimms = dimms;
+        FbdimmMemorySystem mem(cfg);
+        TrafficConfig tc;
+        tc.rate = 1000.0;
+        tc.footprintBytes = 1 << 20;
+        TrafficGenerator gen(tc);
+        return measurePerf(mem, gen, 20000).achieved;
+    };
+    EXPECT_GT(probe(8), probe(2) * 0.99);
+}
+
+TEST(DramProperties, CheckerOverheadOnlyBookkeeping)
+{
+    // The checker must not change timing results, only validate them.
+    auto run = [](bool check) {
+        MemSystemConfig cfg;
+        cfg.channel.checkProtocol = check;
+        return saturationProbe(cfg, 10000, 0.3).achieved;
+    };
+    EXPECT_DOUBLE_EQ(run(true), run(false));
+}
+
+} // namespace
+} // namespace memtherm

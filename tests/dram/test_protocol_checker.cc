@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for the DDR2 protocol checker.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "dram/protocol_checker.hh"
+
+namespace memtherm
+{
+namespace
+{
+
+Tick
+ns(double v)
+{
+    return nsToTick(v);
+}
+
+TEST(ProtocolChecker, AcceptsLegalClosePageSequence)
+{
+    DramTiming t;
+    ProtocolChecker c(4, 8, t);
+    c.record(DramCmd::ACT, 0, 0, ns(0));
+    c.record(DramCmd::RD, 0, 0, ns(t.tRCD));
+    c.record(DramCmd::PRE, 0, 0, ns(t.tRAS));
+    c.record(DramCmd::ACT, 0, 0, ns(t.tRAS + t.tRP));
+    EXPECT_EQ(c.commandCount(), 4u);
+}
+
+TEST(ProtocolChecker, CatchesTrcdViolation)
+{
+    DramTiming t;
+    ProtocolChecker c(4, 8, t);
+    c.record(DramCmd::ACT, 0, 0, ns(0));
+    EXPECT_THROW(c.record(DramCmd::RD, 0, 0, ns(t.tRCD - 1)), PanicError);
+}
+
+TEST(ProtocolChecker, CatchesTrasViolation)
+{
+    DramTiming t;
+    ProtocolChecker c(4, 8, t);
+    c.record(DramCmd::ACT, 0, 0, ns(0));
+    c.record(DramCmd::RD, 0, 0, ns(t.tRCD));
+    EXPECT_THROW(c.record(DramCmd::PRE, 0, 0, ns(t.tRAS - 1)), PanicError);
+}
+
+TEST(ProtocolChecker, CatchesTrcViolation)
+{
+    DramTiming t;
+    ProtocolChecker c(4, 8, t);
+    c.record(DramCmd::ACT, 0, 0, ns(0));
+    c.record(DramCmd::PRE, 0, 0, ns(t.tRAS));
+    EXPECT_THROW(c.record(DramCmd::ACT, 0, 0, ns(t.tRC - 1)), PanicError);
+}
+
+TEST(ProtocolChecker, CatchesTrrdViolation)
+{
+    DramTiming t;
+    ProtocolChecker c(4, 8, t);
+    c.record(DramCmd::ACT, 0, 0, ns(0));
+    // Different bank, same DIMM, too soon.
+    EXPECT_THROW(c.record(DramCmd::ACT, 0, 1, ns(t.tRRD - 1)), PanicError);
+    // Different DIMM: no tRRD constraint.
+    ProtocolChecker c2(4, 8, t);
+    c2.record(DramCmd::ACT, 0, 0, ns(0));
+    c2.record(DramCmd::ACT, 1, 0, ns(1));
+    EXPECT_EQ(c2.commandCount(), 2u);
+}
+
+TEST(ProtocolChecker, CatchesWtrViolation)
+{
+    DramTiming t;
+    ProtocolChecker c(4, 8, t);
+    c.record(DramCmd::ACT, 0, 0, ns(0));
+    c.record(DramCmd::WR, 0, 0, ns(t.tRCD));
+    c.record(DramCmd::ACT, 0, 1, ns(t.tRRD));
+    double wr_data_end = t.tRCD + t.tWL + t.tBURST;
+    EXPECT_THROW(
+        c.record(DramCmd::RD, 0, 1, ns(wr_data_end + t.tWTR - 1)),
+        PanicError);
+}
+
+TEST(ProtocolChecker, CatchesStateErrors)
+{
+    DramTiming t;
+    ProtocolChecker c(4, 8, t);
+    // RD to a never-activated bank.
+    EXPECT_THROW(c.record(DramCmd::RD, 0, 0, ns(100)), PanicError);
+    c.record(DramCmd::ACT, 1, 0, ns(0));
+    // Second ACT while the row is open.
+    EXPECT_THROW(c.record(DramCmd::ACT, 1, 0, ns(t.tRC)), PanicError);
+}
+
+TEST(ProtocolChecker, DisabledCheckerIgnoresEverything)
+{
+    ProtocolChecker c(4, 8, DramTiming{}, false);
+    c.record(DramCmd::RD, 0, 0, 0); // would panic when enabled
+    EXPECT_EQ(c.commandCount(), 0u);
+}
+
+TEST(ProtocolChecker, OutOfRangePanics)
+{
+    ProtocolChecker c(4, 8, DramTiming{});
+    EXPECT_THROW(c.record(DramCmd::ACT, 4, 0, 0), PanicError);
+    EXPECT_THROW(c.record(DramCmd::ACT, 0, 8, 0), PanicError);
+}
+
+} // namespace
+} // namespace memtherm

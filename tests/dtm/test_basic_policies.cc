@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the DTM policies of Section 4.2.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "core/dtm/basic_policies.hh"
+
+namespace memtherm
+{
+namespace
+{
+
+ThermalReading
+reading(Celsius amb, Celsius dram = 70.0)
+{
+    ThermalReading r;
+    r.amb = amb;
+    r.dram = dram;
+    r.inlet = 50.0;
+    return r;
+}
+
+TEST(TsPolicy, HysteresisCycle)
+{
+    TsPolicy p(110.0, 109.0, 85.0, 84.0);
+    // Cool: runs at full speed.
+    EXPECT_TRUE(p.decide(reading(100.0), 0.0).memoryOn);
+    // Crosses the TDP: shutdown.
+    EXPECT_FALSE(p.decide(reading(110.0), 1.0).memoryOn);
+    // Stays down until the TRP even though below TDP.
+    EXPECT_FALSE(p.decide(reading(109.5), 2.0).memoryOn);
+    // At the TRP: released.
+    EXPECT_TRUE(p.decide(reading(109.0), 3.0).memoryOn);
+}
+
+TEST(TsPolicy, DramSensorAloneTriggers)
+{
+    TsPolicy p(110.0, 109.0, 85.0, 84.0);
+    EXPECT_FALSE(p.decide(reading(100.0, 85.2), 0.0).memoryOn);
+    // Both sensors must clear for release.
+    EXPECT_FALSE(p.decide(reading(100.0, 84.5), 1.0).memoryOn);
+    EXPECT_TRUE(p.decide(reading(100.0, 83.9), 2.0).memoryOn);
+}
+
+TEST(TsPolicy, ResetClearsLatch)
+{
+    TsPolicy p(110.0, 109.0, 85.0, 84.0);
+    p.decide(reading(111.0), 0.0);
+    EXPECT_TRUE(p.isShutdown());
+    p.reset();
+    EXPECT_FALSE(p.isShutdown());
+    EXPECT_TRUE(p.decide(reading(109.5), 1.0).memoryOn);
+}
+
+TEST(TsPolicy, BadTrpPanics)
+{
+    EXPECT_THROW(TsPolicy(109.0, 110.0, 85.0, 84.0), PanicError);
+}
+
+TEST(BwPolicy, Table43Caps)
+{
+    LeveledPolicy p = makeCh4BwPolicy();
+    EXPECT_TRUE(std::isinf(p.decide(reading(100.0), 0.0).bandwidthCap));
+    EXPECT_DOUBLE_EQ(p.decide(reading(108.2), 1.0).bandwidthCap, 19.2);
+    EXPECT_DOUBLE_EQ(p.decide(reading(109.2), 2.0).bandwidthCap, 12.8);
+    EXPECT_DOUBLE_EQ(p.decide(reading(109.7), 3.0).bandwidthCap, 6.4);
+    EXPECT_FALSE(p.decide(reading(110.2), 4.0).memoryOn);
+}
+
+TEST(AcgPolicy, Table43Cores)
+{
+    LeveledPolicy p = makeCh4AcgPolicy();
+    EXPECT_EQ(p.decide(reading(100.0), 0.0).activeCores, 4);
+    EXPECT_EQ(p.decide(reading(108.2), 1.0).activeCores, 3);
+    EXPECT_EQ(p.decide(reading(109.2), 2.0).activeCores, 2);
+    EXPECT_EQ(p.decide(reading(109.7), 3.0).activeCores, 1);
+    DtmAction top = p.decide(reading(110.2), 4.0);
+    EXPECT_EQ(top.activeCores, 0);
+    EXPECT_FALSE(top.memoryOn);
+}
+
+TEST(CdvfsPolicy, Table43Levels)
+{
+    LeveledPolicy p = makeCh4CdvfsPolicy();
+    EXPECT_EQ(p.decide(reading(100.0), 0.0).dvfsLevel, 0u);
+    EXPECT_EQ(p.decide(reading(108.2), 1.0).dvfsLevel, 1u);
+    EXPECT_EQ(p.decide(reading(109.2), 2.0).dvfsLevel, 2u);
+    EXPECT_EQ(p.decide(reading(109.7), 3.0).dvfsLevel, 3u);
+    EXPECT_FALSE(p.decide(reading(110.2), 4.0).memoryOn);
+}
+
+TEST(LeveledPolicy, TopLevelLatchesUntilRelease)
+{
+    // Section 4.4.2: after an overshoot the memory stays down until the
+    // temperature falls below the release point (109.0), not merely
+    // below the TDP.
+    LeveledPolicy p = makeCh4CdvfsPolicy();
+    EXPECT_FALSE(p.decide(reading(110.1), 0.0).memoryOn);
+    EXPECT_FALSE(p.decide(reading(109.6), 1.0).memoryOn);
+    EXPECT_FALSE(p.decide(reading(109.2), 2.0).memoryOn);
+    EXPECT_TRUE(p.decide(reading(108.9), 3.0).memoryOn);
+    EXPECT_EQ(p.decide(reading(108.9), 3.0).dvfsLevel, 1u);
+}
+
+TEST(LeveledPolicy, DramSensorDrivesLevels)
+{
+    LeveledPolicy p = makeCh4AcgPolicy();
+    EXPECT_EQ(p.decide(reading(100.0, 84.1), 0.0).activeCores, 2);
+}
+
+TEST(LeveledPolicy, ResetClearsLatch)
+{
+    LeveledPolicy p = makeCh4BwPolicy();
+    p.decide(reading(110.5), 0.0);
+    EXPECT_TRUE(p.isLatched());
+    p.reset();
+    EXPECT_FALSE(p.isLatched());
+}
+
+TEST(LeveledPolicy, ActionTableArityPanics)
+{
+    EXPECT_THROW(LeveledPolicy("x", ch4EmergencyLevels(),
+                               {DtmAction{}, DtmAction{}}, 109.0, 84.0),
+                 PanicError);
+}
+
+} // namespace
+} // namespace memtherm

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Unit tests for the thermal emergency level tables (Table 4.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/dtm/emergency_levels.hh"
+
+namespace memtherm
+{
+namespace
+{
+
+TEST(EmergencyLevels, Table43AmbBands)
+{
+    EmergencyLevels e = ch4EmergencyLevels();
+    EXPECT_EQ(e.numLevels(), 5);
+    EXPECT_EQ(e.ambLevel(100.0), 0);  // L1: (-, 108)
+    EXPECT_EQ(e.ambLevel(107.99), 0);
+    EXPECT_EQ(e.ambLevel(108.0), 1);  // L2: [108, 109)
+    EXPECT_EQ(e.ambLevel(108.9), 1);
+    EXPECT_EQ(e.ambLevel(109.0), 2);  // L3: [109, 109.5)
+    EXPECT_EQ(e.ambLevel(109.5), 3);  // L4: [109.5, 110)
+    EXPECT_EQ(e.ambLevel(110.0), 4);  // L5: [110, -)
+    EXPECT_EQ(e.ambLevel(150.0), 4);
+}
+
+TEST(EmergencyLevels, Table43DramBands)
+{
+    EmergencyLevels e = ch4EmergencyLevels();
+    EXPECT_EQ(e.dramLevel(80.0), 0);
+    EXPECT_EQ(e.dramLevel(83.0), 1);
+    EXPECT_EQ(e.dramLevel(84.0), 2);
+    EXPECT_EQ(e.dramLevel(84.5), 3);
+    EXPECT_EQ(e.dramLevel(85.0), 4);
+}
+
+TEST(EmergencyLevels, CombinedTakesWorseSensor)
+{
+    EmergencyLevels e = ch4EmergencyLevels();
+    ThermalReading r;
+    r.amb = 100.0;  // L1
+    r.dram = 84.6;  // L4
+    EXPECT_EQ(e.level(r), 3);
+    r.amb = 110.5;  // L5
+    EXPECT_EQ(e.level(r), 4);
+}
+
+TEST(EmergencyLevels, MonotoneInTemperature)
+{
+    EmergencyLevels e = ch4EmergencyLevels();
+    int prev = 0;
+    for (double t = 90.0; t < 115.0; t += 0.1) {
+        int lvl = e.ambLevel(t);
+        EXPECT_GE(lvl, prev);
+        prev = lvl;
+    }
+}
+
+TEST(EmergencyLevels, ValidationPanics)
+{
+    EXPECT_THROW(EmergencyLevels({109.0, 108.0}, {83.0, 84.0}), PanicError);
+    EXPECT_THROW(EmergencyLevels({108.0}, {83.0, 84.0}), PanicError);
+    EXPECT_THROW(EmergencyLevels({}, {}), PanicError);
+}
+
+} // namespace
+} // namespace memtherm

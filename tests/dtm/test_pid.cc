@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for the PID formal controller (Eq. 4.1, Section 4.2.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "core/dtm/pid.hh"
+
+namespace memtherm
+{
+namespace
+{
+
+TEST(Pid, PaperConstants)
+{
+    PidParams amb = ambPidParams();
+    EXPECT_DOUBLE_EQ(amb.kc, 10.4);
+    EXPECT_DOUBLE_EQ(amb.ki, 180.24);
+    EXPECT_DOUBLE_EQ(amb.kd, 0.001);
+    EXPECT_DOUBLE_EQ(amb.target, 109.8);
+    EXPECT_DOUBLE_EQ(amb.integralGate, 109.0);
+
+    PidParams dram = dramPidParams();
+    EXPECT_DOUBLE_EQ(dram.kc, 12.4);
+    EXPECT_DOUBLE_EQ(dram.ki, 155.12);
+    EXPECT_DOUBLE_EQ(dram.target, 84.8);
+    EXPECT_DOUBLE_EQ(dram.integralGate, 84.0);
+}
+
+TEST(Pid, ColdSystemRunsFullSpeed)
+{
+    PidController c(ambPidParams());
+    EXPECT_DOUBLE_EQ(c.update(50.0, 0.01), 1.0);
+    EXPECT_DOUBLE_EQ(c.update(90.0, 0.01), 1.0);
+}
+
+TEST(Pid, HotSystemThrottles)
+{
+    PidController c(ambPidParams());
+    double u = c.update(110.5, 0.01);
+    EXPECT_LT(u, 0.5);
+}
+
+TEST(Pid, OutputBounded)
+{
+    PidController c(ambPidParams());
+    for (double t : {20.0, 80.0, 109.0, 109.8, 110.0, 120.0, 105.0}) {
+        double u = c.update(t, 0.01);
+        EXPECT_GE(u, 0.0);
+        EXPECT_LE(u, 1.0);
+    }
+}
+
+TEST(Pid, IntegralGatedBelowThreshold)
+{
+    // Below the gate (109.0) the integral must not accumulate: long cold
+    // periods cannot wind the controller up.
+    PidController c(ambPidParams());
+    for (int i = 0; i < 10000; ++i)
+        c.update(100.0, 0.01);
+    // First hot sample: output reflects only P+D terms, so it must
+    // throttle despite the long cold history.
+    double u = c.update(110.4, 0.01);
+    EXPECT_LT(u, 0.6);
+}
+
+TEST(Pid, IntegralRaisesOutputNearTarget)
+{
+    // Sitting slightly below target above the gate, the integral should
+    // push the output up toward full speed.
+    PidController c(ambPidParams());
+    double first = c.update(109.75, 0.01);
+    double u = first;
+    for (int i = 0; i < 500; ++i)
+        u = c.update(109.75, 0.01);
+    EXPECT_GT(u, first);
+    EXPECT_DOUBLE_EQ(u, 1.0);
+}
+
+TEST(Pid, ClosedLoopConvergesToTarget)
+{
+    // A toy first-order plant: stable temperature is a linear function of
+    // the actuator u. The PID must settle the plant near its target
+    // without sustained oscillation (Section 4.2.3's promise).
+    PidParams params = ambPidParams();
+    PidController c(params);
+    double temp = 50.0;
+    double dt = 0.1;
+    double tau = 50.0;
+    double last_u = 1.0;
+    for (int i = 0; i < 20000; ++i) {
+        double stable = 100.8 + last_u * 14.0; // 100.8 .. 114.8
+        temp += (stable - temp) * (1.0 - std::exp(-dt / tau));
+        last_u = c.update(temp, dt);
+    }
+    EXPECT_NEAR(temp, params.target, 0.25);
+}
+
+TEST(Pid, DerivativeDampsRapidRise)
+{
+    PidParams p = ambPidParams();
+    p.kd = 2.0; // exaggerate for visibility
+    PidController with_d(p);
+    p.kd = 0.0;
+    PidController without_d(p);
+    // Rapidly rising temperature near the target.
+    double u_with = 0, u_without = 0;
+    for (double t = 109.0; t <= 109.7; t += 0.1) {
+        u_with = with_d.update(t, 0.01);
+        u_without = without_d.update(t, 0.01);
+    }
+    EXPECT_LT(u_with, u_without);
+}
+
+TEST(Pid, ResetClearsHistory)
+{
+    PidController c(ambPidParams());
+    for (int i = 0; i < 100; ++i)
+        c.update(109.5, 0.01);
+    c.reset();
+    EXPECT_DOUBLE_EQ(c.output(), 1.0);
+}
+
+TEST(Pid, InvalidDtPanics)
+{
+    PidController c(ambPidParams());
+    EXPECT_THROW(c.update(100.0, 0.0), PanicError);
+}
+
+} // namespace
+} // namespace memtherm

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for PID-driven DTM policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dtm/pid_policies.hh"
+
+namespace memtherm
+{
+namespace
+{
+
+ThermalReading
+reading(Celsius amb, Celsius dram = 70.0)
+{
+    ThermalReading r;
+    r.amb = amb;
+    r.dram = dram;
+    return r;
+}
+
+TEST(PidPolicy, ColdRunsUnconstrained)
+{
+    PidPolicy p = makeCh4BwPidPolicy();
+    DtmAction a = p.decide(reading(60.0), 0.0);
+    EXPECT_TRUE(a.memoryOn);
+    EXPECT_TRUE(std::isinf(a.bandwidthCap));
+}
+
+TEST(PidPolicy, SafetyOverrideAtTdp)
+{
+    for (PidPolicy p : {makeCh4BwPidPolicy(), makeCh4AcgPidPolicy(),
+                        makeCh4CdvfsPidPolicy()}) {
+        DtmAction a = p.decide(reading(110.0), 0.0);
+        EXPECT_FALSE(a.memoryOn) << p.name();
+        DtmAction b = p.decide(reading(90.0, 85.5), 1.0);
+        EXPECT_FALSE(b.memoryOn) << p.name();
+    }
+}
+
+TEST(PidPolicy, BandwidthActuatorWalksLevels)
+{
+    PidPolicy p = makeCh4BwPidPolicy();
+    // Very hot: throttled hard (not off — safety handles >= TDP).
+    DtmAction hot = p.decide(reading(109.95), 0.0);
+    EXPECT_TRUE(hot.bandwidthCap <= 19.2);
+}
+
+TEST(PidPolicy, CoreGatingActuator)
+{
+    PidPolicy p = makeCh4AcgPidPolicy();
+    DtmAction cold = p.decide(reading(60.0), 0.0);
+    EXPECT_GE(cold.activeCores, 4);
+    DtmAction hot = p.decide(reading(109.95), 1.0);
+    EXPECT_LT(hot.activeCores, 4);
+}
+
+TEST(PidPolicy, DvfsActuator)
+{
+    PidPolicy p = makeCh4CdvfsPidPolicy();
+    EXPECT_EQ(p.decide(reading(60.0), 0.0).dvfsLevel, 0u);
+    DtmAction hot = p.decide(reading(109.95), 1.0);
+    EXPECT_GT(hot.dvfsLevel, 0u);
+}
+
+TEST(PidPolicy, Names)
+{
+    EXPECT_EQ(makeCh4BwPidPolicy().name(), "DTM-BW+PID");
+    EXPECT_EQ(makeCh4AcgPidPolicy().name(), "DTM-ACG+PID");
+    EXPECT_EQ(makeCh4CdvfsPidPolicy().name(), "DTM-CDVFS+PID");
+}
+
+TEST(PidPolicy, ResetRestoresFullSpeed)
+{
+    PidPolicy p = makeCh4AcgPidPolicy();
+    p.decide(reading(109.9), 0.0);
+    p.reset();
+    EXPECT_DOUBLE_EQ(p.lastOutput(), 1.0);
+    EXPECT_GE(p.decide(reading(60.0), 0.0).activeCores, 4);
+}
+
+TEST(PidPolicy, ClosedLoopHoldsNearTargetNotTdp)
+{
+    // Simple closed loop against a one-node plant: the PID policy should
+    // settle the temperature near 109.8 and never reach the 110 TDP
+    // (the Fig. 4.6/4.8 "sticks around 109.8C" behavior).
+    PidPolicy p = makeCh4BwPidPolicy();
+    double temp = 50.0;
+    double dt = 0.01;
+    double tau = 50.0;
+    double max_after_warmup = 0.0;
+    for (int i = 0; i < 400000; ++i) {
+        DtmAction a = p.decide(reading(temp), i * dt);
+        double bw = a.memoryOn ? std::min(a.bandwidthCap, 16.0) : 0.0;
+        double stable = 100.0 + bw * 0.85; // ~113.6 at full demand
+        temp += (stable - temp) * (1.0 - std::exp(-dt / tau));
+        if (i > 200000)
+            max_after_warmup = std::max(max_after_warmup, temp);
+    }
+    EXPECT_NEAR(temp, 109.8, 0.4);
+    EXPECT_LT(max_after_warmup, 110.0);
+}
+
+} // namespace
+} // namespace memtherm

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for per-DIMM traffic decomposition (Fig. 3.2 bookkeeping).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/power/dimm_traffic.hh"
+
+namespace memtherm
+{
+namespace
+{
+
+TEST(DimmTraffic, UniformInterleaveFourDimms)
+{
+    auto t = decomposeChannelTraffic(4.0, 2.0, 4);
+    ASSERT_EQ(t.size(), 4u);
+    // Each DIMM gets 1/4 of the local traffic.
+    for (const auto &d : t) {
+        EXPECT_DOUBLE_EQ(d.localRead, 1.0);
+        EXPECT_DOUBLE_EQ(d.localWrite, 0.5);
+    }
+    // DIMM 0 (nearest the controller) bypasses traffic of DIMMs 1..3.
+    EXPECT_DOUBLE_EQ(t[0].bypassRead, 3.0);
+    EXPECT_DOUBLE_EQ(t[0].bypassWrite, 1.5);
+    EXPECT_DOUBLE_EQ(t[1].bypassRead, 2.0);
+    EXPECT_DOUBLE_EQ(t[2].bypassRead, 1.0);
+    // The last DIMM bypasses nothing.
+    EXPECT_DOUBLE_EQ(t[3].bypassRead, 0.0);
+    EXPECT_DOUBLE_EQ(t[3].bypassWrite, 0.0);
+}
+
+TEST(DimmTraffic, SingleDimmHasNoBypass)
+{
+    auto t = decomposeChannelTraffic(3.0, 1.0, 1);
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_DOUBLE_EQ(t[0].localRead, 3.0);
+    EXPECT_DOUBLE_EQ(t[0].bypass(), 0.0);
+}
+
+TEST(DimmTraffic, ConservationAcrossDimms)
+{
+    auto t = decomposeChannelTraffic(7.0, 3.0, 8);
+    double local_read = 0.0, local_write = 0.0;
+    for (const auto &d : t) {
+        local_read += d.localRead;
+        local_write += d.localWrite;
+    }
+    EXPECT_NEAR(local_read, 7.0, 1e-12);
+    EXPECT_NEAR(local_write, 3.0, 1e-12);
+}
+
+TEST(DimmTraffic, BypassEqualsDownstreamLocal)
+{
+    auto t = decomposeChannelTraffic(8.0, 4.0, 4);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        double downstream = 0.0;
+        for (std::size_t j = i + 1; j < t.size(); ++j)
+            downstream += t[j].local();
+        EXPECT_NEAR(t[i].bypass(), downstream, 1e-12);
+    }
+}
+
+TEST(DimmTraffic, CustomShares)
+{
+    auto t = decomposeChannelTraffic(10.0, 0.0, 2, {0.7, 0.3});
+    EXPECT_DOUBLE_EQ(t[0].localRead, 7.0);
+    EXPECT_DOUBLE_EQ(t[1].localRead, 3.0);
+    EXPECT_DOUBLE_EQ(t[0].bypassRead, 3.0);
+}
+
+TEST(DimmTraffic, BadSharesPanic)
+{
+    EXPECT_THROW(decomposeChannelTraffic(1.0, 0.0, 2, {0.5, 0.6}),
+                 PanicError);
+    EXPECT_THROW(decomposeChannelTraffic(1.0, 0.0, 2, {1.0}), PanicError);
+    EXPECT_THROW(decomposeChannelTraffic(-1.0, 0.0, 2), PanicError);
+    EXPECT_THROW(decomposeChannelTraffic(1.0, 0.0, 0), PanicError);
+}
+
+} // namespace
+} // namespace memtherm

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for the FBDIMM power models (Eqs. 3.1, 3.2; Table 3.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/power/power_model.hh"
+
+namespace memtherm
+{
+namespace
+{
+
+TEST(DramPower, IdleEqualsStatic)
+{
+    DramPowerModel m;
+    EXPECT_DOUBLE_EQ(m.power(0.0, 0.0), 0.98);
+}
+
+TEST(DramPower, Equation31)
+{
+    // P = 0.98 + 1.12 * read + 1.16 * write (Table 3.1 coefficients).
+    DramPowerModel m;
+    EXPECT_NEAR(m.power(2.0, 1.0), 0.98 + 2.24 + 1.16, 1e-12);
+}
+
+TEST(DramPower, BypassTrafficDoesNotHeatDrams)
+{
+    DramPowerModel m;
+    DimmTraffic t;
+    t.bypassRead = 10.0;
+    t.bypassWrite = 5.0;
+    EXPECT_DOUBLE_EQ(m.power(t), 0.98);
+}
+
+TEST(DramPower, LinearInThroughput)
+{
+    DramPowerModel m;
+    double p1 = m.power(1.0, 1.0);
+    double p2 = m.power(2.0, 2.0);
+    double p3 = m.power(3.0, 3.0);
+    EXPECT_NEAR(p3 - p2, p2 - p1, 1e-12);
+}
+
+TEST(AmbPower, IdleDependsOnPosition)
+{
+    // 4.0 W for the last DIMM, 5.1 W otherwise (Table 3.1): the last AMB
+    // synchronizes with only one link neighbor.
+    AmbPowerModel m;
+    EXPECT_DOUBLE_EQ(m.power(0.0, 0.0, true), 4.0);
+    EXPECT_DOUBLE_EQ(m.power(0.0, 0.0, false), 5.1);
+}
+
+TEST(AmbPower, Equation32)
+{
+    AmbPowerModel m;
+    // P = idle + 0.19 * bypass + 0.75 * local.
+    EXPECT_NEAR(m.power(4.0, 2.0, false), 5.1 + 0.76 + 1.5, 1e-12);
+    EXPECT_NEAR(m.power(4.0, 2.0, true), 4.0 + 0.76 + 1.5, 1e-12);
+}
+
+TEST(AmbPower, LocalTrafficCostsMoreThanBypass)
+{
+    AmbPowerModel m;
+    double local_only = m.power(0.0, 3.0, false);
+    double bypass_only = m.power(3.0, 0.0, false);
+    EXPECT_GT(local_only, bypass_only);
+}
+
+TEST(DimmPower, CombinedModel)
+{
+    DimmPowerModel m;
+    DimmTraffic t;
+    t.localRead = 1.0;
+    t.localWrite = 0.5;
+    t.bypassRead = 2.0;
+    DimmPower p = m.power(t, false);
+    EXPECT_NEAR(p.dram, 0.98 + 1.12 + 0.58, 1e-12);
+    EXPECT_NEAR(p.amb, 5.1 + 0.19 * 2.0 + 0.75 * 1.5, 1e-12);
+    EXPECT_NEAR(p.total(), p.dram + p.amb, 1e-12);
+}
+
+TEST(DimmPower, PaperScaleSanity)
+{
+    // A fully loaded hot DIMM (Section 3.1): AMB power density is high —
+    // at ~5 GB/s channel traffic the hottest AMB draws ~6-7 W.
+    DimmPowerModel m;
+    auto traffic = decomposeChannelTraffic(4.0, 1.0, 4);
+    DimmPower hot = m.power(traffic[0], false);
+    EXPECT_GT(hot.amb, 6.0);
+    EXPECT_LT(hot.amb, 8.0);
+}
+
+} // namespace
+} // namespace memtherm

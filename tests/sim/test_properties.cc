@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Property tests over the (workload x policy x cooling) grid: every DTM
+ * policy must keep the system near or below its thermal design points,
+ * conserve the batch's instruction volume, and complete. Sensor-noise
+ * injection checks robustness of the decision loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "common/logging.hh"
+#include "core/sim/experiment.hh"
+
+namespace memtherm
+{
+namespace
+{
+
+SimConfig
+gridConfig(bool aohs)
+{
+    SimConfig cfg = makeCh4Config(aohs ? coolingAohs15() : coolingFdhs10(),
+                                  false);
+    cfg.copiesPerApp = 3;
+    return cfg;
+}
+
+using GridParam = std::tuple<std::string, std::string, bool>;
+
+class PolicyGrid : public ::testing::TestWithParam<GridParam>
+{
+};
+
+TEST_P(PolicyGrid, SafetyConservationCompletion)
+{
+    auto [workload, policy_name, aohs] = GetParam();
+    SimConfig cfg = gridConfig(aohs);
+    ThermalSimulator sim(cfg);
+    Workload w = workloadMix(workload);
+
+    auto base_policy = makeCh4Policy("No-limit");
+    auto policy = makeCh4Policy(policy_name);
+    SimResult base = sim.run(w, *base_policy);
+    SimResult r = sim.run(w, *policy);
+
+    // Completion.
+    ASSERT_TRUE(r.completed);
+    // Conservation: the batch executes the same instruction volume under
+    // any policy (within the retirement-granularity slack of one window).
+    EXPECT_NEAR(r.totalInstr, base.totalInstr, 0.01 * base.totalInstr);
+    // Thermal safety: one DTM interval of inertia past the trigger is
+    // the worst case; beyond that the policy failed.
+    EXPECT_LE(r.maxAmb, cfg.limits.ambTdp + 0.1);
+    EXPECT_LE(r.maxDram, cfg.limits.dramTdp + 0.1);
+    // A thermally constrained policy can't beat no-limit by more than
+    // the cache-contention bonus allows.
+    EXPECT_GT(r.runningTime, 0.85 * base.runningTime);
+    // Energy accounting is positive and consistent.
+    EXPECT_GT(r.memEnergy, 0.0);
+    EXPECT_GT(r.cpuEnergy, 0.0);
+    EXPECT_GE(r.avgBandwidth(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ch4, PolicyGrid,
+    ::testing::Combine(::testing::Values("W1", "W4", "W6", "W8"),
+                       ::testing::Values("DTM-TS", "DTM-BW", "DTM-ACG",
+                                         "DTM-CDVFS", "DTM-ACG+PID",
+                                         "DTM-CDVFS+PID"),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<GridParam> &info) {
+        std::string name = std::get<0>(info.param) + "_" +
+                           std::get<1>(info.param) +
+                           (std::get<2>(info.param) ? "_AOHS" : "_FDHS");
+        for (char &c : name)
+            if (c == '-' || c == '+')
+                c = '_';
+        return name;
+    });
+
+TEST(SensorNoise, PolicyStaysSafeWithNoisySensors)
+{
+    // Failure injection: quantized, noisy sensors (as on the real AMBs)
+    // must not break thermal safety — at most a small excursion over the
+    // TDP bounded by the noise amplitude.
+    SimConfig cfg = gridConfig(true);
+    cfg.sensorNoiseSigma = 0.5;
+    cfg.sensorQuant = 0.5;
+    ThermalSimulator sim(cfg);
+    for (const char *name : {"DTM-BW", "DTM-ACG+PID"}) {
+        auto policy = makeCh4Policy(name);
+        SimResult r = sim.run(workloadMix("W1"), *policy);
+        EXPECT_TRUE(r.completed) << name;
+        EXPECT_LE(r.maxAmb, cfg.limits.ambTdp + 3.0 * 0.5) << name;
+    }
+}
+
+TEST(SensorNoise, DifferentSeedsDifferentRuns)
+{
+    SimConfig cfg = gridConfig(true);
+    cfg.sensorNoiseSigma = 0.5;
+    ThermalSimulator sim1(cfg);
+    cfg.sensorSeed = 1234;
+    ThermalSimulator sim2(cfg);
+    auto p1 = makeCh4Policy("DTM-BW");
+    auto p2 = makeCh4Policy("DTM-BW");
+    SimResult a = sim1.run(workloadMix("W1"), *p1);
+    SimResult b = sim2.run(workloadMix("W1"), *p2);
+    EXPECT_NE(a.runningTime, b.runningTime);
+    // But both within a whisker of each other — noise must not dominate.
+    EXPECT_NEAR(a.runningTime, b.runningTime, 0.05 * a.runningTime);
+}
+
+TEST(DtmIntervalProperty, ResultsStableAcrossReasonableIntervals)
+{
+    // Fig. 4.11's premise: 10/20/100 ms intervals agree within a few
+    // percent (the thermal time constants are tens of seconds).
+    SimConfig base = gridConfig(true);
+    std::vector<double> times;
+    for (Seconds itv : {0.01, 0.02, 0.1}) {
+        SimConfig cfg = base;
+        cfg.dtmInterval = itv;
+        ThermalSimulator sim(cfg);
+        auto policy = makeCh4Policy("DTM-BW");
+        times.push_back(sim.run(workloadMix("W2"), *policy).runningTime);
+    }
+    for (double t : times)
+        EXPECT_NEAR(t, times[0], 0.04 * times[0]);
+}
+
+TEST(BatchTail, FewerThanFourAppsAtTheEnd)
+{
+    // Section 5.3.2: at the end of a batch fewer than four applications
+    // run; the simulator must wind down rather than stall.
+    SimConfig cfg = gridConfig(true);
+    cfg.copiesPerApp = 1;
+    ThermalSimulator sim(cfg);
+    auto policy = makeCh4Policy("No-limit");
+    SimResult r = sim.run(workloadMix("W5"), *policy);
+    EXPECT_TRUE(r.completed);
+}
+
+TEST(Extremes, SingleCorePlatform)
+{
+    SimConfig cfg = gridConfig(true);
+    cfg.nCores = 1;
+    ThermalSimulator sim(cfg);
+    auto policy = makeCh4Policy("DTM-TS");
+    SimResult r = sim.run(workloadMix("W1"), *policy);
+    EXPECT_TRUE(r.completed);
+    EXPECT_LE(r.maxAmb, cfg.limits.ambTdp + 0.1);
+}
+
+TEST(Extremes, TinyThermalHeadroom)
+{
+    // An almost-impossible envelope: correctness (no TDP breach), even
+    // if progress is slow.
+    SimConfig cfg = gridConfig(true);
+    cfg.copiesPerApp = 1;
+    cfg.instrScale = 0.3;
+    cfg.ambient.tInlet = 58.0;
+    cfg.maxSimTime = 3000.0;
+    ThermalSimulator sim(cfg);
+    auto policy = makeCh4Policy("DTM-ACG");
+    SimResult r = sim.run(workloadMix("W8"), *policy);
+    EXPECT_LE(r.maxAmb, cfg.limits.ambTdp + 0.1);
+}
+
+} // namespace
+} // namespace memtherm

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Integration tests for the two-level thermal simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/sim/experiment.hh"
+
+namespace memtherm
+{
+namespace
+{
+
+/** A small but thermally meaningful configuration. */
+SimConfig
+smallConfig()
+{
+    SimConfig cfg = makeCh4Config(coolingAohs15(), false);
+    cfg.copiesPerApp = 8;
+    cfg.instrScale = 1.0;
+    cfg.traceSample = 1.0;
+    return cfg;
+}
+
+TEST(ThermalSimulator, NoLimitCompletesAndHeats)
+{
+    SimConfig cfg = smallConfig();
+    ThermalSimulator sim(cfg);
+    auto policy = makeCh4Policy("No-limit");
+    SimResult r = sim.run(workloadMix("W1"), *policy);
+    EXPECT_TRUE(r.completed);
+    EXPECT_GT(r.runningTime, 50.0);
+    // W1 is memory-hot: without DTM the AMB exceeds its TDP.
+    EXPECT_GT(r.maxAmb, 110.0);
+    EXPECT_GT(r.timeAboveAmbTdp, 0.0);
+    EXPECT_GT(r.totalTrafficGB(), 100.0);
+    EXPECT_GT(r.totalInstr, 1e11);
+}
+
+TEST(ThermalSimulator, DtmKeepsTemperatureAtOrBelowTdp)
+{
+    SimConfig cfg = smallConfig();
+    ThermalSimulator sim(cfg);
+    for (const char *name : {"DTM-TS", "DTM-BW", "DTM-ACG", "DTM-CDVFS"}) {
+        auto policy = makeCh4Policy(name);
+        SimResult r = sim.run(workloadMix("W1"), *policy);
+        EXPECT_TRUE(r.completed) << name;
+        // The DTM interval plus RC inertia allow only epsilon overshoot.
+        EXPECT_LE(r.maxAmb, 110.05) << name;
+        EXPECT_LE(r.maxDram, 85.05) << name;
+    }
+}
+
+TEST(ThermalSimulator, DtmCostsTimeButSavesHeat)
+{
+    SimConfig cfg = smallConfig();
+    ThermalSimulator sim(cfg);
+    auto base = makeCh4Policy("No-limit");
+    auto ts = makeCh4Policy("DTM-TS");
+    SimResult rb = sim.run(workloadMix("W1"), *base);
+    SimResult rt = sim.run(workloadMix("W1"), *ts);
+    EXPECT_GT(rt.runningTime, rb.runningTime * 1.2);
+    EXPECT_LT(rt.maxAmb, rb.maxAmb);
+    // Same batch -> same instruction volume.
+    EXPECT_NEAR(rt.totalInstr, rb.totalInstr, rb.totalInstr * 0.01);
+}
+
+TEST(ThermalSimulator, AcgReducesTraffic)
+{
+    SimConfig cfg = smallConfig();
+    ThermalSimulator sim(cfg);
+    auto ts = makeCh4Policy("DTM-TS");
+    auto acg = makeCh4Policy("DTM-ACG");
+    SimResult rt = sim.run(workloadMix("W1"), *ts);
+    SimResult ra = sim.run(workloadMix("W1"), *acg);
+    // Section 4.4.2: ACG cuts total memory traffic via fewer L2 misses
+    // and runs faster than TS.
+    EXPECT_LT(ra.totalTrafficGB(), rt.totalTrafficGB() * 0.95);
+    EXPECT_LT(ra.runningTime, rt.runningTime);
+    EXPECT_LT(ra.totalL2Misses, rt.totalL2Misses * 0.95);
+}
+
+TEST(ThermalSimulator, CdvfsSavesCpuEnergy)
+{
+    SimConfig cfg = smallConfig();
+    ThermalSimulator sim(cfg);
+    auto ts = makeCh4Policy("DTM-TS");
+    auto cdvfs = makeCh4Policy("DTM-CDVFS");
+    SimResult rt = sim.run(workloadMix("W1"), *ts);
+    SimResult rc = sim.run(workloadMix("W1"), *cdvfs);
+    EXPECT_LT(rc.cpuEnergy, rt.cpuEnergy * 0.80);
+}
+
+TEST(ThermalSimulator, BwBurnsCpuEnergy)
+{
+    // DTM-BW leaves the processor spinning at full speed (Section 4.4.3).
+    SimConfig cfg = smallConfig();
+    ThermalSimulator sim(cfg);
+    auto ts = makeCh4Policy("DTM-TS");
+    auto bw = makeCh4Policy("DTM-BW");
+    SimResult rt = sim.run(workloadMix("W1"), *ts);
+    SimResult rb = sim.run(workloadMix("W1"), *bw);
+    EXPECT_GT(rb.cpuEnergy, rt.cpuEnergy * 1.2);
+}
+
+TEST(ThermalSimulator, IntegratedModelRunsHotter)
+{
+    // With CPU->memory coupling the same workload reaches emergency more
+    // easily; the run takes longer under the same policy.
+    SimConfig iso = smallConfig();
+    SimConfig integ = makeCh4Config(coolingAohs15(), true);
+    integ.copiesPerApp = iso.copiesPerApp;
+    ThermalSimulator sim_iso(iso), sim_int(integ);
+    auto p1 = makeCh4Policy("DTM-BW");
+    auto p2 = makeCh4Policy("DTM-BW");
+    SimResult r_iso = sim_iso.run(workloadMix("W5"), *p1);
+    SimResult r_int = sim_int.run(workloadMix("W5"), *p2);
+    // Integrated inlet rises above its 45C baseline.
+    EXPECT_GT(r_int.inletTrace.max(), 47.0);
+}
+
+TEST(ThermalSimulator, TracesCoverRun)
+{
+    SimConfig cfg = smallConfig();
+    ThermalSimulator sim(cfg);
+    auto policy = makeCh4Policy("DTM-TS");
+    SimResult r = sim.run(workloadMix("W6"), *policy);
+    EXPECT_NEAR(r.ambTrace.duration(), r.runningTime, 2.0);
+    EXPECT_GT(r.ambTrace.max(), 100.0);
+    EXPECT_EQ(r.ambTrace.size(), r.cpuPowerTrace.size());
+}
+
+TEST(ThermalSimulator, EnergyEqualsPowerIntegral)
+{
+    SimConfig cfg = smallConfig();
+    ThermalSimulator sim(cfg);
+    auto policy = makeCh4Policy("DTM-BW");
+    SimResult r = sim.run(workloadMix("W8"), *policy);
+    // The 1 Hz CPU power trace integral must approximate the exact
+    // accumulated energy.
+    EXPECT_NEAR(r.cpuPowerTrace.integral(), r.cpuEnergy,
+                0.02 * r.cpuEnergy);
+}
+
+TEST(ThermalSimulator, DeterministicRuns)
+{
+    SimConfig cfg = smallConfig();
+    ThermalSimulator sim(cfg);
+    auto p1 = makeCh4Policy("DTM-ACG");
+    auto p2 = makeCh4Policy("DTM-ACG");
+    SimResult a = sim.run(workloadMix("W3"), *p1);
+    SimResult b = sim.run(workloadMix("W3"), *p2);
+    EXPECT_DOUBLE_EQ(a.runningTime, b.runningTime);
+    EXPECT_DOUBLE_EQ(a.totalTrafficGB(), b.totalTrafficGB());
+    EXPECT_DOUBLE_EQ(a.memEnergy, b.memEnergy);
+}
+
+TEST(ThermalSimulator, ConfigValidation)
+{
+    SimConfig cfg = smallConfig();
+    cfg.window = 0.02;
+    cfg.dtmInterval = 0.01; // interval < window is invalid
+    EXPECT_THROW(ThermalSimulator{cfg}, PanicError);
+}
+
+} // namespace
+} // namespace memtherm

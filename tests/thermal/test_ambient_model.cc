@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Unit tests for the DRAM-ambient model (Eq. 3.6, Table 3.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/thermal/ambient_model.hh"
+
+namespace memtherm
+{
+namespace
+{
+
+TEST(AmbientModel, IsolatedIsConstant)
+{
+    AmbientModel m(isolatedAmbient(coolingAohs15()));
+    EXPECT_FALSE(m.integrated());
+    EXPECT_DOUBLE_EQ(m.temperature(), 50.0);
+    // Even with furious CPU activity the isolated ambient does not move.
+    m.advance(10.0, 0.0, 100.0);
+    EXPECT_DOUBLE_EQ(m.temperature(), 50.0);
+}
+
+TEST(AmbientModel, Equation36Stable)
+{
+    AmbientModel m(integratedAmbient(coolingAohs15()));
+    EXPECT_TRUE(m.integrated());
+    // TA_stable = 45 + 1.5 * sum(V * IPC).
+    EXPECT_NEAR(m.stable(6.2), 45.0 + 1.5 * 6.2, 1e-12);
+}
+
+TEST(AmbientModel, CpuPreheatsAirByAboutTenDegrees)
+{
+    // Four cores at 1.55 V and IPC ~1 preheat the cooling air by ~9 degC
+    // (Section 5.4.3 reports ~10 degC on the real machine).
+    AmbientModel m(integratedAmbient(coolingAohs15()));
+    double sum_v_ipc = 4 * 1.55 * 1.0;
+    EXPECT_NEAR(m.stable(sum_v_ipc) - 45.0, 9.3, 0.5);
+}
+
+TEST(AmbientModel, AdvanceFollowsRcDynamics)
+{
+    AmbientParams p = integratedAmbient(coolingAohs15());
+    AmbientModel m(p);
+    double sum_v_ipc = 4.0;
+    // One tau: 1 - 1/e of the gap covered.
+    m.advance(sum_v_ipc, 0.0, p.tauCpuDram);
+    double gap = m.stable(sum_v_ipc) - p.tInlet;
+    double expected = p.tInlet + gap * (1.0 - std::exp(-1.0));
+    EXPECT_NEAR(m.temperature(), expected, 1e-9);
+}
+
+TEST(AmbientModel, LowerVoltageLowersAmbient)
+{
+    // The DTM-CDVFS mechanism: dropping V and IPC lowers the stable
+    // memory ambient temperature.
+    AmbientModel m(integratedAmbient(coolingFdhs10()));
+    double full = m.stable(4 * 1.55 * 1.0);
+    double scaled = m.stable(4 * 1.15 * 0.5);
+    EXPECT_GT(full - scaled, 3.0);
+}
+
+TEST(AmbientModel, ResetRestoresInlet)
+{
+    AmbientModel m(integratedAmbient(coolingAohs15()));
+    m.advance(8.0, 0.0, 100.0);
+    EXPECT_GT(m.temperature(), 45.0);
+    m.reset(45.0);
+    EXPECT_DOUBLE_EQ(m.temperature(), 45.0);
+}
+
+} // namespace
+} // namespace memtherm

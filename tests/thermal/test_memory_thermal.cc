@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for the whole-subsystem thermal model, including the
+ * paper-consistency checks of DESIGN.md Section 6.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/thermal/memory_thermal.hh"
+
+namespace memtherm
+{
+namespace
+{
+
+MemoryThermalModel
+makeModel(const CoolingConfig &cooling, Celsius t0)
+{
+    return MemoryThermalModel(MemoryOrgConfig{4, 4}, cooling,
+                              DimmPowerModel{}, t0);
+}
+
+TEST(MemoryThermal, HotDimmExceedsAmbTdpUnderAohs15)
+{
+    // DESIGN.md check: a fully loaded channel (~14+ GB/s system) must push
+    // the hottest AMB past its 110 degC TDP under AOHS_1.5 at 50 degC
+    // ambient — otherwise no thermal emergency would ever occur.
+    auto m = makeModel(coolingAohs15(), 50.0);
+    EXPECT_GT(m.stableHottestAmb(12.0, 4.0, 50.0), 110.0);
+    // ... while a 6.4 GB/s-capped system settles below the TDP
+    // (the paper's Fig. 4.6 shows BW throttling between 6.4 and 12.8).
+    EXPECT_LT(m.stableHottestAmb(5.0, 1.4, 50.0), 110.0);
+}
+
+TEST(MemoryThermal, DramBindsFirstUnderFdhs10)
+{
+    // Section 4.4.1: under FDHS_1.0 the DRAMs usually enter thermal
+    // emergency before the AMBs; under AOHS_1.5 the AMBs enter first.
+    auto fdhs = makeModel(coolingFdhs10(), 45.0);
+    GBps rd = 12.0, wr = 4.0;
+    double amb_margin =
+        110.0 - fdhs.stableHottestAmb(rd, wr, 45.0);
+    double dram_margin =
+        85.0 - fdhs.stableHottestDram(rd, wr, 45.0);
+    EXPECT_LT(dram_margin, amb_margin);
+    EXPECT_LT(dram_margin, 0.0); // actually in emergency
+
+    auto aohs = makeModel(coolingAohs15(), 50.0);
+    double amb_margin2 = 110.0 - aohs.stableHottestAmb(rd, wr, 50.0);
+    double dram_margin2 = 85.0 - aohs.stableHottestDram(rd, wr, 50.0);
+    EXPECT_LT(amb_margin2, dram_margin2);
+}
+
+TEST(MemoryThermal, FirstDimmIsHottest)
+{
+    // Uniform interleave: DIMM 0 carries the most bypass traffic, so its
+    // AMB runs hottest.
+    auto m = makeModel(coolingAohs15(), 50.0);
+    m.advance(12.0, 4.0, 50.0, 500.0);
+    auto temps = m.dimmTemps();
+    ASSERT_EQ(temps.size(), 4u);
+    for (std::size_t i = 1; i < temps.size(); ++i)
+        EXPECT_GT(temps[0].amb, temps[i].amb);
+}
+
+TEST(MemoryThermal, SubsystemPowerScalesWithChannels)
+{
+    auto m1 = MemoryThermalModel(MemoryOrgConfig{1, 4}, coolingAohs15(),
+                                 DimmPowerModel{}, 50.0);
+    auto m4 = MemoryThermalModel(MemoryOrgConfig{4, 4}, coolingAohs15(),
+                                 DimmPowerModel{}, 50.0);
+    // Same per-channel traffic load in both.
+    Watts p1 = m1.subsystemPower(3.0, 1.0);
+    Watts p4 = m4.subsystemPower(12.0, 4.0);
+    EXPECT_NEAR(p4, 4.0 * p1, 1e-9);
+}
+
+TEST(MemoryThermal, IdlePowerIsTensOfWatts)
+{
+    // 16 DIMMs at ~5-6 W idle each: the static floor is large, which is
+    // why FBDIMM power is dominated by its static component (Sec. 5.4.4).
+    auto m = makeModel(coolingAohs15(), 50.0);
+    Watts idle = m.subsystemPower(0.0, 0.0);
+    EXPECT_GT(idle, 80.0);
+    EXPECT_LT(idle, 120.0);
+}
+
+TEST(MemoryThermal, AdvanceTracksStable)
+{
+    auto m = makeModel(coolingAohs15(), 50.0);
+    for (int i = 0; i < 400; ++i)
+        m.advance(8.0, 2.0, 50.0, 10.0);
+    MemoryThermalSample cur = m.current();
+    EXPECT_NEAR(cur.hottestAmb, m.stableHottestAmb(8.0, 2.0, 50.0), 1e-5);
+    EXPECT_NEAR(cur.hottestDram, m.stableHottestDram(8.0, 2.0, 50.0), 1e-5);
+}
+
+TEST(MemoryThermal, CoolingAfterLoadRemoval)
+{
+    auto m = makeModel(coolingAohs15(), 50.0);
+    m.advance(12.0, 4.0, 50.0, 1000.0);
+    Celsius hot = m.current().hottestAmb;
+    m.advance(0.0, 0.0, 50.0, 1000.0);
+    Celsius cooled = m.current().hottestAmb;
+    EXPECT_LT(cooled, hot);
+    EXPECT_NEAR(cooled, m.stableHottestAmb(0.0, 0.0, 50.0), 0.5);
+}
+
+TEST(MemoryThermal, ResetRestoresAllNodes)
+{
+    auto m = makeModel(coolingAohs15(), 50.0);
+    m.advance(12.0, 4.0, 50.0, 100.0);
+    m.reset(50.0);
+    for (const auto &t : m.dimmTemps()) {
+        EXPECT_DOUBLE_EQ(t.amb, 50.0);
+        EXPECT_DOUBLE_EQ(t.dram, 50.0);
+    }
+}
+
+} // namespace
+} // namespace memtherm

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for the first-order RC thermal node (Eq. 3.5).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+#include "core/thermal/rc_node.hh"
+
+namespace memtherm
+{
+namespace
+{
+
+TEST(RcNode, ClassicStepResponse)
+{
+    // After exactly tau, the gap to the stable temperature shrinks by 1/e
+    // (the defining property quoted in Section 3.4).
+    RcNode n(50.0, 40.0);
+    n.advance(100.0, 50.0);
+    double expected = 40.0 + (100.0 - 40.0) * (1.0 - std::exp(-1.0));
+    EXPECT_NEAR(n.temperature(), expected, 1e-12);
+}
+
+TEST(RcNode, ZeroStepIsIdentity)
+{
+    RcNode n(50.0, 75.0);
+    n.advance(120.0, 0.0);
+    EXPECT_DOUBLE_EQ(n.temperature(), 75.0);
+}
+
+TEST(RcNode, ManySmallStepsEqualOneBigStep)
+{
+    RcNode a(50.0, 40.0), b(50.0, 40.0);
+    a.advance(100.0, 10.0);
+    for (int i = 0; i < 1000; ++i)
+        b.advance(100.0, 0.01);
+    EXPECT_NEAR(a.temperature(), b.temperature(), 1e-9);
+}
+
+TEST(RcNode, ConvergesToStable)
+{
+    RcNode n(50.0, 40.0);
+    for (int i = 0; i < 100; ++i)
+        n.advance(110.0, 50.0);
+    EXPECT_NEAR(n.temperature(), 110.0, 1e-6);
+}
+
+TEST(RcNode, CoolsTowardLowerStable)
+{
+    RcNode n(50.0, 110.0);
+    n.advance(60.0, 25.0);
+    EXPECT_LT(n.temperature(), 110.0);
+    EXPECT_GT(n.temperature(), 60.0);
+}
+
+TEST(RcNode, NeverOvershootsStable)
+{
+    RcNode n(50.0, 40.0);
+    for (int i = 0; i < 10000; ++i) {
+        n.advance(100.0, 1.0);
+        EXPECT_LE(n.temperature(), 100.0 + 1e-9);
+    }
+}
+
+TEST(RcNode, TimeToReachMatchesAdvance)
+{
+    RcNode n(50.0, 40.0);
+    Seconds t = n.timeToReach(70.0, 100.0);
+    ASSERT_TRUE(std::isfinite(t));
+    n.advance(100.0, t);
+    EXPECT_NEAR(n.temperature(), 70.0, 1e-9);
+}
+
+TEST(RcNode, TimeToReachUnreachable)
+{
+    RcNode n(50.0, 40.0);
+    // Target beyond the stable temperature is unreachable.
+    EXPECT_TRUE(std::isinf(n.timeToReach(110.0, 100.0)));
+    // Target on the wrong side (cooling asked while heating).
+    EXPECT_TRUE(std::isinf(n.timeToReach(30.0, 100.0)));
+    // Current temperature: zero time.
+    EXPECT_DOUBLE_EQ(n.timeToReach(40.0, 100.0), 0.0);
+}
+
+TEST(RcNode, PaperTauValues)
+{
+    // tau_AMB = 50 s, tau_DRAM = 100 s (Table 3.2): the AMB responds
+    // twice as fast as the DRAM devices.
+    RcNode amb(50.0, 50.0), dram(100.0, 50.0);
+    amb.advance(110.0, 10.0);
+    dram.advance(110.0, 10.0);
+    EXPECT_GT(amb.temperature(), dram.temperature());
+}
+
+TEST(RcNode, InvalidArgsPanic)
+{
+    EXPECT_THROW(RcNode(0.0, 40.0), PanicError);
+    RcNode n(50.0, 40.0);
+    EXPECT_THROW(n.advance(100.0, -1.0), PanicError);
+}
+
+} // namespace
+} // namespace memtherm

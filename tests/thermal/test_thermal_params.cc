@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for the thermal parameter tables (Tables 3.2 and 3.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/thermal/thermal_params.hh"
+
+namespace memtherm
+{
+namespace
+{
+
+TEST(ThermalParams, Table32Aohs15)
+{
+    // The bold column used in the paper's experiments.
+    CoolingConfig c = coolingAohs15();
+    EXPECT_DOUBLE_EQ(c.psiAmb, 9.3);
+    EXPECT_DOUBLE_EQ(c.psiDramToAmb, 3.4);
+    EXPECT_DOUBLE_EQ(c.psiDram, 4.0);
+    EXPECT_DOUBLE_EQ(c.psiAmbToDram, 4.1);
+    EXPECT_DOUBLE_EQ(c.tauAmb, 50.0);
+    EXPECT_DOUBLE_EQ(c.tauDram, 100.0);
+    EXPECT_EQ(c.name(), "AOHS_1.5");
+}
+
+TEST(ThermalParams, Table32Fdhs10)
+{
+    CoolingConfig c = coolingFdhs10();
+    EXPECT_DOUBLE_EQ(c.psiAmb, 8.0);
+    EXPECT_DOUBLE_EQ(c.psiDramToAmb, 4.4);
+    EXPECT_DOUBLE_EQ(c.psiDram, 4.0);
+    EXPECT_DOUBLE_EQ(c.psiAmbToDram, 5.7);
+    EXPECT_EQ(c.name(), "FDHS_1.0");
+}
+
+TEST(ThermalParams, FasterAirMeansLowerResistance)
+{
+    for (auto s : {HeatSpreader::AOHS, HeatSpreader::FDHS}) {
+        CoolingConfig v10 = coolingConfig(s, AirVelocity::MPS_1_0);
+        CoolingConfig v15 = coolingConfig(s, AirVelocity::MPS_1_5);
+        CoolingConfig v30 = coolingConfig(s, AirVelocity::MPS_3_0);
+        EXPECT_GT(v10.psiAmb, v15.psiAmb);
+        EXPECT_GT(v15.psiAmb, v30.psiAmb);
+        EXPECT_GT(v10.psiDram, v15.psiDram);
+        EXPECT_GT(v15.psiDram, v30.psiDram);
+    }
+}
+
+TEST(ThermalParams, FdhsCouplesAmbToDramMoreThanAohs)
+{
+    // The full-DIMM heat spreader adds a heat-exchange path between the
+    // AMB and the DRAMs (Section 3.4).
+    for (auto v : {AirVelocity::MPS_1_0, AirVelocity::MPS_1_5,
+                   AirVelocity::MPS_3_0}) {
+        CoolingConfig aohs = coolingConfig(HeatSpreader::AOHS, v);
+        CoolingConfig fdhs = coolingConfig(HeatSpreader::FDHS, v);
+        EXPECT_GT(fdhs.psiAmbToDram, aohs.psiAmbToDram);
+        // And it sinks AMB heat better.
+        EXPECT_LT(fdhs.psiAmb, aohs.psiAmb);
+    }
+}
+
+TEST(ThermalParams, Table33AmbientValues)
+{
+    // Isolated model: 50 degC inlet at AOHS_1.5, 45 at FDHS_1.0, no CPU
+    // coupling. Integrated model: 5 degC lower inlet, coupling 1.5.
+    AmbientParams iso_aohs = isolatedAmbient(coolingAohs15());
+    EXPECT_DOUBLE_EQ(iso_aohs.tInlet, 50.0);
+    EXPECT_DOUBLE_EQ(iso_aohs.psiCpuMemXi, 0.0);
+
+    AmbientParams iso_fdhs = isolatedAmbient(coolingFdhs10());
+    EXPECT_DOUBLE_EQ(iso_fdhs.tInlet, 45.0);
+
+    AmbientParams int_aohs = integratedAmbient(coolingAohs15());
+    EXPECT_DOUBLE_EQ(int_aohs.tInlet, 45.0);
+    EXPECT_DOUBLE_EQ(int_aohs.psiCpuMemXi, 1.5);
+    EXPECT_DOUBLE_EQ(int_aohs.tauCpuDram, 20.0);
+
+    AmbientParams int_fdhs = integratedAmbient(coolingFdhs10());
+    EXPECT_DOUBLE_EQ(int_fdhs.tInlet, 40.0);
+}
+
+TEST(ThermalParams, DefaultLimits)
+{
+    ThermalLimits lim;
+    EXPECT_DOUBLE_EQ(lim.ambTdp, 110.0);
+    EXPECT_DOUBLE_EQ(lim.dramTdp, 85.0);
+    EXPECT_DOUBLE_EQ(lim.ambTrp, 109.0);
+    EXPECT_DOUBLE_EQ(lim.dramTrp, 84.0);
+}
+
+} // namespace
+} // namespace memtherm

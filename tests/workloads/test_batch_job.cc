@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for workload mixes and batch jobs (Tables 4.2/5.2,
+ * Section 4.3.2 batch semantics).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "workloads/workload.hh"
+
+namespace memtherm
+{
+namespace
+{
+
+TEST(WorkloadMix, Table42Contents)
+{
+    Workload w1 = workloadMix("W1");
+    ASSERT_EQ(w1.apps.size(), 4u);
+    EXPECT_EQ(w1.apps[0]->name, "swim");
+    EXPECT_EQ(w1.apps[3]->name, "galgel");
+
+    Workload w8 = workloadMix("W8");
+    EXPECT_EQ(w8.apps[0]->name, "galgel");
+    EXPECT_EQ(w8.apps[2]->name, "vpr");
+}
+
+TEST(WorkloadMix, Table52Cpu2006Mixes)
+{
+    Workload w11 = workloadMix("W11");
+    EXPECT_EQ(w11.apps[0]->name, "milc");
+    EXPECT_EQ(w11.apps[3]->name, "GemsFDTD");
+    Workload w12 = workloadMix("W12");
+    EXPECT_EQ(w12.apps[0]->name, "libquantum");
+    EXPECT_EQ(w12.apps[3]->name, "wrf");
+}
+
+TEST(WorkloadMix, UnknownMixIsFatal)
+{
+    EXPECT_THROW(workloadMix("W99"), FatalError);
+}
+
+TEST(WorkloadMix, EightCpu2000Mixes)
+{
+    auto mixes = cpu2000Mixes();
+    ASSERT_EQ(mixes.size(), 8u);
+    for (const auto &m : mixes)
+        EXPECT_EQ(m.apps.size(), 4u);
+}
+
+TEST(WorkloadMix, HomogeneousCopies)
+{
+    Workload w = homogeneous("swim", 4);
+    ASSERT_EQ(w.apps.size(), 4u);
+    for (const auto *a : w.apps)
+        EXPECT_EQ(a->name, "swim");
+    EXPECT_EQ(w.name, "swimx4");
+}
+
+TEST(BatchJob, PoolSizeAndInterleaving)
+{
+    BatchJob job(workloadMix("W1"), 3);
+    EXPECT_EQ(job.total(), 12);
+    // Dispatch order interleaves apps: copy 0 of each app first.
+    auto *a = job.nextPending();
+    auto *b = job.nextPending();
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(a->app->name, "swim");
+    EXPECT_EQ(b->app->name, "mgrid");
+}
+
+TEST(BatchJob, InstrScaleApplies)
+{
+    BatchJob job(workloadMix("W1"), 1, 0.5);
+    auto *a = job.nextPending();
+    const auto &app = *a->app;
+    EXPECT_NEAR(a->remainingInstr, app.instrBillions * 1e9 * 0.5, 1.0);
+}
+
+TEST(BatchJob, RetireAndDone)
+{
+    BatchJob job(homogeneous("swim", 1), 2);
+    EXPECT_FALSE(job.done());
+    auto *a = job.nextPending();
+    auto *b = job.nextPending();
+    EXPECT_EQ(job.nextPending(), nullptr);
+    a->remainingInstr = 0.0;
+    job.retire(a);
+    EXPECT_FALSE(job.done());
+    b->remainingInstr = -1.0;
+    job.retire(b);
+    EXPECT_TRUE(job.done());
+    EXPECT_EQ(job.finished(), 2);
+}
+
+TEST(BatchJob, RetiringUnfinishedPanics)
+{
+    BatchJob job(homogeneous("swim", 1), 1);
+    auto *a = job.nextPending();
+    EXPECT_THROW(job.retire(a), PanicError);
+}
+
+TEST(BatchJob, InvalidArgsPanic)
+{
+    EXPECT_THROW(BatchJob(workloadMix("W1"), 0), PanicError);
+    EXPECT_THROW(BatchJob(workloadMix("W1"), 1, 0.0), PanicError);
+}
+
+} // namespace
+} // namespace memtherm

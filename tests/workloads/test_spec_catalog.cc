@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Unit tests for the application catalog and the paper's throughput-class
+ * calibration anchors (Section 4.3.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/logging.hh"
+#include "cpu/perf_model.hh"
+#include "workloads/spec_catalog.hh"
+#include "workloads/workload.hh"
+
+namespace memtherm
+{
+namespace
+{
+
+/** Homogeneous 4-copy throughput at full speed on the Ch. 4 platform. */
+double
+homogeneousThroughput(const std::string &name)
+{
+    const auto &app = SpecCatalog::instance().byName(name);
+    CoreTask t;
+    t.cpiCore = app.cpiCore;
+    t.mpki = mpkiAtSharers(app.cache, 4.0);
+    t.writeFrac = app.writeFrac;
+    t.specFrac = app.specFrac;
+    t.mlpOverlap = app.mlpOverlap;
+    std::vector<CoreTask> tasks(4, t);
+    WindowPerf p = solvePerfWindow(
+        tasks, 3.2, 3.2, std::numeric_limits<double>::infinity(), {});
+    return p.totalRead + p.totalWrite;
+}
+
+TEST(SpecCatalog, TwentyApplications)
+{
+    const auto &cat = SpecCatalog::instance();
+    EXPECT_EQ(cat.all().size(), 20u);
+    EXPECT_EQ(cat.bySuite(Suite::CPU2000).size(), 12u);
+    EXPECT_EQ(cat.bySuite(Suite::CPU2006).size(), 8u);
+}
+
+TEST(SpecCatalog, UnknownNameIsFatal)
+{
+    EXPECT_THROW(SpecCatalog::instance().byName("gap"), FatalError);
+}
+
+TEST(SpecCatalog, HighBandwidthClass)
+{
+    // Section 4.3.2: these eight exceed 10 GB/s with four copies.
+    for (const char *name : {"swim", "mgrid", "applu", "galgel", "art",
+                             "equake", "lucas", "fma3d"}) {
+        EXPECT_GT(homogeneousThroughput(name), 10.0) << name;
+    }
+}
+
+TEST(SpecCatalog, ModerateBandwidthClass)
+{
+    // ... and these four land between 5 and 10 GB/s.
+    for (const char *name : {"wupwise", "vpr", "mcf", "apsi"}) {
+        double t = homogeneousThroughput(name);
+        EXPECT_GT(t, 5.0) << name;
+        EXPECT_LT(t, 10.0) << name;
+    }
+}
+
+TEST(SpecCatalog, CacheSensitiveAppsHaveLargeGap)
+{
+    const auto &cat = SpecCatalog::instance();
+    for (const char *name : {"galgel", "art", "vpr", "apsi"}) {
+        const auto &a = cat.byName(name);
+        EXPECT_GT(a.cache.mpkiShared / a.cache.mpkiSolo, 2.0) << name;
+    }
+    // Streaming codes are nearly insensitive.
+    for (const char *name : {"swim", "lucas", "libquantum"}) {
+        const auto &a = cat.byName(name);
+        EXPECT_LT(a.cache.mpkiShared / a.cache.mpkiSolo, 1.3) << name;
+    }
+}
+
+TEST(SpecCatalog, PhaseFactorBounds)
+{
+    for (const auto &a : SpecCatalog::instance().all()) {
+        for (double t = 0.0; t < 200.0; t += 7.3) {
+            double f = phaseFactor(a, t);
+            EXPECT_GE(f, 1.0 - a.phaseAmp - 1e-12);
+            EXPECT_LE(f, 1.0 + a.phaseAmp + 1e-12);
+        }
+    }
+}
+
+TEST(SpecCatalog, PhaseFactorPeriodicity)
+{
+    const auto &a = SpecCatalog::instance().byName("swim");
+    EXPECT_NEAR(phaseFactor(a, 10.0), phaseFactor(a, 10.0 + a.phasePeriod),
+                1e-9);
+}
+
+} // namespace
+} // namespace memtherm
