@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/table.hh"
+#include "core/sim/engine.hh"
 #include "core/sim/experiment.hh"
 #include "testbed/platform.hh"
 
@@ -28,6 +29,33 @@ namespace memtherm::bench
 inline constexpr int kCh4Copies = 25;
 /** Batch depth used by the Chapter 5 harnesses. */
 inline constexpr int kCh5Copies = 6;
+
+/**
+ * Process-wide experiment engine shared by the harness binaries: sized
+ * by MEMTHERM_THREADS (default: hardware concurrency), so every figure
+ * harness parallelizes the same way without per-binary plumbing.
+ */
+inline ExperimentEngine &
+engine()
+{
+    static ExperimentEngine e;
+    return e;
+}
+
+/** Build one Chapter 4 engine run. */
+inline ExperimentEngine::Run
+ch4Run(const SimConfig &cfg, const Workload &w, const std::string &policy)
+{
+    return {cfg, w, policy, {}};
+}
+
+/** Build one Chapter 5 engine run (see ch5EngineRun for the protocol). */
+inline ExperimentEngine::Run
+ch5Run(const Platform &plat, const Workload &w, const std::string &policy,
+       int copies = kCh5Copies, std::size_t dvfs_floor = 0)
+{
+    return ch5EngineRun(plat, w, policy, copies, dvfs_floor);
+}
 
 /** Chapter 4 configuration with the harness batch depth. */
 inline SimConfig
@@ -53,13 +81,9 @@ inline SimResult
 runCh5(const Platform &plat, const Workload &w, const std::string &policy,
        int copies = kCh5Copies, std::size_t dvfs_floor = 0)
 {
-    SimConfig cfg = plat.sim;
-    cfg.copiesPerApp = copies;
-    // Paper protocol: the SR1500AL no-limit baseline runs in a 26 C room.
-    if (policy == "No-limit" && cfg.ambient.tInlet > 26.0)
-        cfg.ambient.tInlet = 26.0;
-    ThermalSimulator sim(cfg);
-    auto p = makeCh5Policy(plat, policy, dvfs_floor);
+    ExperimentEngine::Run r = ch5Run(plat, w, policy, copies, dvfs_floor);
+    ThermalSimulator sim(r.cfg);
+    auto p = r.factory(r.cfg, r.policy);
     return sim.run(w, *p);
 }
 

@@ -9,7 +9,7 @@
 #include <iostream>
 
 #include "common/table.hh"
-#include "core/sim/experiment.hh"
+#include "core/sim/engine.hh"
 #include "workloads/spec_catalog.hh"
 
 using namespace memtherm;
@@ -80,14 +80,16 @@ main()
     Table pol("W1 quick policy comparison (AOHS_1.5)",
               {"policy", "time s", "norm", "traffic GB", "maxAmb",
                "avgBW", "instr/B", "cpuE kJ", "memE kJ"});
-    ThermalSimulator sim(quick);
     Workload w1 = workloadMix("W1");
-    double base = 0.0;
+    std::vector<ExperimentEngine::Run> runs;
     for (const auto &name :
          {"No-limit", "DTM-TS", "DTM-BW", "DTM-ACG", "DTM-CDVFS",
           "DTM-BW+PID", "DTM-ACG+PID", "DTM-CDVFS+PID"}) {
-        auto policy = makeCh4Policy(name, quick.dtmInterval);
-        SimResult r = sim.run(w1, *policy);
+        runs.push_back({quick, w1, name, {}});
+    }
+    ExperimentEngine engine;
+    double base = 0.0;
+    for (const SimResult &r : engine.run(runs)) {
         if (base == 0.0)
             base = r.runningTime;
         pol.addRow({r.policy, Table::num(r.runningTime, 1),

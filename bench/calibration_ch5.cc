@@ -15,7 +15,8 @@ namespace
 {
 
 void
-quickSuite(const Platform &p, const char *mix_name)
+quickSuite(ExperimentEngine &engine, const Platform &p,
+           const char *mix_name)
 {
     Platform plat = p;
     plat.sim.copiesPerApp = 10;
@@ -23,15 +24,13 @@ quickSuite(const Platform &p, const char *mix_name)
             {"policy", "time s", "norm", "L2 miss B", "inlet C", "cpu W",
              "maxAmb"});
     Workload w = workloadMix(mix_name);
-    double base = 0.0, base_miss = 0.0;
+    std::vector<ExperimentEngine::Run> runs;
     for (const char *name :
          {"No-limit", "DTM-BW", "DTM-ACG", "DTM-CDVFS", "DTM-COMB"}) {
-        SimConfig cfg = plat.sim;
-        if (std::string(name) == "No-limit" && cfg.ambient.tInlet > 26.0)
-            cfg.ambient.tInlet = 26.0;
-        ThermalSimulator sim(cfg);
-        auto policy = makeCh5Policy(plat, name);
-        SimResult r = sim.run(w, *policy);
+        runs.push_back(ch5EngineRun(plat, w, name, plat.sim.copiesPerApp));
+    }
+    double base = 0.0, base_miss = 0.0;
+    for (const SimResult &r : engine.run(runs)) {
         if (base == 0.0) {
             base = r.runningTime;
             base_miss = r.totalL2Misses;
@@ -51,26 +50,35 @@ quickSuite(const Platform &p, const char *mix_name)
 int
 main()
 {
+    // One pool for every batch in this harness.
+    ExperimentEngine engine;
+
     // Homogeneous temperature anchors (Figs. 5.4 / 5.5).
+    const std::vector<const char *> apps{"swim", "galgel", "apsi", "vpr"};
     for (const Platform &p : {sr1500al(), pe1950()}) {
         Table t(p.name + " homogeneous no-DTM anchor",
                 {"app", "avgAmb", "maxAmb", "inlet"});
-        for (const char *app : {"swim", "galgel", "apsi", "vpr"}) {
+        std::vector<ExperimentEngine::Run> runs;
+        for (const char *app : apps) {
             SimConfig cfg = p.sim;
             cfg.copiesPerApp = 2;
-            ThermalSimulator sim(cfg);
-            auto policy = makeCh5Policy(p, "DTM-BW"); // safety-capped
-            SimResult r = sim.run(homogeneous(app, 4), *policy);
-            t.addRow({app, Table::num(r.ambTrace.mean(), 1),
+            // DTM-BW: safety-capped.
+            runs.push_back({std::move(cfg), homogeneous(app, 4), "DTM-BW",
+                            ch5PolicyFactory(p)});
+        }
+        std::vector<SimResult> results = engine.run(runs);
+        for (std::size_t i = 0; i < apps.size(); ++i) {
+            const SimResult &r = results[i];
+            t.addRow({apps[i], Table::num(r.ambTrace.mean(), 1),
                       Table::num(r.maxAmb, 1),
                       Table::num(r.inletTrace.mean(), 1)});
         }
         t.print(std::cout);
     }
 
-    quickSuite(sr1500al(), "W1");
-    quickSuite(sr1500al(), "W8");
-    quickSuite(pe1950(), "W1");
-    quickSuite(pe1950(), "W8");
+    quickSuite(engine, sr1500al(), "W1");
+    quickSuite(engine, sr1500al(), "W8");
+    quickSuite(engine, pe1950(), "W1");
+    quickSuite(engine, pe1950(), "W8");
     return 0;
 }

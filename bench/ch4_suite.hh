@@ -13,7 +13,10 @@
 namespace memtherm::bench
 {
 
-/** Run the Fig. 4.3/4.4/4.9/4.10 matrix for one cooling config. */
+/**
+ * Run the Fig. 4.3/4.4/4.9/4.10 matrix for one cooling config, fanned
+ * out over the shared harness engine (MEMTHERM_THREADS).
+ */
 inline SuiteResults
 ch4Suite(const CoolingConfig &cooling, bool with_no_limit,
          bool integrated = false)
@@ -22,7 +25,7 @@ ch4Suite(const CoolingConfig &cooling, bool with_no_limit,
     std::vector<std::string> policies = ch4PolicyNames(true);
     if (with_no_limit)
         policies.insert(policies.begin(), "No-limit");
-    return runSuite(cfg, cpu2000Mixes(), policies);
+    return engine().runSuite(cfg, cpu2000Mixes(), policies);
 }
 
 /** Workload-name row order. */

@@ -13,18 +13,19 @@
 namespace memtherm::bench
 {
 
-/** Run the Chapter 5 matrix on a platform. */
+/**
+ * Run the Chapter 5 matrix on a platform at the harness batch depth,
+ * fanned out in parallel by runCh5Suite (MEMTHERM_THREADS).
+ */
 inline SuiteResults
 ch5SuiteRun(const Platform &plat, bool with_no_limit = true)
 {
     std::vector<std::string> policies = ch5PolicyNames();
     if (with_no_limit)
         policies.insert(policies.begin(), "No-limit");
-    SuiteResults out;
-    for (const Workload &w : cpu2000Mixes())
-        for (const auto &pname : policies)
-            out[w.name][pname] = runCh5(plat, w, pname);
-    return out;
+    Platform p = plat;
+    p.sim.copiesPerApp = kCh5Copies;
+    return runCh5Suite(p, cpu2000Mixes(), policies);
 }
 
 inline std::vector<std::string>

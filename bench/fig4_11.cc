@@ -26,17 +26,27 @@ main()
                     cooling.name() + "), normalized to 10 ms",
                 headers);
 
+        // One flat engine batch over (policy, workload, interval).
+        std::vector<Workload> mixes = cpu2000Mixes();
+        std::vector<ExperimentEngine::Run> runs;
         for (const auto &pname : policies) {
-            std::vector<double> avg(intervals.size(), 0.0);
-            std::vector<Workload> mixes = cpu2000Mixes();
             for (const Workload &w : mixes) {
                 for (std::size_t i = 0; i < intervals.size(); ++i) {
                     SimConfig cfg = ch4Config(cooling, false, 12);
                     cfg.dtmInterval = intervals[i];
                     cfg.window = std::min(cfg.window, intervals[i]);
-                    avg[i] += runCh4(cfg, w, pname).runningTime;
+                    runs.push_back(ch4Run(cfg, w, pname));
                 }
             }
+        }
+        std::vector<SimResult> results = engine().run(runs);
+
+        std::size_t k = 0;
+        for (const auto &pname : policies) {
+            std::vector<double> avg(intervals.size(), 0.0);
+            for (std::size_t wi = 0; wi < mixes.size(); ++wi)
+                for (std::size_t i = 0; i < intervals.size(); ++i)
+                    avg[i] += results[k++].runningTime;
             std::vector<std::string> row{pname};
             for (double v : avg)
                 row.push_back(Table::num(v / avg[1], 3));

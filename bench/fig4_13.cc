@@ -27,16 +27,27 @@ main()
             headers);
 
     std::vector<Workload> mixes = cpu2000Mixes();
+
+    // The interaction-degree sweep is a natural engine grid: one config
+    // per degree, the policy lineup plus the no-limit baseline.
+    std::vector<SimConfig> cfgs;
+    for (double d : degrees) {
+        SimConfig cfg = ch4Config(coolingFdhs10(), true);
+        cfg.ambient.psiCpuMemXi = d * 3.0; // xi calibration, see makeCh4Config
+        cfgs.push_back(cfg);
+    }
+    std::vector<std::string> all = policies;
+    all.insert(all.begin(), "No-limit");
+    GridResults grid = engine().runGrid(cfgs, mixes, all);
+
     for (const auto &pname : policies) {
         std::vector<std::string> row{pname};
-        for (double d : degrees) {
-            SimConfig cfg = ch4Config(coolingFdhs10(), true);
-            cfg.ambient.psiCpuMemXi = d * 3.0; // xi calibration, see makeCh4Config
+        for (std::size_t di = 0; di < degrees.size(); ++di) {
             double sum = 0.0;
             for (const Workload &w : mixes) {
-                SimResult base = runCh4(cfg, w, "No-limit");
-                SimResult r = runCh4(cfg, w, pname);
-                sum += r.runningTime / base.runningTime;
+                const auto &per_policy = grid[di].at(w.name);
+                sum += per_policy.at(pname).runningTime /
+                       per_policy.at("No-limit").runningTime;
             }
             row.push_back(
                 Table::num(sum / static_cast<double>(mixes.size()), 3));

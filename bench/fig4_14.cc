@@ -27,16 +27,27 @@ main()
             headers);
 
     std::vector<Workload> mixes = cpu2000Mixes();
+
+    // Engine grid: one config per interaction degree, three policies.
+    std::vector<SimConfig> cfgs;
+    for (double d : degrees) {
+        SimConfig cfg = ch4Config(coolingFdhs10(), true);
+        cfg.ambient.psiCpuMemXi = d * 3.0; // xi calibration, see makeCh4Config
+        cfgs.push_back(cfg);
+    }
+    GridResults grid =
+        engine().runGrid(cfgs, mixes, {"DTM-BW", "DTM-ACG", "DTM-CDVFS"});
+
     for (const std::string pname : {"DTM-ACG", "DTM-CDVFS"}) {
         std::vector<std::string> row{pname};
-        for (double d : degrees) {
-            SimConfig cfg = ch4Config(coolingFdhs10(), true);
-            cfg.ambient.psiCpuMemXi = d * 3.0; // xi calibration, see makeCh4Config
+        for (std::size_t di = 0; di < degrees.size(); ++di) {
             double sum = 0.0;
             for (const Workload &w : mixes) {
-                SimResult bw = runCh4(cfg, w, "DTM-BW");
-                SimResult r = runCh4(cfg, w, pname);
-                sum += (bw.runningTime / r.runningTime - 1.0) * 100.0;
+                const auto &per_policy = grid[di].at(w.name);
+                sum += (per_policy.at("DTM-BW").runningTime /
+                            per_policy.at(pname).runningTime -
+                        1.0) *
+                       100.0;
             }
             row.push_back(
                 Table::num(sum / static_cast<double>(mixes.size()), 1));

@@ -28,9 +28,12 @@ main()
                                       "DTM-BW+PID",    "DTM-ACG",
                                       "DTM-ACG+PID",   "DTM-CDVFS",
                                       "DTM-CDVFS+PID"};
-    std::vector<TimeSeries> traces;
+    std::vector<ExperimentEngine::Run> runs;
     for (const auto &p : policies)
-        traces.push_back(runCh4(cfg, w1, p).ambTrace.downsample(10));
+        runs.push_back(ch4Run(cfg, w1, p));
+    std::vector<TimeSeries> traces;
+    for (const SimResult &r : engine().run(runs))
+        traces.push_back(r.ambTrace.downsample(10));
 
     std::vector<std::string> headers{"t s"};
     headers.insert(headers.end(), policies.begin(), policies.end());

@@ -19,18 +19,26 @@ main()
     Table t("Fig 5.13 — DTM-ACG vs DTM-BW at 3.0 and 2.0 GHz (SR1500AL, "
             "normalized to no-limit @3.0 GHz)",
             {"workload", "BW@3.0", "ACG@3.0", "BW@2.0", "ACG@2.0"});
+    // Five engine runs per workload: the no-limit base plus BW/ACG at
+    // full speed and pinned to 2.0 GHz (dvfs_floor 3).
+    const std::vector<Workload> mixes = cpu2000Mixes();
+    std::vector<ExperimentEngine::Run> runs;
+    for (const Workload &w : mixes) {
+        runs.push_back(ch5Run(plat, w, "No-limit"));
+        runs.push_back(ch5Run(plat, w, "DTM-BW"));
+        runs.push_back(ch5Run(plat, w, "DTM-ACG"));
+        runs.push_back(ch5Run(plat, w, "DTM-BW", kCh5Copies, 3));
+        runs.push_back(ch5Run(plat, w, "DTM-ACG", kCh5Copies, 3));
+    }
+    std::vector<SimResult> results = engine().run(runs);
+
     std::vector<double> sums(4, 0.0);
-    for (const Workload &w : cpu2000Mixes()) {
-        SimResult base = runCh5(plat, w, "No-limit");
-        // dvfs_floor 3 pins the Xeon to its lowest point (2.0 GHz).
-        double v[4] = {
-            runCh5(plat, w, "DTM-BW").runningTime / base.runningTime,
-            runCh5(plat, w, "DTM-ACG").runningTime / base.runningTime,
-            runCh5(plat, w, "DTM-BW", kCh5Copies, 3).runningTime /
-                base.runningTime,
-            runCh5(plat, w, "DTM-ACG", kCh5Copies, 3).runningTime /
-                base.runningTime};
-        std::vector<std::string> row{w.name};
+    for (std::size_t wi = 0; wi < mixes.size(); ++wi) {
+        const SimResult *r = &results[wi * 5];
+        double base = r[0].runningTime;
+        double v[4] = {r[1].runningTime / base, r[2].runningTime / base,
+                       r[3].runningTime / base, r[4].runningTime / base};
+        std::vector<std::string> row{mixes[wi].name};
         for (int i = 0; i < 4; ++i) {
             sums[static_cast<std::size_t>(i)] += v[i];
             row.push_back(Table::num(v[i], 3));

@@ -24,23 +24,42 @@ main()
     Table t("Fig 5.14 — avg normalized running time vs AMB TDP (PE1950)",
             headers);
 
+    // One platform variant per TDP; the whole (TDP, workload, policy)
+    // block fans out as a single engine batch.
+    std::vector<Platform> plats;
+    for (Celsius tdp : tdps) {
+        Platform plat = pe1950();
+        plat.ambTdp = tdp;
+        plat.sim.limits.ambTdp = tdp;
+        plat.sim.limits.ambTrp = tdp - 1.0;
+        // Emergency levels shift with the TDP (Section 5.4.5).
+        Celsius top = tdp - 2.0;
+        plat.ambBounds = {top - 12.0, top - 8.0, top - 4.0, top};
+        plats.push_back(std::move(plat));
+    }
+
     auto policies = ch5PolicyNames();
-    for (const auto &pname : policies) {
-        std::vector<std::string> row{pname};
-        for (Celsius tdp : tdps) {
-            Platform plat = pe1950();
-            plat.ambTdp = tdp;
-            plat.sim.limits.ambTdp = tdp;
-            plat.sim.limits.ambTrp = tdp - 1.0;
-            // Emergency levels shift with the TDP (Section 5.4.5).
-            Celsius top = tdp - 2.0;
-            plat.ambBounds = {top - 12.0, top - 8.0, top - 4.0, top};
+    std::vector<std::string> all = policies;
+    all.insert(all.begin(), "No-limit");
+    const std::vector<Workload> mixes = cpu2000Mixes();
+    std::vector<ExperimentEngine::Run> runs;
+    for (const Platform &plat : plats)
+        for (const Workload &w : mixes)
+            for (const auto &pname : all)
+                runs.push_back(ch5Run(plat, w, pname));
+    std::vector<SimResult> results = engine().run(runs);
+    auto at = [&](std::size_t ti, std::size_t wi, std::size_t pi)
+        -> const SimResult & {
+        return results[(ti * mixes.size() + wi) * all.size() + pi];
+    };
+
+    for (std::size_t pi = 1; pi < all.size(); ++pi) {
+        std::vector<std::string> row{all[pi]};
+        for (std::size_t ti = 0; ti < tdps.size(); ++ti) {
             double sum = 0.0;
-            for (const Workload &w : cpu2000Mixes()) {
-                SimResult base = runCh5(plat, w, "No-limit");
-                SimResult r = runCh5(plat, w, pname);
-                sum += r.runningTime / base.runningTime;
-            }
+            for (std::size_t wi = 0; wi < mixes.size(); ++wi)
+                sum += at(ti, wi, pi).runningTime /
+                       at(ti, wi, 0).runningTime;
             row.push_back(Table::num(sum / 8.0, 3));
         }
         t.addRow(row);

@@ -26,20 +26,29 @@ main()
             "normalized to 100 ms)",
             headers);
 
-    std::vector<double> time_sum(slices.size(), 0.0);
-    std::vector<double> miss_sum(slices.size(), 0.0);
-    for (const Workload &w : cpu2000Mixes()) {
+    const std::vector<Workload> mixes = cpu2000Mixes();
+    std::vector<ExperimentEngine::Run> runs;
+    for (const Workload &w : mixes) {
         for (std::size_t i = 0; i < slices.size(); ++i) {
             SimConfig cfg = plat.sim;
             cfg.copiesPerApp = kCh5Copies;
             cfg.rotationSlice = slices[i];
             // Windows must resolve the slice.
             cfg.window = std::min(cfg.window, slices[i]);
-            ThermalSimulator sim(cfg);
-            auto policy = makeCh5Policy(plat, "DTM-ACG");
-            SimResult r = sim.run(w, *policy);
-            time_sum[i] += r.runningTime;
-            miss_sum[i] += r.totalL2Misses;
+            runs.push_back(
+                {std::move(cfg), w, "DTM-ACG", ch5PolicyFactory(plat)});
+        }
+    }
+    std::vector<SimResult> results = engine().run(runs);
+
+    std::vector<double> time_sum(slices.size(), 0.0);
+    std::vector<double> miss_sum(slices.size(), 0.0);
+    std::size_t k = 0;
+    for (std::size_t wi = 0; wi < mixes.size(); ++wi) {
+        for (std::size_t i = 0; i < slices.size(); ++i) {
+            time_sum[i] += results[k].runningTime;
+            miss_sum[i] += results[k].totalL2Misses;
+            ++k;
         }
     }
     std::vector<std::string> trow{"running time"};

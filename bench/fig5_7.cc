@@ -15,10 +15,17 @@ main()
     Platform plat = pe1950();
     std::vector<std::string> policies = ch5PolicyNames();
     policies.insert(policies.begin(), "No-limit");
-    SuiteResults r;
-    for (const Workload &w : cpu2006Mixes())
+    const std::vector<Workload> mixes = cpu2006Mixes();
+    std::vector<ExperimentEngine::Run> runs;
+    for (const Workload &w : mixes)
         for (const auto &pname : policies)
-            r[w.name][pname] = runCh5(plat, w, pname);
+            runs.push_back(ch5Run(plat, w, pname));
+    std::vector<SimResult> results = engine().run(runs);
+    SuiteResults r;
+    std::size_t k = 0;
+    for (const Workload &w : mixes)
+        for (const auto &pname : policies)
+            r[w.name][pname] = std::move(results[k++]);
     printNormalized("Fig 5.7 — normalized running time, CPU2006 (PE1950)",
                     r, {"W11", "W12"}, ch5PolicyNames(), "No-limit",
                     metricRunningTime);

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Perf-trajectory smoke harness (not a paper figure).
+ *
+ * Times a small Chapter 4 suite twice — serially (one engine thread)
+ * and in parallel — verifies the two produce bit-identical results, and
+ * writes BENCH_perf.json so successive PRs can track wall-clock,
+ * windows/second, and parallel speedup. Built on demand:
+ *
+ *   cmake --build build --target perf_smoke && ./build/perf_smoke
+ *
+ * The parallel thread count comes from MEMTHERM_THREADS when set,
+ * otherwise 4 (the acceptance configuration). Expected speedup is
+ * roughly min(threads, hardware cores, concurrent runs); on a 1-core
+ * host serial and parallel times are equal by construction.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hh"
+
+using namespace memtherm;
+using namespace memtherm::bench;
+
+namespace
+{
+
+/** The ch4 mini-suite: small batches, full policy spread. */
+struct MiniSuite
+{
+    SimConfig cfg;
+    std::vector<Workload> workloads;
+    std::vector<std::string> policies;
+};
+
+MiniSuite
+miniSuite()
+{
+    MiniSuite s;
+    s.cfg = ch4Config(coolingAohs15(), false, 8);
+    s.workloads = {workloadMix("W1"), workloadMix("W2"), workloadMix("W3"),
+                   workloadMix("W4")};
+    s.policies = {"No-limit", "DTM-TS", "DTM-BW", "DTM-ACG", "DTM-CDVFS"};
+    return s;
+}
+
+double
+seconds(std::chrono::steady_clock::time_point a,
+        std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+/** Total simulated windows across a suite. */
+double
+totalWindows(const SuiteResults &r, Seconds window)
+{
+    double n = 0.0;
+    for (const auto &[w, per_policy] : r)
+        for (const auto &[p, res] : per_policy)
+            n += res.runningTime / window;
+    return n;
+}
+
+bool
+identical(const SimResult &a, const SimResult &b)
+{
+    return a.runningTime == b.runningTime && a.totalInstr == b.totalInstr &&
+           a.totalReadGB == b.totalReadGB &&
+           a.totalWriteGB == b.totalWriteGB &&
+           a.totalL2Misses == b.totalL2Misses &&
+           a.memEnergy == b.memEnergy && a.cpuEnergy == b.cpuEnergy &&
+           a.maxAmb == b.maxAmb && a.maxDram == b.maxDram &&
+           a.timeAboveAmbTdp == b.timeAboveAmbTdp &&
+           a.timeAboveDramTdp == b.timeAboveDramTdp &&
+           a.ambTrace.values() == b.ambTrace.values() &&
+           a.dramTrace.values() == b.dramTrace.values() &&
+           a.inletTrace.values() == b.inletTrace.values() &&
+           a.cpuPowerTrace.values() == b.cpuPowerTrace.values() &&
+           a.bwTrace.values() == b.bwTrace.values();
+}
+
+bool
+identical(const SuiteResults &a, const SuiteResults &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (const auto &[w, per_policy] : a) {
+        auto it = b.find(w);
+        if (it == b.end() || it->second.size() != per_policy.size())
+            return false;
+        for (const auto &[p, res] : per_policy) {
+            auto jt = it->second.find(p);
+            if (jt == it->second.end() || !identical(res, jt->second))
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main()
+{
+    MiniSuite s = miniSuite();
+    const std::size_t n_runs = s.workloads.size() * s.policies.size();
+
+    int par_threads = 4;
+    if (const char *env = std::getenv("MEMTHERM_THREADS")) {
+        int n = std::atoi(env);
+        if (n >= 1)
+            par_threads = n;
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+
+    std::printf("perf_smoke: %zu runs (%zu workloads x %zu policies), "
+                "%d parallel threads, %u hardware threads\n",
+                n_runs, s.workloads.size(), s.policies.size(), par_threads,
+                hw);
+
+    // Warm-up run: touches every code path once so neither timed pass
+    // pays first-touch costs the other doesn't.
+    {
+        ExperimentEngine warm(1);
+        warm.runSuite(s.cfg, {s.workloads[0]}, {s.policies[0]});
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    ExperimentEngine serial(1);
+    SuiteResults r_serial = serial.runSuite(s.cfg, s.workloads, s.policies);
+    auto t1 = std::chrono::steady_clock::now();
+    ExperimentEngine parallel(par_threads);
+    SuiteResults r_par = parallel.runSuite(s.cfg, s.workloads, s.policies);
+    auto t2 = std::chrono::steady_clock::now();
+
+    double serial_s = seconds(t0, t1);
+    double parallel_s = seconds(t1, t2);
+    double windows = totalWindows(r_serial, s.cfg.window);
+    bool bit_identical = identical(r_serial, r_par);
+    double speedup = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+
+    std::printf("serial   %.3f s (%.0f windows/s)\n", serial_s,
+                windows / serial_s);
+    std::printf("parallel %.3f s (%.0f windows/s), speedup %.2fx\n",
+                parallel_s, windows / parallel_s, speedup);
+    std::printf("results bit-identical: %s\n",
+                bit_identical ? "yes" : "NO");
+
+    FILE *f = std::fopen("BENCH_perf.json", "w");
+    if (!f) {
+        std::perror("BENCH_perf.json");
+        return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"suite\": \"ch4_mini\",\n"
+                 "  \"runs\": %zu,\n"
+                 "  \"copies_per_app\": %d,\n"
+                 "  \"threads\": %d,\n"
+                 "  \"hardware_threads\": %u,\n"
+                 "  \"windows\": %.0f,\n"
+                 "  \"serial_seconds\": %.6f,\n"
+                 "  \"parallel_seconds\": %.6f,\n"
+                 "  \"windows_per_sec_serial\": %.1f,\n"
+                 "  \"windows_per_sec_parallel\": %.1f,\n"
+                 "  \"speedup\": %.4f,\n"
+                 "  \"bit_identical\": %s\n"
+                 "}\n",
+                 n_runs, s.cfg.copiesPerApp, par_threads, hw, windows,
+                 serial_s, parallel_s, windows / serial_s,
+                 windows / parallel_s, speedup,
+                 bit_identical ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote BENCH_perf.json\n");
+
+    return bit_identical ? 0 : 1;
+}

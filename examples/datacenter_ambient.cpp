@@ -12,7 +12,7 @@
 #include <iostream>
 
 #include "common/table.hh"
-#include "core/sim/experiment.hh"
+#include "core/sim/engine.hh"
 
 using namespace memtherm;
 
@@ -24,21 +24,29 @@ main()
             {"inlet C", "BW time x", "CDVFS time x", "BW cpu kJ",
              "CDVFS cpu kJ", "CDVFS energy saving"});
 
-    for (double inlet : {46.0, 48.0, 50.0, 52.0}) {
+    // The inlet sweep is an engine grid: one config per temperature,
+    // all (inlet, policy) runs in flight at once.
+    const std::vector<double> inlets{46.0, 48.0, 50.0, 52.0};
+    std::vector<SimConfig> cfgs;
+    for (double inlet : inlets) {
         SimConfig cfg = makeCh4Config(coolingAohs15(), false);
         cfg.copiesPerApp = 12;
         cfg.ambient.tInlet = inlet;
+        cfgs.push_back(cfg);
+    }
 
-        ThermalSimulator sim(cfg);
-        auto base = makeCh4Policy("No-limit");
-        auto bw = makeCh4Policy("DTM-BW");
-        auto cdvfs = makeCh4Policy("DTM-CDVFS");
-        SimResult rb = sim.run(mix, *base);
-        SimResult r_bw = sim.run(mix, *bw);
-        SimResult r_cd = sim.run(mix, *cdvfs);
+    ExperimentEngine engine;
+    GridResults grid = engine.runGrid(
+        cfgs, {mix}, {"No-limit", "DTM-BW", "DTM-CDVFS"});
+
+    for (std::size_t i = 0; i < inlets.size(); ++i) {
+        const auto &per_policy = grid[i].at(mix.name);
+        const SimResult &rb = per_policy.at("No-limit");
+        const SimResult &r_bw = per_policy.at("DTM-BW");
+        const SimResult &r_cd = per_policy.at("DTM-CDVFS");
 
         double saving = 1.0 - r_cd.cpuEnergy / r_bw.cpuEnergy;
-        t.addRow({Table::num(inlet, 0),
+        t.addRow({Table::num(inlets[i], 0),
                   Table::num(r_bw.runningTime / rb.runningTime, 2),
                   Table::num(r_cd.runningTime / rb.runningTime, 2),
                   Table::num(r_bw.cpuEnergy / 1e3, 0),

@@ -12,7 +12,7 @@
 #include <iostream>
 
 #include "common/table.hh"
-#include "core/sim/experiment.hh"
+#include "core/sim/engine.hh"
 
 using namespace memtherm;
 
@@ -20,6 +20,7 @@ int
 main()
 {
     Workload mix = workloadMix("W3"); // swim, applu, art, lucas
+    ExperimentEngine engine;          // one pool for both cooling setups
     Table t("Cooling degradation on W3 (isolated model)",
             {"air m/s", "policy", "time x no-limit", "max AMB C",
              "mem energy x"});
@@ -34,12 +35,14 @@ main()
         // below the TDP at this inlet — full-DIMM spreaders here.)
         cfg.ambient.tInlet = 45.0;
 
-        ThermalSimulator sim(cfg);
-        auto base = makeCh4Policy("No-limit");
-        SimResult rb = sim.run(mix, *base);
-        for (const char *pname : {"DTM-TS", "DTM-ACG+PID"}) {
-            auto policy = makeCh4Policy(pname);
-            SimResult r = sim.run(mix, *policy);
+        std::vector<SimResult> results = engine.run({
+            {cfg, mix, "No-limit", {}},
+            {cfg, mix, "DTM-TS", {}},
+            {cfg, mix, "DTM-ACG+PID", {}},
+        });
+        const SimResult &rb = results[0];
+        for (std::size_t i = 1; i < results.size(); ++i) {
+            const SimResult &r = results[i];
             t.addRow({velocity == AirVelocity::MPS_1_5 ? "1.5" : "1.0",
                       r.policy,
                       Table::num(r.runningTime / rb.runningTime, 2),

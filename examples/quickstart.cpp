@@ -10,7 +10,7 @@
 
 #include <iostream>
 
-#include "core/sim/experiment.hh"
+#include "core/sim/engine.hh"
 
 using namespace memtherm;
 
@@ -27,15 +27,18 @@ main()
     Workload mix = workloadMix("W1"); // swim, mgrid, applu, galgel
 
     // 3. Run it under thermal shutdown and under adaptive core gating.
-    ThermalSimulator sim(cfg);
-
-    auto no_limit = makeCh4Policy("No-limit");
-    auto ts = makeCh4Policy("DTM-TS");
-    auto acg = makeCh4Policy("DTM-ACG");
-
-    SimResult base = sim.run(mix, *no_limit);
-    SimResult r_ts = sim.run(mix, *ts);
-    SimResult r_acg = sim.run(mix, *acg);
+    //    The engine fans independent runs out over a thread pool (size
+    //    from MEMTHERM_THREADS, default: all hardware threads); results
+    //    are bit-identical to running them one by one.
+    ExperimentEngine engine;
+    std::vector<SimResult> results = engine.run({
+        {cfg, mix, "No-limit", {}},
+        {cfg, mix, "DTM-TS", {}},
+        {cfg, mix, "DTM-ACG", {}},
+    });
+    SimResult &base = results[0];
+    SimResult &r_ts = results[1];
+    SimResult &r_acg = results[2];
 
     // 4. Report.
     std::cout << "Workload " << mix.name << " (batch of "

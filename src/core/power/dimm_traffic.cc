@@ -7,38 +7,48 @@
 namespace memtherm
 {
 
-std::vector<DimmTraffic>
+void
 decomposeChannelTraffic(GBps channel_read, GBps channel_write, int n_dimms,
-                        const std::vector<double> &shares)
+                        const std::vector<double> &shares,
+                        std::vector<DimmTraffic> &out)
 {
     panicIfNot(n_dimms >= 1, "decomposeChannelTraffic: need >= 1 DIMM");
     panicIfNot(channel_read >= 0.0 && channel_write >= 0.0,
                "decomposeChannelTraffic: negative throughput");
 
-    std::vector<double> frac(shares);
-    if (frac.empty()) {
-        frac.assign(n_dimms, 1.0 / n_dimms);
-    } else {
-        panicIfNot(static_cast<int>(frac.size()) == n_dimms,
+    const double uniform = 1.0 / n_dimms;
+    if (!shares.empty()) {
+        panicIfNot(static_cast<int>(shares.size()) == n_dimms,
                    "decomposeChannelTraffic: share vector arity");
         double sum = 0.0;
-        for (double f : frac)
+        for (double f : shares)
             sum += f;
         panicIfNot(std::abs(sum - 1.0) < 1e-9,
                    "decomposeChannelTraffic: shares must sum to 1");
     }
 
-    std::vector<DimmTraffic> out(n_dimms);
+    out.resize(static_cast<std::size_t>(n_dimms));
     // Suffix sums: traffic for DIMMs beyond i is bypass at AMB i.
     double suffix_read = 0.0, suffix_write = 0.0;
     for (int i = n_dimms - 1; i >= 0; --i) {
-        out[i].localRead = channel_read * frac[i];
-        out[i].localWrite = channel_write * frac[i];
+        double frac = shares.empty() ? uniform
+                                     : shares[static_cast<std::size_t>(i)];
+        out[i].localRead = channel_read * frac;
+        out[i].localWrite = channel_write * frac;
         out[i].bypassRead = suffix_read;
         out[i].bypassWrite = suffix_write;
         suffix_read += out[i].localRead;
         suffix_write += out[i].localWrite;
     }
+}
+
+std::vector<DimmTraffic>
+decomposeChannelTraffic(GBps channel_read, GBps channel_write, int n_dimms,
+                        const std::vector<double> &shares)
+{
+    std::vector<DimmTraffic> out;
+    decomposeChannelTraffic(channel_read, channel_write, n_dimms, shares,
+                            out);
     return out;
 }
 

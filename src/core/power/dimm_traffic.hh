@@ -48,6 +48,15 @@ std::vector<DimmTraffic>
 decomposeChannelTraffic(GBps channel_read, GBps channel_write, int n_dimms,
                         const std::vector<double> &shares = {});
 
+/**
+ * Allocation-free variant: resizes @p out to n_dimms (no-op once warm)
+ * and fills it in place. The per-step thermal hot path uses this with a
+ * reused scratch buffer.
+ */
+void decomposeChannelTraffic(GBps channel_read, GBps channel_write,
+                             int n_dimms, const std::vector<double> &shares,
+                             std::vector<DimmTraffic> &out);
+
 } // namespace memtherm
 
 #endif // MEMTHERM_CORE_POWER_DIMM_TRAFFIC_HH

@@ -1,0 +1,199 @@
+#include "core/sim/engine.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+#include "common/logging.hh"
+
+namespace memtherm
+{
+
+int
+ExperimentEngine::defaultThreads()
+{
+    if (const char *env = std::getenv("MEMTHERM_THREADS")) {
+        int n = std::atoi(env);
+        if (n >= 1)
+            return n;
+        warn("MEMTHERM_THREADS='" + std::string(env) +
+             "' is not a positive integer; using hardware concurrency");
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+ExperimentEngine::ExperimentEngine(int n_threads)
+    : nThreads(n_threads > 0 ? n_threads : defaultThreads())
+{
+    // One thread means "serial reference mode": run() executes inline on
+    // the calling thread and no workers exist.
+    if (nThreads < 2)
+        return;
+    workers.reserve(static_cast<std::size_t>(nThreads));
+    for (int i = 0; i < nThreads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ExperimentEngine::~ExperimentEngine()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    wake.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+ExperimentEngine::workerLoop()
+{
+    // Worker-owned scratch: reused across every run this thread executes,
+    // so back-to-back runs stop allocating once the buffers are warm.
+    ThermalSimulator::Scratch scratch;
+    for (;;) {
+        Task task;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            wake.wait(lock, [this] { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return; // stopping and drained
+            task = std::move(queue.front());
+            queue.pop_front();
+        }
+        task(scratch);
+    }
+}
+
+SimResult
+ExperimentEngine::execute(const Run &r, ThermalSimulator::Scratch &s)
+{
+    ThermalSimulator sim(r.cfg);
+    auto policy = r.factory
+                      ? r.factory(r.cfg, r.policy)
+                      : makeCh4Policy(r.policy, r.cfg.dtmInterval);
+    panicIfNot(policy != nullptr, "ExperimentEngine: null policy");
+    return sim.run(r.workload, *policy, s);
+}
+
+std::vector<SimResult>
+ExperimentEngine::run(const std::vector<Run> &runs)
+{
+    std::vector<SimResult> results(runs.size());
+    std::exception_ptr first_error;
+
+    if (workers.empty()) {
+        // Same exception contract as the pooled path: finish every run,
+        // rethrow the first failure afterwards.
+        ThermalSimulator::Scratch scratch;
+        for (std::size_t i = 0; i < runs.size(); ++i) {
+            try {
+                results[i] = execute(runs[i], scratch);
+            } catch (...) {
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+        if (first_error)
+            std::rethrow_exception(first_error);
+        return results;
+    }
+
+    // Completion state lives on this frame; `done` is guarded by
+    // done_mtx (not an atomic) so run() cannot observe the batch as
+    // finished before the last worker has released the mutex — i.e.
+    // before it is done touching done_cv/done_mtx. An atomic counter
+    // would let run() return (and destroy these objects) between a
+    // worker's increment and its notify.
+    std::size_t done = 0;
+    std::mutex done_mtx;
+    std::condition_variable done_cv;
+    std::mutex error_mtx;
+
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        for (std::size_t i = 0; i < runs.size(); ++i) {
+            queue.emplace_back([&, i](ThermalSimulator::Scratch &s) {
+                try {
+                    results[i] = execute(runs[i], s);
+                } catch (...) {
+                    std::lock_guard<std::mutex> elock(error_mtx);
+                    if (!first_error)
+                        first_error = std::current_exception();
+                }
+                std::lock_guard<std::mutex> dlock(done_mtx);
+                if (++done == runs.size())
+                    done_cv.notify_all();
+            });
+        }
+    }
+    wake.notify_all();
+
+    {
+        std::unique_lock<std::mutex> lock(done_mtx);
+        done_cv.wait(lock, [&] { return done == runs.size(); });
+    }
+    if (first_error)
+        std::rethrow_exception(first_error);
+    return results;
+}
+
+std::vector<ExperimentEngine::Run>
+ExperimentEngine::makeSuiteRuns(const SimConfig &cfg,
+                                const std::vector<Workload> &workloads,
+                                const std::vector<std::string> &policies,
+                                const PolicyFactory &factory)
+{
+    std::vector<Run> runs;
+    runs.reserve(workloads.size() * policies.size());
+    for (const auto &w : workloads)
+        for (const auto &pname : policies)
+            runs.push_back(Run{cfg, w, pname, factory});
+    return runs;
+}
+
+SuiteResults
+ExperimentEngine::runSuite(const SimConfig &cfg,
+                           const std::vector<Workload> &workloads,
+                           const std::vector<std::string> &policy_names,
+                           const PolicyFactory &factory)
+{
+    std::vector<SimResult> results =
+        run(makeSuiteRuns(cfg, workloads, policy_names, factory));
+
+    SuiteResults out;
+    std::size_t k = 0;
+    for (const auto &w : workloads)
+        for (const auto &pname : policy_names)
+            out[w.name][pname] = std::move(results[k++]);
+    return out;
+}
+
+GridResults
+ExperimentEngine::runGrid(const std::vector<SimConfig> &cfgs,
+                          const std::vector<Workload> &workloads,
+                          const std::vector<std::string> &policy_names,
+                          const PolicyFactory &factory)
+{
+    // One flat batch across all configs: a sweep with many configs but
+    // few runs per config still fills every worker.
+    std::vector<Run> runs;
+    runs.reserve(cfgs.size() * workloads.size() * policy_names.size());
+    for (const auto &cfg : cfgs) {
+        auto suite = makeSuiteRuns(cfg, workloads, policy_names, factory);
+        for (auto &r : suite)
+            runs.push_back(std::move(r));
+    }
+    std::vector<SimResult> results = run(runs);
+
+    GridResults out(cfgs.size());
+    std::size_t k = 0;
+    for (std::size_t c = 0; c < cfgs.size(); ++c)
+        for (const auto &w : workloads)
+            for (const auto &pname : policy_names)
+                out[c][w.name][pname] = std::move(results[k++]);
+    return out;
+}
+
+} // namespace memtherm

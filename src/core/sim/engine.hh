@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Parallel experiment engine.
+ *
+ * The paper's evaluation is a grid of independent (workload, policy,
+ * configuration) simulations — each run owns its simulator, thermal
+ * state, and sensor RNG stream, so runs never share mutable state and
+ * the suite is embarrassingly parallel. The engine fans runs out over a
+ * fixed-size thread pool and collects results keyed exactly as the
+ * serial runSuite() always did, so parallel and serial execution
+ * produce bit-identical SuiteResults.
+ *
+ * Thread count resolution (in priority order):
+ *  1. the explicit constructor argument, when > 0;
+ *  2. the MEMTHERM_THREADS environment variable, when set to >= 1;
+ *  3. std::thread::hardware_concurrency().
+ * A count of 1 runs every experiment inline on the calling thread (no
+ * workers are spawned), which is the reference serial mode.
+ */
+
+#ifndef MEMTHERM_CORE_SIM_ENGINE_HH
+#define MEMTHERM_CORE_SIM_ENGINE_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/sim/experiment.hh"
+
+namespace memtherm
+{
+
+/**
+ * Builds the policy object for one run. Runs must not share a policy
+ * instance (policies carry controller state), so the engine constructs
+ * one per run through this factory. An empty factory means the Chapter 4
+ * lineup: makeCh4Policy(name, cfg.dtmInterval).
+ */
+using PolicyFactory = std::function<std::unique_ptr<DtmPolicy>(
+    const SimConfig &cfg, const std::string &policy_name)>;
+
+/**
+ * Results of a configuration sweep: one SuiteResults per configuration,
+ * in the order the configurations were given.
+ */
+using GridResults = std::vector<SuiteResults>;
+
+/**
+ * Fixed-size thread pool over independent simulation runs.
+ *
+ * Determinism: every run is seeded only by its own SimConfig (the
+ * sensor RNG is constructed per run from cfg.sensorSeed), results are
+ * stored by run index, and suite/grid keys are derived from the input
+ * order — so the outcome is independent of the thread count and of
+ * scheduling, and bit-identical to serial execution.
+ */
+class ExperimentEngine
+{
+  public:
+    /** One independent simulation: config x workload x policy name. */
+    struct Run
+    {
+        SimConfig cfg;
+        Workload workload;
+        std::string policy;     ///< display name; also the result key
+        PolicyFactory factory;  ///< empty -> Chapter 4 policy lineup
+    };
+
+    /** @param n_threads 0 = resolve from MEMTHERM_THREADS / hardware */
+    explicit ExperimentEngine(int n_threads = 0);
+    ~ExperimentEngine();
+
+    ExperimentEngine(const ExperimentEngine &) = delete;
+    ExperimentEngine &operator=(const ExperimentEngine &) = delete;
+
+    /** Worker count this engine executes with (>= 1). */
+    int threads() const { return nThreads; }
+
+    /** The thread count an ExperimentEngine(0) would use. */
+    static int defaultThreads();
+
+    /**
+     * Execute all runs; results are positional (result[i] belongs to
+     * runs[i]) regardless of completion order. The first exception
+     * thrown by any run is rethrown here after all runs finish.
+     */
+    std::vector<SimResult> run(const std::vector<Run> &runs);
+
+    /**
+     * Parallel equivalent of the serial runSuite(): every
+     * (workload, policy-name) pair under one configuration, keyed
+     * result[workload][policy].
+     */
+    SuiteResults runSuite(const SimConfig &cfg,
+                          const std::vector<Workload> &workloads,
+                          const std::vector<std::string> &policy_names,
+                          const PolicyFactory &factory = {});
+
+    /**
+     * Sweep API: the full cross product configs x workloads x policies,
+     * fanned out as one batch (a cooling or ambient sweep saturates the
+     * pool even when a single config has few runs). Returns one
+     * SuiteResults per config, in input order.
+     */
+    GridResults runGrid(const std::vector<SimConfig> &cfgs,
+                        const std::vector<Workload> &workloads,
+                        const std::vector<std::string> &policy_names,
+                        const PolicyFactory &factory = {});
+
+  private:
+    /// A pool task; the worker lends its reusable simulator scratch.
+    using Task = std::function<void(ThermalSimulator::Scratch &)>;
+
+    void workerLoop();
+    static SimResult execute(const Run &r, ThermalSimulator::Scratch &s);
+    std::vector<Run> makeSuiteRuns(const SimConfig &cfg,
+                                   const std::vector<Workload> &workloads,
+                                   const std::vector<std::string> &policies,
+                                   const PolicyFactory &factory);
+
+    int nThreads;
+    std::vector<std::thread> workers;
+
+    std::mutex mtx;
+    std::condition_variable wake;
+    std::deque<Task> queue;
+    bool stopping = false;
+};
+
+} // namespace memtherm
+
+#endif // MEMTHERM_CORE_SIM_ENGINE_HH

@@ -3,6 +3,7 @@
 #include "common/logging.hh"
 #include "core/dtm/basic_policies.hh"
 #include "core/dtm/pid_policies.hh"
+#include "core/sim/engine.hh"
 
 namespace memtherm
 {
@@ -54,15 +55,11 @@ SuiteResults
 runSuite(const SimConfig &cfg, const std::vector<Workload> &workloads,
          const std::vector<std::string> &policy_names)
 {
-    ThermalSimulator sim(cfg);
-    SuiteResults out;
-    for (const auto &w : workloads) {
-        for (const auto &pname : policy_names) {
-            auto policy = makeCh4Policy(pname, cfg.dtmInterval);
-            out[w.name][pname] = sim.run(w, *policy);
-        }
-    }
-    return out;
+    // Thin wrapper over the parallel engine (thread count from
+    // MEMTHERM_THREADS or the hardware); results are bit-identical to
+    // the historical serial loop for any thread count.
+    ExperimentEngine engine;
+    return engine.runSuite(cfg, workloads, policy_names);
 }
 
 double

@@ -38,6 +38,10 @@ using SuiteResults = std::map<std::string, std::map<std::string, SimResult>>;
 
 /**
  * Run every (workload, policy-name) pair under one configuration.
+ *
+ * Thin wrapper over ExperimentEngine (core/sim/engine.hh): runs fan out
+ * over a thread pool sized by MEMTHERM_THREADS (default: hardware
+ * concurrency), with results bit-identical to serial execution.
  */
 SuiteResults runSuite(const SimConfig &cfg,
                       const std::vector<Workload> &workloads,

@@ -55,6 +55,14 @@ ThermalSimulator::ThermalSimulator(SimConfig c) : cfg(std::move(c))
 SimResult
 ThermalSimulator::run(const Workload &mix, DtmPolicy &policy) const
 {
+    Scratch scratch;
+    return run(mix, policy, scratch);
+}
+
+SimResult
+ThermalSimulator::run(const Workload &mix, DtmPolicy &policy,
+                      Scratch &scratch) const
+{
     policy.reset();
 
     SimResult res;
@@ -68,9 +76,29 @@ ThermalSimulator::run(const Workload &mix, DtmPolicy &policy) const
 
     BatchJob batch(mix, cfg.copiesPerApp, cfg.instrScale);
 
+    // Per-window containers come from the reusable scratch; every one is
+    // (re)initialized before use, so stale contents are harmless. Sizing
+    // them once here keeps the window loop free of heap allocation.
+    const std::size_t n_cores = static_cast<std::size_t>(cfg.nCores);
+    std::vector<BatchJob::Instance *> &slot = scratch.slot;
+    std::vector<std::size_t> &occupied = scratch.occupied;
+    std::vector<std::size_t> &scheduled = scratch.scheduled;
+    std::vector<double> &sharers = scratch.sharers;
+    std::vector<CoreTask> &tasks = scratch.tasks;
+    std::vector<double> &task_mpki = scratch.taskMpki;
+    std::vector<double> &activities = scratch.activities;
+    WindowPerf &perf = scratch.perf;
+    occupied.reserve(n_cores);
+    scheduled.reserve(n_cores);
+    sharers.reserve(n_cores);
+    tasks.reserve(n_cores);
+    task_mpki.reserve(n_cores);
+    activities.reserve(n_cores);
+    perf.ips.reserve(n_cores);
+    perf.taskTraffic.reserve(n_cores);
+
     // Core slots; round-robin dispatch from the batch queue.
-    std::vector<BatchJob::Instance *> slot(
-        static_cast<std::size_t>(cfg.nCores), nullptr);
+    slot.assign(n_cores, nullptr);
     for (auto &s : slot)
         s = batch.nextPending();
 
@@ -114,7 +142,7 @@ ThermalSimulator::run(const Workload &mix, DtmPolicy &policy) const
             ++rotation;
             next_rotation += cfg.rotationSlice;
         }
-        std::vector<std::size_t> occupied;
+        occupied.clear();
         for (std::size_t i = 0; i < slot.size(); ++i)
             if (slot[i])
                 occupied.push_back(i);
@@ -123,7 +151,7 @@ ThermalSimulator::run(const Workload &mix, DtmPolicy &policy) const
                                   static_cast<int>(occupied.size()));
         bool time_shared =
             n_active > 0 && n_active < static_cast<int>(occupied.size());
-        std::vector<std::size_t> scheduled;
+        scheduled.clear();
         for (int k = 0; k < n_active; ++k) {
             std::size_t pick = (rotation + static_cast<std::size_t>(k)) %
                                occupied.size();
@@ -134,8 +162,8 @@ ThermalSimulator::run(const Workload &mix, DtmPolicy &policy) const
         // --- L2 sharer counts -------------------------------------------
         // Chapter 4: one shared L2 across all cores. Chapter 5: one L2
         // per 2-core socket.
-        std::vector<double> sharers(scheduled.size(),
-                                    static_cast<double>(scheduled.size()));
+        sharers.assign(scheduled.size(),
+                       static_cast<double>(scheduled.size()));
         if (cfg.perSocketL2) {
             for (std::size_t i = 0; i < scheduled.size(); ++i) {
                 std::size_t socket = scheduled[i] / 2;
@@ -149,9 +177,8 @@ ThermalSimulator::run(const Workload &mix, DtmPolicy &policy) const
 
         // --- build level-1 window tasks ----------------------------------
         const DvfsState &dv = cfg.dvfs.at(action.dvfsLevel);
-        std::vector<CoreTask> tasks;
-        std::vector<double> task_mpki;
-        tasks.reserve(scheduled.size());
+        tasks.clear();
+        task_mpki.clear();
         for (std::size_t i = 0; i < scheduled.size(); ++i) {
             const BatchJob::Instance *inst = slot[scheduled[i]];
             const AppDescriptor &app = *inst->app;
@@ -172,8 +199,7 @@ ThermalSimulator::run(const Workload &mix, DtmPolicy &policy) const
         }
 
         GBps cap = action.memoryOn ? action.bandwidthCap : 0.0;
-        WindowPerf perf =
-            solvePerfWindow(tasks, dv.freq, fmax, cap, cfg.memPerf);
+        solvePerfWindow(tasks, dv.freq, fmax, cap, cfg.memPerf, perf);
 
         // DTM control overhead: a decision window loses dtmOverhead of
         // useful execution time (Table 4.1).
@@ -207,9 +233,8 @@ ThermalSimulator::run(const Workload &mix, DtmPolicy &policy) const
         // --- power + thermal ---------------------------------------------
         Watts cpu_power;
         if (cfg.cpuPowerActivity) {
-            std::vector<double> activities;
+            activities.clear();
             if (action.memoryOn) {
-                activities.reserve(scheduled.size());
                 for (std::size_t i = 0; i < scheduled.size(); ++i) {
                     double cpi_total = dv.freq * 1e9 /
                                        std::max(perf.ips[i], 1.0);

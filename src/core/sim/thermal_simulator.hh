@@ -32,10 +32,42 @@ class ThermalSimulator
     explicit ThermalSimulator(SimConfig cfg);
 
     /**
+     * Reusable working memory for run().
+     *
+     * The window loop executes up to maxSimTime / window (potentially
+     * millions of) iterations; every per-window container lives here so
+     * the steady state performs no heap allocation. Invariants:
+     *  - run() clears/refills each buffer every window and never reads a
+     *    value left over from a previous window or a previous run, so a
+     *    Scratch may be reused across runs in any order;
+     *  - buffer capacity only grows (bounded by the core count), it is
+     *    never released between windows;
+     *  - a Scratch must not be shared by two concurrent run() calls.
+     *    The ExperimentEngine keeps one per worker thread.
+     */
+    struct Scratch
+    {
+        std::vector<BatchJob::Instance *> slot; ///< per-core job slots
+        std::vector<std::size_t> occupied;  ///< slots holding a job
+        std::vector<std::size_t> scheduled; ///< slots picked to run
+        std::vector<double> sharers;        ///< L2 sharer count per task
+        std::vector<CoreTask> tasks;        ///< level-1 window inputs
+        std::vector<double> taskMpki;       ///< effective mpki per task
+        std::vector<double> activities;     ///< per-core activity factors
+        WindowPerf perf;                    ///< level-1 window solution
+    };
+
+    /**
      * Simulate the workload's batch job under the policy. The policy is
      * reset() first; a fresh thermal state (idle at ambient) is used.
+     * Allocates a private Scratch; prefer the Scratch overload when
+     * running many experiments back to back.
      */
     SimResult run(const Workload &mix, DtmPolicy &policy) const;
+
+    /** As run() above, but reusing caller-owned working memory. */
+    SimResult run(const Workload &mix, DtmPolicy &policy,
+                  Scratch &scratch) const;
 
     const SimConfig &config() const { return cfg; }
 

@@ -1,5 +1,7 @@
 #include "core/thermal/dimm_thermal.hh"
 
+#include "common/logging.hh"
+
 namespace memtherm
 {
 
@@ -11,9 +13,16 @@ DimmThermalModel::DimmThermalModel(const CoolingConfig &cooling, Celsius t0)
 DimmTemps
 DimmThermalModel::advance(Celsius ambient, const DimmPower &p, Seconds dt)
 {
+    panicIfNot(dt >= 0.0, "DimmThermalModel: negative time step");
+    if (dt != cachedDt) {
+        cachedDt = dt;
+        decayAmb = ambNode.decayFor(dt);
+        decayDram = dramNode.decayFor(dt);
+    }
     Celsius sa = stableAmb(ambient, p);
     Celsius sd = stableDram(ambient, p);
-    return {ambNode.advance(sa, dt), dramNode.advance(sd, dt)};
+    return {ambNode.advanceWith(sa, decayAmb),
+            dramNode.advanceWith(sd, decayDram)};
 }
 
 void

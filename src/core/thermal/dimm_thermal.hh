@@ -54,6 +54,11 @@ class DimmThermalModel
 
     /**
      * Advance both nodes by dt at the given ambient and power.
+     *
+     * Both nodes' decay factors are memoized against the last dt seen
+     * (the same memoization as RcNode::advance), so the constant-window
+     * simulator path evaluates exp() only when the step size changes.
+     *
      * @return new temperatures
      */
     DimmTemps advance(Celsius ambient, const DimmPower &p, Seconds dt);
@@ -77,6 +82,10 @@ class DimmThermalModel
     CoolingConfig cfg;
     RcNode ambNode;
     RcNode dramNode;
+    /// Memoized advance() step: both nodes' decay factors for the last dt.
+    Seconds cachedDt = -1.0;
+    double decayAmb = 0.0;
+    double decayDram = 0.0;
 };
 
 } // namespace memtherm

@@ -20,26 +20,26 @@ MemoryThermalModel::MemoryThermalModel(const MemoryOrgConfig &org,
         dimms.emplace_back(cooling, t0);
 }
 
-std::vector<DimmPower>
+const std::vector<DimmPower> &
 MemoryThermalModel::channelPower(GBps total_read, GBps total_write) const
 {
     GBps ch_read = total_read / orgCfg.nChannels;
     GBps ch_write = total_write / orgCfg.nChannels;
-    auto traffic = decomposeChannelTraffic(ch_read, ch_write,
-                                           orgCfg.nDimmsPerChannel);
-    std::vector<DimmPower> out(traffic.size());
-    for (std::size_t i = 0; i < traffic.size(); ++i) {
+    decomposeChannelTraffic(ch_read, ch_write, orgCfg.nDimmsPerChannel, {},
+                            trafficScratch);
+    powerScratch.resize(trafficScratch.size());
+    for (std::size_t i = 0; i < trafficScratch.size(); ++i) {
         bool last = static_cast<int>(i) == orgCfg.nDimmsPerChannel - 1;
-        out[i] = pwr.power(traffic[i], last);
+        powerScratch[i] = pwr.power(trafficScratch[i], last);
     }
-    return out;
+    return powerScratch;
 }
 
 MemoryThermalSample
 MemoryThermalModel::advance(GBps total_read, GBps total_write,
                             Celsius ambient, Seconds dt)
 {
-    auto powers = channelPower(total_read, total_write);
+    const auto &powers = channelPower(total_read, total_write);
     MemoryThermalSample s;
     Watts channel_power = 0.0;
     for (std::size_t i = 0; i < dimms.size(); ++i) {
@@ -56,7 +56,7 @@ Celsius
 MemoryThermalModel::stableHottestAmb(GBps total_read, GBps total_write,
                                      Celsius ambient) const
 {
-    auto powers = channelPower(total_read, total_write);
+    const auto &powers = channelPower(total_read, total_write);
     Celsius hottest = ambient;
     for (std::size_t i = 0; i < dimms.size(); ++i)
         hottest = std::max(hottest, dimms[i].stableAmb(ambient, powers[i]));
@@ -67,7 +67,7 @@ Celsius
 MemoryThermalModel::stableHottestDram(GBps total_read, GBps total_write,
                                       Celsius ambient) const
 {
-    auto powers = channelPower(total_read, total_write);
+    const auto &powers = channelPower(total_read, total_write);
     Celsius hottest = ambient;
     for (std::size_t i = 0; i < dimms.size(); ++i)
         hottest = std::max(hottest, dimms[i].stableDram(ambient, powers[i]));
@@ -77,7 +77,7 @@ MemoryThermalModel::stableHottestDram(GBps total_read, GBps total_write,
 Watts
 MemoryThermalModel::subsystemPower(GBps total_read, GBps total_write) const
 {
-    auto powers = channelPower(total_read, total_write);
+    const auto &powers = channelPower(total_read, total_write);
     Watts channel_power = 0.0;
     for (const auto &p : powers)
         channel_power += p.total();
@@ -117,7 +117,7 @@ void
 MemoryThermalModel::resetToStable(GBps total_read, GBps total_write,
                                   Celsius ambient)
 {
-    auto powers = channelPower(total_read, total_write);
+    const auto &powers = channelPower(total_read, total_write);
     for (std::size_t i = 0; i < dimms.size(); ++i)
         dimms[i].resetToStable(ambient, powers[i]);
 }

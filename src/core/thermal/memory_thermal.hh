@@ -92,13 +92,27 @@ class MemoryThermalModel
     const DimmPowerModel &powerModel() const { return pwr; }
 
   private:
-    /** Per-DIMM power on the representative channel. */
-    std::vector<DimmPower> channelPower(GBps total_read,
-                                        GBps total_write) const;
+    /**
+     * Per-DIMM power on the representative channel, written into the
+     * member scratch buffers (returned by reference). The hot loop calls
+     * this every step; reusing the buffers keeps the steady state free
+     * of heap allocation. Consequence: the buffers are scratch state, so
+     * even the const queries (stableHottestAmb, stableHottestDram,
+     * subsystemPower) are NOT safe to call concurrently on one instance.
+     * Each simulation run owns its own model, which is the invariant the
+     * parallel ExperimentEngine relies on.
+     */
+    const std::vector<DimmPower> &channelPower(GBps total_read,
+                                               GBps total_write) const;
 
     MemoryOrgConfig orgCfg;
     DimmPowerModel pwr;
     std::vector<DimmThermalModel> dimms;
+
+    /// Scratch for channelPower(): per-DIMM traffic and power, reused
+    /// across steps (mutable: const queries share the scratch).
+    mutable std::vector<DimmTraffic> trafficScratch;
+    mutable std::vector<DimmPower> powerScratch;
 };
 
 } // namespace memtherm

@@ -17,8 +17,19 @@ Celsius
 RcNode::advance(Celsius stable, Seconds dt)
 {
     panicIfNot(dt >= 0.0, "RcNode: negative time step");
-    temp += (stable - temp) * (1.0 - std::exp(-dt / rc));
+    if (dt != cachedDt) {
+        cachedDt = dt;
+        cachedDecay = 1.0 - std::exp(-dt / rc);
+    }
+    temp += (stable - temp) * cachedDecay;
     return temp;
+}
+
+double
+RcNode::decayFor(Seconds dt) const
+{
+    panicIfNot(dt >= 0.0, "RcNode: negative time step");
+    return 1.0 - std::exp(-dt / rc);
 }
 
 Seconds

@@ -37,9 +37,31 @@ class RcNode
 
     /**
      * Advance by dt toward the given stable temperature (Eq. 3.5).
+     *
+     * The decay factor 1 - exp(-dt / tau) is cached and recomputed only
+     * when dt differs from the previous call — the simulator advances
+     * with a constant window, so the exp() is evaluated once per run
+     * instead of once per step.
+     *
      * @return the new temperature
      */
     Celsius advance(Celsius stable, Seconds dt);
+
+    /**
+     * Decay factor 1 - exp(-dt / tau) for a step of dt, without
+     * advancing. Callers stepping many nodes at one dt (e.g.
+     * DimmThermalModel) can compute factors once and reuse them via
+     * advanceWith().
+     */
+    double decayFor(Seconds dt) const;
+
+    /** Advance using a factor precomputed by decayFor(). */
+    Celsius
+    advanceWith(Celsius stable, double decay)
+    {
+        temp += (stable - temp) * decay;
+        return temp;
+    }
 
     /**
      * Closed-form time for this node to move from its current temperature
@@ -54,6 +76,9 @@ class RcNode
   private:
     Seconds rc;
     Celsius temp;
+    /// Memoized advance() step: decay factor for the last dt seen.
+    Seconds cachedDt = -1.0;
+    double cachedDecay = 0.0;
 };
 
 } // namespace memtherm

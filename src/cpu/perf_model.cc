@@ -48,11 +48,22 @@ totalDemand(const std::vector<CoreTask> &tasks, GHz f, GHz fmax,
     return total;
 }
 
-WindowPerf
-fill(const std::vector<CoreTask> &tasks, GHz f, GHz fmax, double latency_ns,
-     const MemSystemPerf &mem, bool saturated)
+/** Reset an out-param WindowPerf, keeping its vectors' capacity. */
+void
+clearPerf(WindowPerf &out)
 {
-    WindowPerf out;
+    out.ips.clear();
+    out.taskTraffic.clear();
+    out.totalRead = 0.0;
+    out.totalWrite = 0.0;
+    out.latencyNs = 0.0;
+    out.saturated = false;
+}
+
+void
+fill(const std::vector<CoreTask> &tasks, GHz f, GHz fmax, double latency_ns,
+     const MemSystemPerf &mem, bool saturated, WindowPerf &out)
+{
     out.latencyNs = latency_ns;
     out.saturated = saturated;
     out.ips.reserve(tasks.size());
@@ -64,7 +75,6 @@ fill(const std::vector<CoreTask> &tasks, GHz f, GHz fmax, double latency_ns,
         out.totalRead += d.read;
         out.totalWrite += d.write;
     }
-    return out;
 }
 
 } // namespace
@@ -73,11 +83,21 @@ WindowPerf
 solvePerfWindow(const std::vector<CoreTask> &tasks, GHz freq, GHz fmax,
                 GBps cap, const MemSystemPerf &mem)
 {
+    WindowPerf out;
+    solvePerfWindow(tasks, freq, fmax, cap, mem, out);
+    return out;
+}
+
+void
+solvePerfWindow(const std::vector<CoreTask> &tasks, GHz freq, GHz fmax,
+                GBps cap, const MemSystemPerf &mem, WindowPerf &out)
+{
     panicIfNot(freq > 0.0 && fmax >= freq, "solvePerfWindow: bad frequency");
     panicIfNot(cap >= 0.0, "solvePerfWindow: negative bandwidth cap");
 
+    clearPerf(out);
     if (tasks.empty())
-        return {};
+        return;
 
     // The physical channel saturates below its raw peak (scheduling and
     // bank-conflict losses); a DTM traffic cap, however, is an exact
@@ -86,7 +106,6 @@ solvePerfWindow(const std::vector<CoreTask> &tasks, GHz freq, GHz fmax,
 
     // Memory fully shut down: tasks with misses make no progress.
     if (cap_eff <= 1e-9) {
-        WindowPerf out;
         out.latencyNs = std::numeric_limits<double>::infinity();
         out.saturated = true;
         for (const auto &t : tasks) {
@@ -97,7 +116,7 @@ solvePerfWindow(const std::vector<CoreTask> &tasks, GHz freq, GHz fmax,
             }
             out.taskTraffic.push_back(0.0);
         }
-        return out;
+        return;
     }
 
     // Self-consistent queueing fixed point: the effective miss latency is
@@ -134,7 +153,7 @@ solvePerfWindow(const std::vector<CoreTask> &tasks, GHz freq, GHz fmax,
     double l = hi;
     bool saturated =
         totalDemand(tasks, freq, fmax, l, mem) / cap_eff > 0.85;
-    return fill(tasks, freq, fmax, l, mem, saturated);
+    fill(tasks, freq, fmax, l, mem, saturated, out);
 }
 
 } // namespace memtherm

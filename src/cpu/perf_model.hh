@@ -74,6 +74,16 @@ struct WindowPerf
 WindowPerf solvePerfWindow(const std::vector<CoreTask> &tasks, GHz freq,
                            GHz fmax, GBps cap, const MemSystemPerf &mem);
 
+/**
+ * Allocation-free variant of solvePerfWindow(): clears and refills
+ * @p out in place, reusing its vectors' capacity. The simulator's window
+ * loop calls this once per window with a scratch WindowPerf so the
+ * steady state does not touch the heap.
+ */
+void solvePerfWindow(const std::vector<CoreTask> &tasks, GHz freq,
+                     GHz fmax, GBps cap, const MemSystemPerf &mem,
+                     WindowPerf &out);
+
 } // namespace memtherm
 
 #endif // MEMTHERM_CPU_PERF_MODEL_HH

@@ -206,22 +206,46 @@ makeCh5Policy(const Platform &p, const std::string &name,
     fatal("makeCh5Policy: unknown policy '" + name + "'");
 }
 
+PolicyFactory
+ch5PolicyFactory(const Platform &p, std::size_t dvfs_floor)
+{
+    return [p, dvfs_floor](const SimConfig &, const std::string &name) {
+        return makeCh5Policy(p, name, dvfs_floor);
+    };
+}
+
+ExperimentEngine::Run
+ch5EngineRun(const Platform &p, const Workload &w,
+             const std::string &policy_name, int copies,
+             std::size_t dvfs_floor)
+{
+    SimConfig cfg = p.sim;
+    if (copies > 0)
+        cfg.copiesPerApp = copies;
+    // The SR1500AL no-limit baseline runs at a 26 C room ambient.
+    if (policy_name == "No-limit" && cfg.ambient.tInlet > 26.0)
+        cfg.ambient.tInlet = 26.0;
+    return {std::move(cfg), w, policy_name, ch5PolicyFactory(p, dvfs_floor)};
+}
+
 SuiteResults
 runCh5Suite(const Platform &p, const std::vector<Workload> &workloads,
             const std::vector<std::string> &policy_names)
 {
+    std::vector<ExperimentEngine::Run> runs;
+    runs.reserve(workloads.size() * policy_names.size());
+    for (const auto &w : workloads)
+        for (const auto &pname : policy_names)
+            runs.push_back(ch5EngineRun(p, w, pname));
+
+    ExperimentEngine engine;
+    std::vector<SimResult> results = engine.run(runs);
+
     SuiteResults out;
-    for (const auto &pname : policy_names) {
-        // The SR1500AL no-limit baseline runs at a 26 C room ambient.
-        SimConfig cfg = p.sim;
-        if (pname == "No-limit" && cfg.ambient.tInlet > 26.0)
-            cfg.ambient.tInlet = 26.0;
-        ThermalSimulator sim(cfg);
-        for (const auto &w : workloads) {
-            auto policy = makeCh5Policy(p, pname);
-            out[w.name][pname] = sim.run(w, *policy);
-        }
-    }
+    std::size_t k = 0;
+    for (const auto &w : workloads)
+        for (const auto &pname : policy_names)
+            out[w.name][pname] = std::move(results[k++]);
     return out;
 }
 

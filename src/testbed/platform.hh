@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "core/sim/engine.hh"
 #include "core/sim/experiment.hh"
 
 namespace memtherm
@@ -68,9 +69,31 @@ std::unique_ptr<DtmPolicy> makeCh5Policy(const Platform &p,
                                          std::size_t dvfs_floor = 0);
 
 /**
- * Run workloads x policies on a platform. No-limit runs follow the
- * paper's protocol: the SR1500AL no-limit baseline runs at a 26 C room
- * ambient instead of the hot box (Section 5.4.2).
+ * ExperimentEngine policy factory for a platform's Chapter 5 lineup.
+ * The platform is captured by value so engine runs never dangle.
+ *
+ * @param dvfs_floor see makeCh5Policy()
+ */
+PolicyFactory ch5PolicyFactory(const Platform &p, std::size_t dvfs_floor = 0);
+
+/**
+ * Build one engine run for a (platform, workload, policy) triple,
+ * applying the paper's protocol tweaks: the SR1500AL no-limit baseline
+ * runs at a 26 C room ambient instead of the hot box (Section 5.4.2).
+ *
+ * @param copies     batch depth override (<= 0 keeps the platform's)
+ * @param dvfs_floor see makeCh5Policy()
+ */
+ExperimentEngine::Run ch5EngineRun(const Platform &p, const Workload &w,
+                                   const std::string &policy_name,
+                                   int copies = 0,
+                                   std::size_t dvfs_floor = 0);
+
+/**
+ * Run workloads x policies on a platform, fanned out over the parallel
+ * ExperimentEngine (MEMTHERM_THREADS). No-limit runs follow the paper's
+ * protocol: the SR1500AL no-limit baseline runs at a 26 C room ambient
+ * instead of the hot box (Section 5.4.2).
  */
 SuiteResults runCh5Suite(const Platform &p,
                          const std::vector<Workload> &workloads,
