@@ -14,6 +14,7 @@
 
 #include "bench_util.hh"
 #include "common/stats.hh"
+#include "core/sim/scenario.hh"
 
 using namespace memtherm;
 using namespace memtherm::bench;
@@ -21,19 +22,22 @@ using namespace memtherm::bench;
 int
 main()
 {
-    SimConfig cfg = ch4Config(coolingAohs15(), false, 50);
-    Workload w1 = workloadMix("W1");
+    // The experiment as a declarative scenario (the same description
+    // could live in a JSON file and run via `memtherm run`).
+    ScenarioSpec spec;
+    spec.name = "fig4_5_to_4_8";
+    spec.copiesPerApp = 50;
+    spec.workloads = {"W1"};
+    spec.policies = {"DTM-TS",      "DTM-BW",    "DTM-BW+PID",
+                     "DTM-ACG",     "DTM-ACG+PID", "DTM-CDVFS",
+                     "DTM-CDVFS+PID"};
 
-    std::vector<std::string> policies{"DTM-TS",        "DTM-BW",
-                                      "DTM-BW+PID",    "DTM-ACG",
-                                      "DTM-ACG+PID",   "DTM-CDVFS",
-                                      "DTM-CDVFS+PID"};
-    std::vector<ExperimentEngine::Run> runs;
-    for (const auto &p : policies)
-        runs.push_back(ch4Run(cfg, w1, p));
+    ScenarioResults results = runScenario(spec, engine());
+    const SuiteResults &r = results.points[0].suite;
+    const std::vector<std::string> &policies = spec.policies;
     std::vector<TimeSeries> traces;
-    for (const SimResult &r : engine().run(runs))
-        traces.push_back(r.ambTrace.downsample(10));
+    for (const auto &p : policies)
+        traces.push_back(r.at("W1").at(p).ambTrace.downsample(10));
 
     std::vector<std::string> headers{"t s"};
     headers.insert(headers.end(), policies.begin(), policies.end());

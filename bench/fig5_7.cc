@@ -1,10 +1,13 @@
 /**
  * @file
  * Fig. 5.7: normalized running time of the SPEC CPU2006 workloads
- * (W11, W12) on the PE1950.
+ * (W11, W12) on the PE1950 — expressed as a declarative platform
+ * scenario (the PE1950 catalog entry supplies the calibrated testbed
+ * configuration and the Chapter 5 policy lineup).
  */
 
 #include "ch5_suite.hh"
+#include "core/sim/scenario.hh"
 
 using namespace memtherm;
 using namespace memtherm::bench;
@@ -12,22 +15,17 @@ using namespace memtherm::bench;
 int
 main()
 {
-    Platform plat = pe1950();
-    std::vector<std::string> policies = ch5PolicyNames();
-    policies.insert(policies.begin(), "No-limit");
-    const std::vector<Workload> mixes = cpu2006Mixes();
-    std::vector<ExperimentEngine::Run> runs;
-    for (const Workload &w : mixes)
-        for (const auto &pname : policies)
-            runs.push_back(ch5Run(plat, w, pname));
-    std::vector<SimResult> results = engine().run(runs);
-    SuiteResults r;
-    std::size_t k = 0;
-    for (const Workload &w : mixes)
-        for (const auto &pname : policies)
-            r[w.name][pname] = std::move(results[k++]);
+    ScenarioSpec spec;
+    spec.name = "fig5_7";
+    spec.platform = "PE1950";
+    spec.copiesPerApp = kCh5Copies;
+    spec.workloads = {"W11", "W12"};
+    spec.policies = ch5PolicyNames();
+    spec.policies.insert(spec.policies.begin(), "No-limit");
+
+    ScenarioResults results = runScenario(spec, engine());
     printNormalized("Fig 5.7 — normalized running time, CPU2006 (PE1950)",
-                    r, {"W11", "W12"}, ch5PolicyNames(), "No-limit",
-                    metricRunningTime);
+                    results.points[0].suite, {"W11", "W12"},
+                    ch5PolicyNames(), "No-limit", metricRunningTime);
     return 0;
 }

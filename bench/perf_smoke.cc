@@ -9,13 +9,18 @@
  *
  *   cmake --build build --target perf_smoke && ./build/perf_smoke
  *
- * The parallel thread count comes from MEMTHERM_THREADS when set,
- * otherwise 4 (the acceptance configuration). Expected speedup is
- * roughly min(threads, hardware cores, concurrent runs); on a 1-core
- * host serial and parallel times are equal by construction.
+ * The suite is described as a declarative ScenarioSpec and executed
+ * through runScenario(), so this harness also times the scenario code
+ * path the `memtherm` CLI uses; the JSON goes through the shared
+ * writer (common/json.hh). The parallel thread count comes from
+ * MEMTHERM_THREADS when set, otherwise 4 (the acceptance
+ * configuration). Expected speedup is roughly min(threads, hardware
+ * cores, concurrent runs); on a 1-core host serial and parallel times
+ * are equal by construction.
  */
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -23,6 +28,9 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "core/sim/scenario.hh"
 
 using namespace memtherm;
 using namespace memtherm::bench;
@@ -31,22 +39,16 @@ namespace
 {
 
 /** The ch4 mini-suite: small batches, full policy spread. */
-struct MiniSuite
-{
-    SimConfig cfg;
-    std::vector<Workload> workloads;
-    std::vector<std::string> policies;
-};
-
-MiniSuite
+ScenarioSpec
 miniSuite()
 {
-    MiniSuite s;
-    s.cfg = ch4Config(coolingAohs15(), false, 8);
-    s.workloads = {workloadMix("W1"), workloadMix("W2"), workloadMix("W3"),
-                   workloadMix("W4")};
-    s.policies = {"No-limit", "DTM-TS", "DTM-BW", "DTM-ACG", "DTM-CDVFS"};
-    return s;
+    ScenarioSpec spec;
+    spec.name = "ch4_mini";
+    spec.copiesPerApp = 8;
+    spec.workloads = {"W1", "W2", "W3", "W4"};
+    spec.policies = {"No-limit", "DTM-TS", "DTM-BW", "DTM-ACG",
+                     "DTM-CDVFS"};
+    return spec;
 }
 
 double
@@ -108,8 +110,8 @@ identical(const SuiteResults &a, const SuiteResults &b)
 int
 main()
 {
-    MiniSuite s = miniSuite();
-    const std::size_t n_runs = s.workloads.size() * s.policies.size();
+    ScenarioSpec spec = miniSuite();
+    const std::size_t n_runs = spec.lower().totalRuns();
 
     int par_threads = 4;
     if (const char *env = std::getenv("MEMTHERM_THREADS")) {
@@ -121,28 +123,33 @@ main()
 
     std::printf("perf_smoke: %zu runs (%zu workloads x %zu policies), "
                 "%d parallel threads, %u hardware threads\n",
-                n_runs, s.workloads.size(), s.policies.size(), par_threads,
-                hw);
+                n_runs, spec.workloads.size(), spec.policies.size(),
+                par_threads, hw);
 
     // Warm-up run: touches every code path once so neither timed pass
     // pays first-touch costs the other doesn't.
     {
-        ExperimentEngine warm(1);
-        warm.runSuite(s.cfg, {s.workloads[0]}, {s.policies[0]});
+        ScenarioSpec warm = spec;
+        warm.workloads = {spec.workloads[0]};
+        warm.policies = {spec.policies[0]};
+        ExperimentEngine warm_engine(1);
+        runScenario(warm, warm_engine);
     }
 
     auto t0 = std::chrono::steady_clock::now();
     ExperimentEngine serial(1);
-    SuiteResults r_serial = serial.runSuite(s.cfg, s.workloads, s.policies);
+    ScenarioResults r_serial = runScenario(spec, serial);
     auto t1 = std::chrono::steady_clock::now();
     ExperimentEngine parallel(par_threads);
-    SuiteResults r_par = parallel.runSuite(s.cfg, s.workloads, s.policies);
+    ScenarioResults r_par = runScenario(spec, parallel);
     auto t2 = std::chrono::steady_clock::now();
 
     double serial_s = seconds(t0, t1);
     double parallel_s = seconds(t1, t2);
-    double windows = totalWindows(r_serial, s.cfg.window);
-    bool bit_identical = identical(r_serial, r_par);
+    Seconds window = makeCh4Config(coolingAohs15(), false).window;
+    double windows = totalWindows(r_serial.points[0].suite, window);
+    bool bit_identical =
+        identical(r_serial.points[0].suite, r_par.points[0].suite);
     double speedup = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
 
     std::printf("serial   %.3f s (%.0f windows/s)\n", serial_s,
@@ -152,31 +159,25 @@ main()
     std::printf("results bit-identical: %s\n",
                 bit_identical ? "yes" : "NO");
 
-    FILE *f = std::fopen("BENCH_perf.json", "w");
-    if (!f) {
-        std::perror("BENCH_perf.json");
+    Json out = Json::object();
+    out.set("suite", spec.name);
+    out.set("runs", static_cast<double>(n_runs));
+    out.set("copies_per_app", *spec.copiesPerApp);
+    out.set("threads", par_threads);
+    out.set("hardware_threads", static_cast<double>(hw));
+    out.set("windows", std::round(windows));
+    out.set("serial_seconds", serial_s);
+    out.set("parallel_seconds", parallel_s);
+    out.set("windows_per_sec_serial", windows / serial_s);
+    out.set("windows_per_sec_parallel", windows / parallel_s);
+    out.set("speedup", speedup);
+    out.set("bit_identical", bit_identical);
+    try {
+        out.save("BENCH_perf.json");
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
         return 1;
     }
-    std::fprintf(f,
-                 "{\n"
-                 "  \"suite\": \"ch4_mini\",\n"
-                 "  \"runs\": %zu,\n"
-                 "  \"copies_per_app\": %d,\n"
-                 "  \"threads\": %d,\n"
-                 "  \"hardware_threads\": %u,\n"
-                 "  \"windows\": %.0f,\n"
-                 "  \"serial_seconds\": %.6f,\n"
-                 "  \"parallel_seconds\": %.6f,\n"
-                 "  \"windows_per_sec_serial\": %.1f,\n"
-                 "  \"windows_per_sec_parallel\": %.1f,\n"
-                 "  \"speedup\": %.4f,\n"
-                 "  \"bit_identical\": %s\n"
-                 "}\n",
-                 n_runs, s.cfg.copiesPerApp, par_threads, hw, windows,
-                 serial_s, parallel_s, windows / serial_s,
-                 windows / parallel_s, speedup,
-                 bit_identical ? "true" : "false");
-    std::fclose(f);
     std::printf("wrote BENCH_perf.json\n");
 
     return bit_identical ? 0 : 1;

@@ -1,9 +1,8 @@
 #include "core/sim/experiment.hh"
 
 #include "common/logging.hh"
-#include "core/dtm/basic_policies.hh"
-#include "core/dtm/pid_policies.hh"
 #include "core/sim/engine.hh"
+#include "core/sim/registry.hh"
 
 namespace memtherm
 {
@@ -11,35 +10,9 @@ namespace memtherm
 std::unique_ptr<DtmPolicy>
 makeCh4Policy(const std::string &name, Seconds dtm_interval)
 {
-    ThermalLimits lim;
-    if (name == "No-limit")
-        return std::make_unique<NoLimitPolicy>();
-    if (name == "DTM-TS") {
-        return std::make_unique<TsPolicy>(lim.ambTdp, lim.ambTrp,
-                                          lim.dramTdp, lim.dramTrp);
-    }
-    if (name == "DTM-BW")
-        return std::make_unique<LeveledPolicy>(makeCh4BwPolicy());
-    if (name == "DTM-ACG")
-        return std::make_unique<LeveledPolicy>(makeCh4AcgPolicy());
-    if (name == "DTM-CDVFS")
-        return std::make_unique<LeveledPolicy>(makeCh4CdvfsPolicy());
-    if (name == "DTM-BW+PID") {
-        return std::make_unique<PidPolicy>(PidActuator::Bandwidth,
-                                           ambPidParams(), dramPidParams(),
-                                           lim, dtm_interval);
-    }
-    if (name == "DTM-ACG+PID") {
-        return std::make_unique<PidPolicy>(PidActuator::CoreGating,
-                                           ambPidParams(), dramPidParams(),
-                                           lim, dtm_interval);
-    }
-    if (name == "DTM-CDVFS+PID") {
-        return std::make_unique<PidPolicy>(PidActuator::Dvfs, ambPidParams(),
-                                           dramPidParams(), lim,
-                                           dtm_interval);
-    }
-    fatal("makeCh4Policy: unknown policy '" + name + "'");
+    // The lineup lives in the PolicyRegistry now; an unknown name throws
+    // FatalError with a diagnostic that lists every valid key.
+    return PolicyRegistry::instance().make(name, dtm_interval);
 }
 
 std::vector<std::string>

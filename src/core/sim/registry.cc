@@ -1,0 +1,301 @@
+#include "core/sim/registry.hh"
+
+#include <cerrno>
+#include <climits>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "core/dtm/basic_policies.hh"
+#include "core/dtm/pid_policies.hh"
+#include "testbed/platform.hh"
+#include "workloads/spec_catalog.hh"
+
+namespace memtherm
+{
+
+std::string
+joinNames(const std::vector<std::string> &names)
+{
+    std::string out;
+    for (const auto &n : names) {
+        if (!out.empty())
+            out += ", ";
+        out += n;
+    }
+    return out;
+}
+
+// --- policies ---------------------------------------------------------------
+
+PolicyRegistry::PolicyRegistry()
+{
+    // The Chapter 4 lineup (Section 4.4). DTM-TS has only two control
+    // decisions and does not benefit from PID, so it has no "+PID"
+    // variant (Section 4.4.2).
+    add("No-limit",
+        [](Seconds) { return std::make_unique<NoLimitPolicy>(); });
+    add("DTM-TS", [](Seconds) {
+        ThermalLimits lim;
+        return std::make_unique<TsPolicy>(lim.ambTdp, lim.ambTrp,
+                                          lim.dramTdp, lim.dramTrp);
+    });
+    add("DTM-BW", [](Seconds) {
+        return std::make_unique<LeveledPolicy>(makeCh4BwPolicy());
+    });
+    add("DTM-ACG", [](Seconds) {
+        return std::make_unique<LeveledPolicy>(makeCh4AcgPolicy());
+    });
+    add("DTM-CDVFS", [](Seconds) {
+        return std::make_unique<LeveledPolicy>(makeCh4CdvfsPolicy());
+    });
+    add("DTM-BW+PID", [](Seconds dtm_interval) {
+        return std::make_unique<PidPolicy>(PidActuator::Bandwidth,
+                                           ambPidParams(), dramPidParams(),
+                                           ThermalLimits{}, dtm_interval);
+    });
+    add("DTM-ACG+PID", [](Seconds dtm_interval) {
+        return std::make_unique<PidPolicy>(PidActuator::CoreGating,
+                                           ambPidParams(), dramPidParams(),
+                                           ThermalLimits{}, dtm_interval);
+    });
+    add("DTM-CDVFS+PID", [](Seconds dtm_interval) {
+        return std::make_unique<PidPolicy>(PidActuator::Dvfs,
+                                           ambPidParams(), dramPidParams(),
+                                           ThermalLimits{}, dtm_interval);
+    });
+}
+
+PolicyRegistry &
+PolicyRegistry::instance()
+{
+    static PolicyRegistry r;
+    return r;
+}
+
+void
+PolicyRegistry::add(const std::string &name, Factory factory)
+{
+    panicIfNot(static_cast<bool>(factory),
+               "PolicyRegistry: empty factory for '" + name + "'");
+    std::lock_guard lock(mtx);
+    for (auto &[n, f] : entries) {
+        if (n == name) {
+            f = std::move(factory);
+            return;
+        }
+    }
+    entries.emplace_back(name, std::move(factory));
+}
+
+std::vector<std::string>
+PolicyRegistry::names() const
+{
+    std::lock_guard lock(mtx);
+    std::vector<std::string> out;
+    out.reserve(entries.size());
+    for (const auto &[n, f] : entries)
+        out.push_back(n);
+    return out;
+}
+
+bool
+PolicyRegistry::contains(const std::string &name) const
+{
+    std::lock_guard lock(mtx);
+    for (const auto &[n, f] : entries)
+        if (n == name)
+            return true;
+    return false;
+}
+
+std::unique_ptr<DtmPolicy>
+PolicyRegistry::tryMake(const std::string &name, Seconds dtm_interval,
+                        std::string *error) const
+{
+    Factory factory;
+    {
+        std::lock_guard lock(mtx);
+        for (const auto &[n, f] : entries) {
+            if (n == name) {
+                factory = f;
+                break;
+            }
+        }
+    }
+    if (!factory) {
+        if (error) {
+            *error = "unknown policy '" + name +
+                     "' (valid: " + joinNames(names()) + ")";
+        }
+        return nullptr;
+    }
+    return factory(dtm_interval);
+}
+
+std::unique_ptr<DtmPolicy>
+PolicyRegistry::make(const std::string &name, Seconds dtm_interval) const
+{
+    std::string error;
+    auto p = tryMake(name, dtm_interval, &error);
+    if (!p)
+        fatal("PolicyRegistry: " + error);
+    return p;
+}
+
+// --- cooling ----------------------------------------------------------------
+
+namespace
+{
+
+const std::vector<std::pair<std::string, CoolingConfig>> &
+coolingCatalog()
+{
+    static const std::vector<std::pair<std::string, CoolingConfig>> cat =
+        [] {
+            std::vector<std::pair<std::string, CoolingConfig>> v;
+            for (auto s : {HeatSpreader::AOHS, HeatSpreader::FDHS}) {
+                for (auto vel : {AirVelocity::MPS_1_0, AirVelocity::MPS_1_5,
+                                 AirVelocity::MPS_3_0}) {
+                    CoolingConfig c = coolingConfig(s, vel);
+                    v.emplace_back(c.name(), c);
+                }
+            }
+            return v;
+        }();
+    return cat;
+}
+
+} // namespace
+
+std::vector<std::string>
+coolingNames()
+{
+    std::vector<std::string> out;
+    for (const auto &[n, c] : coolingCatalog())
+        out.push_back(n);
+    return out;
+}
+
+std::optional<CoolingConfig>
+tryCooling(const std::string &name)
+{
+    for (const auto &[n, c] : coolingCatalog())
+        if (n == name)
+            return c;
+    return std::nullopt;
+}
+
+CoolingConfig
+coolingByName(const std::string &name)
+{
+    auto c = tryCooling(name);
+    if (!c) {
+        fatal("unknown cooling '" + name +
+              "' (valid: " + joinNames(coolingNames()) + ")");
+    }
+    return *c;
+}
+
+// --- ambient ----------------------------------------------------------------
+
+std::vector<std::string>
+ambientNames()
+{
+    return {"isolated", "integrated"};
+}
+
+std::optional<AmbientParams>
+tryAmbient(const std::string &name, const CoolingConfig &cooling)
+{
+    if (name == "isolated")
+        return isolatedAmbient(cooling);
+    if (name == "integrated")
+        return integratedAmbient(cooling);
+    return std::nullopt;
+}
+
+AmbientParams
+ambientByName(const std::string &name, const CoolingConfig &cooling)
+{
+    auto p = tryAmbient(name, cooling);
+    if (!p) {
+        fatal("unknown ambient model '" + name +
+              "' (valid: " + joinNames(ambientNames()) + ")");
+    }
+    return *p;
+}
+
+// --- workloads --------------------------------------------------------------
+
+std::vector<std::string>
+workloadNames()
+{
+    return {"W1", "W2", "W3", "W4", "W5", "W6", "W7", "W8", "W11", "W12"};
+}
+
+std::optional<Workload>
+tryWorkload(const std::string &name)
+{
+    for (const auto &n : workloadNames())
+        if (n == name)
+            return workloadMix(name);
+
+    // Homogeneous batches: "<app>x<n>", e.g. "swimx4".
+    auto xpos = name.rfind('x');
+    if (xpos != std::string::npos && xpos > 0 && xpos + 1 < name.size()) {
+        const std::string app = name.substr(0, xpos);
+        const std::string count = name.substr(xpos + 1);
+        char *end = nullptr;
+        errno = 0;
+        long n = std::strtol(count.c_str(), &end, 10);
+        if (end && *end == '\0' && errno == 0 && n >= 1 && n <= INT_MAX) {
+            for (const AppDescriptor &d : SpecCatalog::instance().all())
+                if (d.name == app)
+                    return homogeneous(app, static_cast<int>(n));
+        }
+    }
+    return std::nullopt;
+}
+
+Workload
+workloadByName(const std::string &name)
+{
+    auto w = tryWorkload(name);
+    if (!w) {
+        fatal("unknown workload '" + name +
+              "' (valid: " + joinNames(workloadNames()) +
+              ", or \"<app>x<n>\" for a homogeneous batch, e.g. swimx4)");
+    }
+    return *w;
+}
+
+// --- platforms --------------------------------------------------------------
+
+std::vector<std::string>
+platformNames()
+{
+    return {"PE1950", "SR1500AL"};
+}
+
+std::optional<Platform>
+tryPlatform(const std::string &name)
+{
+    if (name == "PE1950")
+        return pe1950();
+    if (name == "SR1500AL")
+        return sr1500al();
+    return std::nullopt;
+}
+
+Platform
+platformByName(const std::string &name)
+{
+    auto p = tryPlatform(name);
+    if (!p) {
+        fatal("unknown platform '" + name +
+              "' (valid: " + joinNames(platformNames()) + ")");
+    }
+    return *p;
+}
+
+} // namespace memtherm

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * String-keyed registries and catalogs behind the declarative scenario
+ * API (core/sim/scenario.hh) and the `memtherm` CLI.
+ *
+ * Everything a scenario file can name — DTM policies, cooling setups,
+ * ambient models, workload mixes, Chapter 5 platforms — resolves here.
+ * Each catalog offers three entry points with uniform semantics:
+ *
+ *  - names()           the valid keys, stable order;
+ *  - try...()          error-returning lookup (no exception, no abort);
+ *  - ...ByName()/make  throwing lookup whose FatalError message lists
+ *                      every valid key, so a typo in a scenario file or
+ *                      on the CLI reads as a usable diagnostic instead
+ *                      of a bare abort.
+ */
+
+#ifndef MEMTHERM_CORE_SIM_REGISTRY_HH
+#define MEMTHERM_CORE_SIM_REGISTRY_HH
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/dtm/dtm_policy.hh"
+#include "core/thermal/thermal_params.hh"
+#include "workloads/workload.hh"
+
+namespace memtherm
+{
+
+struct Platform;
+
+/**
+ * Registry of DTM policy constructors by display name.
+ *
+ * Seeded with the full Chapter 4 lineup ("No-limit", "DTM-TS", "DTM-BW",
+ * "DTM-ACG", "DTM-CDVFS" and the "+PID" variants); add() registers
+ * additional policies (e.g. experimental schemes) at runtime. Policies
+ * carry controller state, so every lookup constructs a fresh instance.
+ * Lookups are thread-safe (engine workers build policies concurrently).
+ */
+class PolicyRegistry
+{
+  public:
+    /// Constructs one policy instance for a run's decision period.
+    using Factory =
+        std::function<std::unique_ptr<DtmPolicy>(Seconds dtm_interval)>;
+
+    /** The process-wide registry. */
+    static PolicyRegistry &instance();
+
+    /** Register (or replace) a policy constructor. */
+    void add(const std::string &name, Factory factory);
+
+    /** Valid policy names, registration order. */
+    std::vector<std::string> names() const;
+
+    bool contains(const std::string &name) const;
+
+    /**
+     * Error-returning construction: nullptr for an unknown name, with
+     * @p error (when given) set to a diagnostic listing the valid keys.
+     */
+    std::unique_ptr<DtmPolicy> tryMake(const std::string &name,
+                                       Seconds dtm_interval,
+                                       std::string *error = nullptr) const;
+
+    /** Throwing construction: FatalError listing the valid keys. */
+    std::unique_ptr<DtmPolicy> make(const std::string &name,
+                                    Seconds dtm_interval) const;
+
+  private:
+    PolicyRegistry();
+
+    mutable std::mutex mtx;
+    std::vector<std::pair<std::string, Factory>> entries;
+};
+
+/** Table 3.2 cooling setups: "AOHS_1.0" ... "FDHS_3.0". */
+std::vector<std::string> coolingNames();
+std::optional<CoolingConfig> tryCooling(const std::string &name);
+CoolingConfig coolingByName(const std::string &name);
+
+/**
+ * Ambient-model presets (Table 3.3): "isolated" (constant inlet) and
+ * "integrated" (CPU-preheated inlet). Parameters depend on the cooling
+ * configuration, hence the extra argument.
+ */
+std::vector<std::string> ambientNames();
+std::optional<AmbientParams> tryAmbient(const std::string &name,
+                                        const CoolingConfig &cooling);
+AmbientParams ambientByName(const std::string &name,
+                            const CoolingConfig &cooling);
+
+/**
+ * Workload catalog: the Table 4.2/5.2 mixes ("W1".."W8", "W11", "W12")
+ * plus homogeneous batches spelled "<app>x<n>" (e.g. "swimx4" — n copies
+ * of one catalog application).
+ */
+std::vector<std::string> workloadNames();
+std::optional<Workload> tryWorkload(const std::string &name);
+Workload workloadByName(const std::string &name);
+
+/** Chapter 5 testbed platforms: "PE1950", "SR1500AL". */
+std::vector<std::string> platformNames();
+std::optional<Platform> tryPlatform(const std::string &name);
+Platform platformByName(const std::string &name);
+
+/** "a, b, c" — the key lists used in registry diagnostics. */
+std::string joinNames(const std::vector<std::string> &names);
+
+} // namespace memtherm
+
+#endif // MEMTHERM_CORE_SIM_REGISTRY_HH

@@ -1,0 +1,560 @@
+#include "core/sim/scenario.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "core/sim/registry.hh"
+#include "testbed/platform.hh"
+
+namespace memtherm
+{
+
+namespace
+{
+
+/** Shortest exact decimal form, for sweep-point labels. */
+std::string
+numStr(double v)
+{
+    return Json::numberToString(v);
+}
+
+/** The policy lineup valid for platform (Chapter 5) scenarios. */
+std::vector<std::string>
+platformPolicyNames()
+{
+    std::vector<std::string> names = ch5PolicyNames();
+    names.insert(names.begin(), "No-limit");
+    return names;
+}
+
+[[noreturn]] void
+specError(const ScenarioSpec &spec, const std::string &what)
+{
+    std::string where =
+        spec.name.empty() ? "scenario" : "scenario '" + spec.name + "'";
+    fatal(where + ": " + what);
+}
+
+/** Reject members we do not understand — typos fail loudly. */
+void
+checkMembers(const Json &obj, const std::string &where,
+             const std::vector<std::string> &allowed)
+{
+    for (const auto &[key, v] : obj.asObject()) {
+        bool known = false;
+        for (const auto &a : allowed)
+            known |= (a == key);
+        if (!known) {
+            fatal("scenario: unknown member '" + key + "' in " + where +
+                  " (valid: " + joinNames(allowed) + ")");
+        }
+    }
+}
+
+double
+memberNumber(const Json &obj, const std::string &key)
+{
+    const Json &v = obj.at(key);
+    if (!v.isNumber())
+        fatal("scenario: member '" + key + "' must be a number");
+    return v.asNumber();
+}
+
+int
+memberInt(const Json &obj, const std::string &key)
+{
+    double v = memberNumber(obj, key);
+    if (v != std::floor(v))
+        fatal("scenario: member '" + key + "' must be an integer");
+    return static_cast<int>(v);
+}
+
+std::string
+memberString(const Json &obj, const std::string &key)
+{
+    const Json &v = obj.at(key);
+    if (!v.isString())
+        fatal("scenario: member '" + key + "' must be a string");
+    return v.asString();
+}
+
+std::vector<std::string>
+stringList(const Json &v, const std::string &key)
+{
+    if (!v.isArray())
+        fatal("scenario: member '" + key + "' must be an array of strings");
+    std::vector<std::string> out;
+    for (const Json &e : v.asArray()) {
+        if (!e.isString())
+            fatal("scenario: member '" + key + "' must contain strings");
+        out.push_back(e.asString());
+    }
+    return out;
+}
+
+std::vector<double>
+numberList(const Json &v, const std::string &key)
+{
+    if (!v.isArray())
+        fatal("scenario: member '" + key + "' must be an array of numbers");
+    std::vector<double> out;
+    for (const Json &e : v.asArray()) {
+        if (!e.isNumber())
+            fatal("scenario: member '" + key + "' must contain numbers");
+        out.push_back(e.asNumber());
+    }
+    return out;
+}
+
+Json
+toJsonList(const std::vector<std::string> &v)
+{
+    Json a = Json::array();
+    for (const auto &s : v)
+        a.push(s);
+    return a;
+}
+
+Json
+toJsonList(const std::vector<double> &v)
+{
+    Json a = Json::array();
+    for (double x : v)
+        a.push(x);
+    return a;
+}
+
+Json
+traceJson(const TimeSeries &t)
+{
+    Json j = Json::object();
+    j.set("period_s", t.period());
+    Json vals = Json::array();
+    for (double v : t.values())
+        vals.push(v);
+    j.set("values", std::move(vals));
+    return j;
+}
+
+} // namespace
+
+std::size_t
+LoweredScenario::totalRuns() const
+{
+    std::size_t n = 0;
+    for (const auto &p : points)
+        n += p.runs.size();
+    return n;
+}
+
+void
+ScenarioSpec::validate() const
+{
+    (void)lower(); // lowering resolves every name and checks the axes
+}
+
+LoweredScenario
+ScenarioSpec::lower() const
+{
+    if (workloads.empty())
+        specError(*this, "no workloads given");
+    if (policies.empty())
+        specError(*this, "no policies given");
+
+    LoweredScenario out;
+    out.workloads = workloads;
+    out.policies = policies;
+
+    std::vector<Workload> ws;
+    ws.reserve(workloads.size());
+    for (const auto &n : workloads)
+        ws.push_back(workloadByName(n));
+
+    const bool onPlatform = !platform.empty();
+    std::optional<Platform> plat;
+    if (onPlatform) {
+        plat = platformByName(platform);
+        if (!sweepCooling.empty()) {
+            specError(*this, "platform scenarios fix the cooling setup; "
+                             "remove the cooling sweep");
+        }
+        if (cooling != ScenarioSpec{}.cooling ||
+            ambient != ScenarioSpec{}.ambient) {
+            specError(*this,
+                      "platform scenarios fix cooling and ambient; remove "
+                      "those members");
+        }
+        const auto valid = platformPolicyNames();
+        for (const auto &p : policies) {
+            bool known = false;
+            for (const auto &v : valid)
+                known |= (v == p);
+            if (!known) {
+                specError(*this, "unknown platform policy '" + p +
+                                 "' (valid: " + joinNames(valid) + ")");
+            }
+        }
+    } else {
+        // Resolving the base cooling/ambient validates both names even
+        // when a sweep replaces them below.
+        (void)ambientByName(ambient, coolingByName(cooling));
+        const auto &reg = PolicyRegistry::instance();
+        for (const auto &p : policies) {
+            if (!reg.contains(p)) {
+                specError(*this, "unknown policy '" + p + "' (valid: " +
+                                 joinNames(reg.names()) + ")");
+            }
+        }
+    }
+
+    for (int c : sweepCopies)
+        if (c < 1)
+            specError(*this, "copies_per_app sweep values must be >= 1");
+    if (copiesPerApp && *copiesPerApp < 1)
+        specError(*this, "copies_per_app must be >= 1");
+
+    // Each axis contributes its values, or one "keep the base" slot.
+    const std::vector<std::string> coolAxis =
+        sweepCooling.empty() ? std::vector<std::string>{""} : sweepCooling;
+    const std::vector<double> inletAxis =
+        sweepTInlet.empty() ? std::vector<double>{NAN} : sweepTInlet;
+    const std::vector<int> copyAxis =
+        sweepCopies.empty() ? std::vector<int>{0} : sweepCopies;
+    const std::vector<double> noiseAxis = sweepSensorNoise.empty()
+                                              ? std::vector<double>{NAN}
+                                              : sweepSensorNoise;
+
+    for (const std::string &coolName : coolAxis) {
+        for (double inlet : inletAxis) {
+            for (int copies : copyAxis) {
+                for (double noise : noiseAxis) {
+                    LoweredScenario::Point pt;
+
+                    std::vector<std::string> parts;
+                    if (!coolName.empty())
+                        parts.push_back("cooling=" + coolName);
+                    if (!std::isnan(inlet))
+                        parts.push_back("inlet=" + numStr(inlet));
+                    if (copies > 0) {
+                        parts.push_back("copies=" +
+                                        std::to_string(copies));
+                    }
+                    if (!std::isnan(noise))
+                        parts.push_back("noise=" + numStr(noise));
+                    if (parts.empty()) {
+                        pt.label = "base";
+                    } else {
+                        for (const auto &part : parts) {
+                            if (!pt.label.empty())
+                                pt.label += ",";
+                            pt.label += part;
+                        }
+                    }
+
+                    SimConfig cfg;
+                    if (onPlatform) {
+                        cfg = plat->sim;
+                    } else {
+                        cfg = makeCh4Config(
+                            coolingByName(coolName.empty() ? cooling
+                                                           : coolName),
+                            ambient == "integrated");
+                    }
+
+                    // Spec-level overrides, then sweep coordinates
+                    // (an axis supersedes the scalar member).
+                    if (tInlet)
+                        cfg.ambient.tInlet = *tInlet;
+                    if (copiesPerApp)
+                        cfg.copiesPerApp = *copiesPerApp;
+                    if (instrScale)
+                        cfg.instrScale = *instrScale;
+                    if (maxSimTime)
+                        cfg.maxSimTime = *maxSimTime;
+                    if (dtmInterval)
+                        cfg.dtmInterval = *dtmInterval;
+                    if (sensorNoiseSigma)
+                        cfg.sensorNoiseSigma = *sensorNoiseSigma;
+                    if (sensorQuant)
+                        cfg.sensorQuant = *sensorQuant;
+                    if (sensorSeed)
+                        cfg.sensorSeed = *sensorSeed;
+                    if (!std::isnan(inlet))
+                        cfg.ambient.tInlet = inlet;
+                    if (copies > 0)
+                        cfg.copiesPerApp = copies;
+                    if (!std::isnan(noise))
+                        cfg.sensorNoiseSigma = noise;
+
+                    pt.cfg = cfg;
+                    pt.runs.reserve(ws.size() * policies.size());
+                    if (onPlatform) {
+                        Platform p = *plat;
+                        p.sim = cfg;
+                        for (const Workload &w : ws)
+                            for (const auto &pol : policies)
+                                pt.runs.push_back(ch5EngineRun(p, w, pol));
+                    } else {
+                        for (const Workload &w : ws)
+                            for (const auto &pol : policies)
+                                pt.runs.push_back({cfg, w, pol, {}});
+                    }
+                    out.points.push_back(std::move(pt));
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Json
+ScenarioSpec::toJson() const
+{
+    Json j = Json::object();
+    j.set("name", name);
+    if (!description.empty())
+        j.set("description", description);
+    if (!platform.empty())
+        j.set("platform", platform);
+
+    Json cfg = Json::object();
+    if (platform.empty()) {
+        cfg.set("cooling", cooling);
+        cfg.set("ambient", ambient);
+    }
+    if (tInlet)
+        cfg.set("t_inlet", *tInlet);
+    if (copiesPerApp)
+        cfg.set("copies_per_app", *copiesPerApp);
+    if (instrScale)
+        cfg.set("instr_scale", *instrScale);
+    if (maxSimTime)
+        cfg.set("max_sim_time", *maxSimTime);
+    if (dtmInterval)
+        cfg.set("dtm_interval", *dtmInterval);
+    if (sensorNoiseSigma)
+        cfg.set("sensor_noise_sigma", *sensorNoiseSigma);
+    if (sensorQuant)
+        cfg.set("sensor_quant", *sensorQuant);
+    if (sensorSeed)
+        cfg.set("sensor_seed", static_cast<double>(*sensorSeed));
+    if (!cfg.asObject().empty())
+        j.set("config", std::move(cfg));
+
+    j.set("workloads", toJsonList(workloads));
+    j.set("policies", toJsonList(policies));
+
+    Json sweep = Json::object();
+    if (!sweepCooling.empty())
+        sweep.set("cooling", toJsonList(sweepCooling));
+    if (!sweepTInlet.empty())
+        sweep.set("t_inlet", toJsonList(sweepTInlet));
+    if (!sweepCopies.empty()) {
+        Json a = Json::array();
+        for (int c : sweepCopies)
+            a.push(c);
+        sweep.set("copies_per_app", std::move(a));
+    }
+    if (!sweepSensorNoise.empty())
+        sweep.set("sensor_noise_sigma", toJsonList(sweepSensorNoise));
+    if (!sweep.asObject().empty())
+        j.set("sweep", std::move(sweep));
+
+    return j;
+}
+
+ScenarioSpec
+ScenarioSpec::fromJson(const Json &j)
+{
+    if (!j.isObject())
+        fatal("scenario: document must be a JSON object");
+    checkMembers(j, "the scenario",
+                 {"name", "description", "platform", "config", "workloads",
+                  "policies", "sweep"});
+
+    ScenarioSpec s;
+    if (j.find("name"))
+        s.name = memberString(j, "name");
+    if (j.find("description"))
+        s.description = memberString(j, "description");
+    if (j.find("platform"))
+        s.platform = memberString(j, "platform");
+
+    if (const Json *cfg = j.find("config")) {
+        if (!cfg->isObject())
+            fatal("scenario: 'config' must be an object");
+        checkMembers(*cfg, "'config'",
+                     {"cooling", "ambient", "t_inlet", "copies_per_app",
+                      "instr_scale", "max_sim_time", "dtm_interval",
+                      "sensor_noise_sigma", "sensor_quant", "sensor_seed"});
+        if (cfg->find("cooling"))
+            s.cooling = memberString(*cfg, "cooling");
+        if (cfg->find("ambient"))
+            s.ambient = memberString(*cfg, "ambient");
+        if (cfg->find("t_inlet"))
+            s.tInlet = memberNumber(*cfg, "t_inlet");
+        if (cfg->find("copies_per_app"))
+            s.copiesPerApp = memberInt(*cfg, "copies_per_app");
+        if (cfg->find("instr_scale"))
+            s.instrScale = memberNumber(*cfg, "instr_scale");
+        if (cfg->find("max_sim_time"))
+            s.maxSimTime = memberNumber(*cfg, "max_sim_time");
+        if (cfg->find("dtm_interval"))
+            s.dtmInterval = memberNumber(*cfg, "dtm_interval");
+        if (cfg->find("sensor_noise_sigma"))
+            s.sensorNoiseSigma = memberNumber(*cfg, "sensor_noise_sigma");
+        if (cfg->find("sensor_quant"))
+            s.sensorQuant = memberNumber(*cfg, "sensor_quant");
+        if (cfg->find("sensor_seed")) {
+            double v = memberNumber(*cfg, "sensor_seed");
+            if (v != std::floor(v) || v < 0.0)
+                fatal("scenario: 'sensor_seed' must be a non-negative "
+                      "integer");
+            s.sensorSeed = static_cast<std::uint64_t>(v);
+        }
+    }
+
+    if (j.find("workloads"))
+        s.workloads = stringList(j.at("workloads"), "workloads");
+    if (j.find("policies"))
+        s.policies = stringList(j.at("policies"), "policies");
+
+    if (const Json *sweep = j.find("sweep")) {
+        if (!sweep->isObject())
+            fatal("scenario: 'sweep' must be an object");
+        checkMembers(*sweep, "'sweep'",
+                     {"cooling", "t_inlet", "copies_per_app",
+                      "sensor_noise_sigma"});
+        if (sweep->find("cooling")) {
+            s.sweepCooling =
+                stringList(sweep->at("cooling"), "sweep.cooling");
+        }
+        if (sweep->find("t_inlet")) {
+            s.sweepTInlet =
+                numberList(sweep->at("t_inlet"), "sweep.t_inlet");
+        }
+        if (sweep->find("copies_per_app")) {
+            for (double v : numberList(sweep->at("copies_per_app"),
+                                       "sweep.copies_per_app")) {
+                if (v != std::floor(v)) {
+                    fatal("scenario: sweep.copies_per_app must contain "
+                          "integers");
+                }
+                s.sweepCopies.push_back(static_cast<int>(v));
+            }
+        }
+        if (sweep->find("sensor_noise_sigma")) {
+            s.sweepSensorNoise = numberList(
+                sweep->at("sensor_noise_sigma"), "sweep.sensor_noise_sigma");
+        }
+    }
+    return s;
+}
+
+ScenarioSpec
+ScenarioSpec::load(const std::string &path)
+{
+    return fromJson(Json::load(path));
+}
+
+void
+ScenarioSpec::save(const std::string &path) const
+{
+    toJson().save(path);
+}
+
+ScenarioResults
+runScenario(const ScenarioSpec &spec, ExperimentEngine &engine)
+{
+    LoweredScenario low = spec.lower();
+
+    std::vector<ExperimentEngine::Run> all;
+    all.reserve(low.totalRuns());
+    for (const auto &pt : low.points)
+        for (const auto &r : pt.runs)
+            all.push_back(r);
+
+    std::vector<SimResult> results = engine.run(all);
+
+    ScenarioResults out;
+    out.scenario = spec.name;
+    std::size_t k = 0;
+    for (const auto &pt : low.points) {
+        ScenarioResults::Point rp;
+        rp.label = pt.label;
+        for (const auto &w : low.workloads)
+            for (const auto &p : low.policies)
+                rp.suite[w][p] = std::move(results[k++]);
+        out.points.push_back(std::move(rp));
+    }
+    return out;
+}
+
+ScenarioResults
+runScenario(const ScenarioSpec &spec)
+{
+    ExperimentEngine engine;
+    return runScenario(spec, engine);
+}
+
+Json
+toJson(const SimResult &r, bool traces)
+{
+    Json j = Json::object();
+    j.set("workload", r.workload);
+    j.set("policy", r.policy);
+    j.set("completed", r.completed);
+    j.set("running_time_s", r.runningTime);
+    j.set("total_instr", r.totalInstr);
+    j.set("read_gb", r.totalReadGB);
+    j.set("write_gb", r.totalWriteGB);
+    j.set("l2_misses", r.totalL2Misses);
+    j.set("mem_energy_j", r.memEnergy);
+    j.set("cpu_energy_j", r.cpuEnergy);
+    j.set("max_amb_c", r.maxAmb);
+    j.set("max_dram_c", r.maxDram);
+    j.set("time_above_amb_tdp_s", r.timeAboveAmbTdp);
+    j.set("time_above_dram_tdp_s", r.timeAboveDramTdp);
+    if (traces) {
+        Json t = Json::object();
+        t.set("amb_c", traceJson(r.ambTrace));
+        t.set("dram_c", traceJson(r.dramTrace));
+        t.set("inlet_c", traceJson(r.inletTrace));
+        t.set("cpu_power_w", traceJson(r.cpuPowerTrace));
+        t.set("bw_gbps", traceJson(r.bwTrace));
+        j.set("traces", std::move(t));
+    }
+    return j;
+}
+
+Json
+toJson(const SuiteResults &r, bool traces)
+{
+    Json j = Json::object();
+    for (const auto &[w, per_policy] : r) {
+        Json pw = Json::object();
+        for (const auto &[p, res] : per_policy)
+            pw.set(p, toJson(res, traces));
+        j.set(w, std::move(pw));
+    }
+    return j;
+}
+
+Json
+toJson(const ScenarioResults &r, bool traces)
+{
+    Json j = Json::object();
+    j.set("scenario", r.scenario);
+    Json pts = Json::array();
+    for (const auto &pt : r.points) {
+        Json p = Json::object();
+        p.set("label", pt.label);
+        p.set("results", toJson(pt.suite, traces));
+        pts.push(std::move(p));
+    }
+    j.set("points", std::move(pts));
+    return j;
+}
+
+} // namespace memtherm

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Declarative scenario API.
+ *
+ * A ScenarioSpec is a serializable description of one experiment: the
+ * base configuration (by catalog names — cooling, ambient model, or a
+ * Chapter 5 platform), override knobs, the workload and policy name
+ * lists, and optional sweep axes (cooling, inlet temperature, batch
+ * depth, sensor noise) whose cross product spans a configuration grid.
+ * Specs lower to ExperimentEngine run lists and round-trip losslessly
+ * through JSON, so an experiment is data (a scenario file fed to the
+ * `memtherm` CLI), not a hand-written binary.
+ *
+ * Every name in a spec resolves through core/sim/registry.hh, so a typo
+ * reports the valid keys instead of aborting.
+ */
+
+#ifndef MEMTHERM_CORE_SIM_SCENARIO_HH
+#define MEMTHERM_CORE_SIM_SCENARIO_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "core/sim/engine.hh"
+
+namespace memtherm
+{
+
+/**
+ * One scenario, lowered: the configuration points of the sweep grid and
+ * the engine runs of each point (workload-major, then policy, matching
+ * the spec's list order).
+ */
+struct LoweredScenario
+{
+    struct Point
+    {
+        std::string label; ///< sweep coordinates, e.g. "inlet=46"; "base"
+        SimConfig cfg;     ///< the point's configuration
+        std::vector<ExperimentEngine::Run> runs;
+    };
+
+    std::vector<Point> points;
+    std::vector<std::string> workloads; ///< resolved names, spec order
+    std::vector<std::string> policies;
+
+    /** Total run count across all points. */
+    std::size_t totalRuns() const;
+};
+
+/**
+ * Declarative description of an experiment. Field defaults mirror the
+ * Chapter 4 platform; std::nullopt means "keep the base configuration's
+ * value" (makeCh4Config's, or the platform's when `platform` is set).
+ */
+struct ScenarioSpec
+{
+    std::string name;
+    std::string description;
+
+    /**
+     * Chapter 5 testbed platform name ("PE1950", "SR1500AL"). When set,
+     * the platform supplies the base configuration and the Chapter 5
+     * policy lineup applies (including the paper's protocol: the
+     * SR1500AL "No-limit" baseline runs at a 26 C room ambient); the
+     * `cooling`/`ambient` fields and the cooling sweep are rejected.
+     */
+    std::string platform;
+
+    std::string cooling = "AOHS_1.5"; ///< Table 3.2 column name
+    std::string ambient = "isolated"; ///< "isolated" or "integrated"
+
+    std::optional<double> tInlet;          ///< system inlet override (C)
+    std::optional<int> copiesPerApp;       ///< batch depth override
+    std::optional<double> instrScale;      ///< instruction-volume scale
+    std::optional<double> maxSimTime;      ///< simulation horizon (s)
+    std::optional<double> dtmInterval;     ///< policy decision period (s)
+    std::optional<double> sensorNoiseSigma;
+    std::optional<double> sensorQuant;
+    std::optional<std::uint64_t> sensorSeed;
+
+    std::vector<std::string> workloads; ///< registry names / "<app>x<n>"
+    std::vector<std::string> policies;  ///< registry names
+
+    /// Sweep axes; the grid is their cross product (empty = base value).
+    std::vector<std::string> sweepCooling;
+    std::vector<double> sweepTInlet;
+    std::vector<int> sweepCopies;
+    std::vector<double> sweepSensorNoise;
+
+    bool operator==(const ScenarioSpec &) const = default;
+
+    /**
+     * Resolve every name and check sweep axes; FatalError (listing the
+     * valid keys) on the first problem. lower() and runScenario()
+     * validate implicitly.
+     */
+    void validate() const;
+
+    /** Lower to the configuration grid and its engine run lists. */
+    LoweredScenario lower() const;
+
+    /** Serialize (omits unset optionals; lossless round-trip). */
+    Json toJson() const;
+
+    /** Parse; FatalError on unknown members, bad types, or bad names. */
+    static ScenarioSpec fromJson(const Json &j);
+
+    /** Load a scenario file. */
+    static ScenarioSpec load(const std::string &path);
+
+    /** Write a scenario file. */
+    void save(const std::string &path) const;
+};
+
+/**
+ * Results of a scenario: one SuiteResults per sweep point, in grid
+ * order, keyed [workload][policy] exactly like runSuite().
+ */
+struct ScenarioResults
+{
+    struct Point
+    {
+        std::string label;
+        SuiteResults suite;
+    };
+
+    std::string scenario; ///< the spec's name
+    std::vector<Point> points;
+};
+
+/**
+ * Execute a scenario on an engine. Results are bit-identical to hand
+ * the same runs to ExperimentEngine directly (the spec only *describes*
+ * the runs; the engine's determinism guarantees do the rest).
+ */
+ScenarioResults runScenario(const ScenarioSpec &spec,
+                            ExperimentEngine &engine);
+
+/** Convenience overload: a default-sized engine (MEMTHERM_THREADS). */
+ScenarioResults runScenario(const ScenarioSpec &spec);
+
+/**
+ * Serialize results. @p traces includes the full temperature/power
+ * traces (large); otherwise only scalar aggregates are emitted.
+ */
+Json toJson(const SimResult &r, bool traces = false);
+Json toJson(const SuiteResults &r, bool traces = false);
+Json toJson(const ScenarioResults &r, bool traces = false);
+
+} // namespace memtherm
+
+#endif // MEMTHERM_CORE_SIM_SCENARIO_HH

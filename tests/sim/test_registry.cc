@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for the string-keyed registries: completeness (every
+ * documented name resolves), error-returning lookups, and diagnostics
+ * that list the valid keys.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/dtm/basic_policies.hh"
+#include "core/sim/experiment.hh"
+#include "core/sim/registry.hh"
+#include "testbed/platform.hh"
+
+namespace memtherm
+{
+namespace
+{
+
+TEST(PolicyRegistry, EveryCh4NameResolves)
+{
+    auto &reg = PolicyRegistry::instance();
+    std::vector<std::string> lineup = ch4PolicyNames(true);
+    lineup.push_back("No-limit");
+    for (const auto &name : lineup) {
+        SCOPED_TRACE(name);
+        EXPECT_TRUE(reg.contains(name));
+        std::string error;
+        auto p = reg.tryMake(name, 0.01, &error);
+        ASSERT_NE(p, nullptr) << error;
+        EXPECT_EQ(error, "");
+    }
+    // The non-PID subset is covered by the full lineup.
+    for (const auto &name : ch4PolicyNames(false))
+        EXPECT_TRUE(reg.contains(name));
+}
+
+TEST(PolicyRegistry, UnknownNameListsValidKeys)
+{
+    auto &reg = PolicyRegistry::instance();
+    std::string error;
+    EXPECT_EQ(reg.tryMake("DTM-TURBO", 0.01, &error), nullptr);
+    EXPECT_NE(error.find("unknown policy 'DTM-TURBO'"), std::string::npos)
+        << error;
+    EXPECT_NE(error.find("No-limit"), std::string::npos) << error;
+    EXPECT_NE(error.find("DTM-CDVFS+PID"), std::string::npos) << error;
+
+    // tryMake without an error sink is quiet; make() throws the same
+    // diagnostic; the makeCh4Policy wrapper keeps its FatalError contract.
+    EXPECT_EQ(reg.tryMake("DTM-TURBO", 0.01), nullptr);
+    EXPECT_THROW(reg.make("DTM-TURBO", 0.01), FatalError);
+    EXPECT_THROW(makeCh4Policy("DTM-TS+PID"), FatalError);
+    try {
+        reg.make("DTM-TURBO", 0.01);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("valid:"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(PolicyRegistry, CustomPoliciesRegister)
+{
+    auto &reg = PolicyRegistry::instance();
+    ASSERT_FALSE(reg.contains("TEST-custom"));
+    reg.add("TEST-custom",
+            [](Seconds) { return std::make_unique<NoLimitPolicy>(); });
+    EXPECT_TRUE(reg.contains("TEST-custom"));
+    auto p = reg.tryMake("TEST-custom", 0.01);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->name(), "No-limit");
+
+    auto names = reg.names();
+    EXPECT_EQ(names.back(), "TEST-custom");
+}
+
+TEST(Catalogs, CoolingNamesResolve)
+{
+    auto names = coolingNames();
+    ASSERT_EQ(names.size(), 6u); // 2 spreaders x 3 air velocities
+    for (const auto &n : names) {
+        SCOPED_TRACE(n);
+        auto c = tryCooling(n);
+        ASSERT_TRUE(c.has_value());
+        EXPECT_EQ(c->name(), n); // the key is the config's own name
+    }
+    EXPECT_EQ(coolingByName("AOHS_1.5").psiAmb, coolingAohs15().psiAmb);
+    EXPECT_FALSE(tryCooling("WATER_9000").has_value());
+    try {
+        coolingByName("WATER_9000");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("FDHS_1.0"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Catalogs, AmbientPresetsResolve)
+{
+    CoolingConfig cooling = coolingAohs15();
+    for (const auto &n : ambientNames()) {
+        SCOPED_TRACE(n);
+        EXPECT_TRUE(tryAmbient(n, cooling).has_value());
+    }
+    EXPECT_EQ(ambientByName("isolated", cooling).psiCpuMemXi, 0.0);
+    EXPECT_GT(ambientByName("integrated", cooling).psiCpuMemXi, 0.0);
+    EXPECT_FALSE(tryAmbient("underwater", cooling).has_value());
+    EXPECT_THROW(ambientByName("underwater", cooling), FatalError);
+}
+
+TEST(Catalogs, WorkloadNamesResolve)
+{
+    for (const auto &n : workloadNames()) {
+        SCOPED_TRACE(n);
+        auto w = tryWorkload(n);
+        ASSERT_TRUE(w.has_value());
+        EXPECT_EQ(w->name, n);
+        EXPECT_FALSE(w->apps.empty());
+    }
+
+    // Homogeneous "<app>x<n>" batches.
+    auto homo = tryWorkload("swimx4");
+    ASSERT_TRUE(homo.has_value());
+    EXPECT_EQ(homo->apps.size(), 4u);
+    EXPECT_EQ(homo->apps[0]->name, "swim");
+
+    EXPECT_FALSE(tryWorkload("W99").has_value());
+    EXPECT_FALSE(tryWorkload("nosuchappx4").has_value());
+    EXPECT_FALSE(tryWorkload("swimx0").has_value());
+    // Overflowing copy counts are bad names, not internal errors.
+    EXPECT_FALSE(tryWorkload("swimx99999999999999999999").has_value());
+    EXPECT_THROW(workloadByName("W99"), FatalError);
+}
+
+TEST(Catalogs, PlatformNamesResolve)
+{
+    for (const auto &n : platformNames()) {
+        SCOPED_TRACE(n);
+        auto p = tryPlatform(n);
+        ASSERT_TRUE(p.has_value());
+        EXPECT_FALSE(p->ambBounds.empty());
+    }
+    EXPECT_EQ(platformByName("PE1950").name, pe1950().name);
+    EXPECT_FALSE(tryPlatform("PE9999").has_value());
+    EXPECT_THROW(platformByName("PE9999"), FatalError);
+}
+
+} // namespace
+} // namespace memtherm

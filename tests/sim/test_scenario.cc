@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Unit tests for the declarative scenario API: lossless JSON round-trips
+ * (including every shipped example scenario), sweep lowering, platform
+ * scenarios, registry-backed diagnostics, and the acceptance pin — a
+ * scenario run is bit-identical to the equivalent hand-coded
+ * ExperimentEngine invocation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/sim/registry.hh"
+#include "core/sim/scenario.hh"
+#include "testbed/platform.hh"
+
+#ifndef MEMTHERM_SOURCE_DIR
+#error "tests need MEMTHERM_SOURCE_DIR (set by CMakeLists.txt)"
+#endif
+
+namespace memtherm
+{
+namespace
+{
+
+std::string
+scenarioPath(const std::string &file)
+{
+    return std::string(MEMTHERM_SOURCE_DIR) + "/examples/scenarios/" + file;
+}
+
+/** Exact (bitwise) equality of two results, traces included. */
+void
+expectIdentical(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.policy, b.policy);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.runningTime, b.runningTime);
+    EXPECT_EQ(a.totalInstr, b.totalInstr);
+    EXPECT_EQ(a.totalReadGB, b.totalReadGB);
+    EXPECT_EQ(a.totalWriteGB, b.totalWriteGB);
+    EXPECT_EQ(a.totalL2Misses, b.totalL2Misses);
+    EXPECT_EQ(a.memEnergy, b.memEnergy);
+    EXPECT_EQ(a.cpuEnergy, b.cpuEnergy);
+    EXPECT_EQ(a.maxAmb, b.maxAmb);
+    EXPECT_EQ(a.maxDram, b.maxDram);
+    EXPECT_EQ(a.timeAboveAmbTdp, b.timeAboveAmbTdp);
+    EXPECT_EQ(a.timeAboveDramTdp, b.timeAboveDramTdp);
+    EXPECT_EQ(a.ambTrace.values(), b.ambTrace.values());
+    EXPECT_EQ(a.dramTrace.values(), b.dramTrace.values());
+    EXPECT_EQ(a.inletTrace.values(), b.inletTrace.values());
+    EXPECT_EQ(a.cpuPowerTrace.values(), b.cpuPowerTrace.values());
+    EXPECT_EQ(a.bwTrace.values(), b.bwTrace.values());
+}
+
+TEST(ScenarioSpec, FullSpecRoundTripsLosslessly)
+{
+    ScenarioSpec s;
+    s.name = "everything";
+    s.description = "all knobs set";
+    s.cooling = "FDHS_1.0";
+    s.ambient = "integrated";
+    s.tInlet = 47.25;
+    s.copiesPerApp = 3;
+    s.instrScale = 0.5;
+    s.maxSimTime = 1234.5;
+    s.dtmInterval = 0.02;
+    s.sensorNoiseSigma = 0.75;
+    s.sensorQuant = 0.5;
+    s.sensorSeed = 1234567;
+    s.workloads = {"W1", "swimx4"};
+    s.policies = {"No-limit", "DTM-BW+PID"};
+    s.sweepCooling = {"AOHS_1.5", "AOHS_3.0"};
+    s.sweepTInlet = {46.0, 50.5};
+    s.sweepCopies = {2, 4};
+    s.sweepSensorNoise = {0.0, 0.1};
+
+    Json j = s.toJson();
+    ScenarioSpec back = ScenarioSpec::fromJson(Json::parse(j.dump()));
+    EXPECT_EQ(back, s);
+    // parse -> serialize -> parse is a fixed point at the JSON level too.
+    EXPECT_EQ(back.toJson(), j);
+}
+
+TEST(ScenarioSpec, ExampleScenariosRoundTripAndLower)
+{
+    const char *files[] = {"ch4_baseline.json", "fan_failure.json",
+                           "datacenter_ambient.json", "sensor_noise.json"};
+    for (const char *f : files) {
+        SCOPED_TRACE(f);
+        ScenarioSpec spec = ScenarioSpec::load(scenarioPath(f));
+        EXPECT_NO_THROW(spec.validate());
+
+        // parse -> serialize -> parse is identical.
+        Json j = spec.toJson();
+        ScenarioSpec back = ScenarioSpec::fromJson(Json::parse(j.dump()));
+        EXPECT_EQ(back, spec);
+        EXPECT_EQ(back.toJson(), j);
+
+        LoweredScenario low = spec.lower();
+        EXPECT_FALSE(low.points.empty());
+        EXPECT_EQ(low.totalRuns(), low.points.size() *
+                                       spec.workloads.size() *
+                                       spec.policies.size());
+    }
+}
+
+TEST(ScenarioSpec, SweepLoweringSpansTheGrid)
+{
+    ScenarioSpec s;
+    s.name = "grid";
+    s.tInlet = 40.0; // superseded by the sweep axis below
+    s.copiesPerApp = 9;
+    s.workloads = {"W1"};
+    s.policies = {"No-limit", "DTM-TS"};
+    s.sweepCooling = {"AOHS_1.5", "FDHS_1.0"};
+    s.sweepTInlet = {46.0, 52.0};
+    s.sweepSensorNoise = {0.0, 0.5};
+
+    LoweredScenario low = s.lower();
+    ASSERT_EQ(low.points.size(), 8u); // 2 coolings x 2 inlets x 2 noises
+    EXPECT_EQ(low.totalRuns(), 8u * 1u * 2u);
+
+    EXPECT_EQ(low.points[0].label, "cooling=AOHS_1.5,inlet=46,noise=0");
+    EXPECT_EQ(low.points.back().label,
+              "cooling=FDHS_1.0,inlet=52,noise=0.5");
+
+    for (const auto &pt : low.points) {
+        EXPECT_EQ(pt.cfg.copiesPerApp, 9);       // scalar override holds
+        EXPECT_NE(pt.cfg.ambient.tInlet, 40.0);  // axis wins over scalar
+        ASSERT_EQ(pt.runs.size(), 2u);
+        EXPECT_EQ(pt.runs[0].policy, "No-limit");
+        EXPECT_EQ(pt.runs[1].policy, "DTM-TS");
+        EXPECT_EQ(pt.runs[0].workload.name, "W1");
+    }
+    // The cooling axis rebuilds the ambient for each cooling setup.
+    EXPECT_EQ(low.points[0].cfg.cooling.name(), "AOHS_1.5");
+    EXPECT_EQ(low.points.back().cfg.cooling.name(), "FDHS_1.0");
+    EXPECT_EQ(low.points.back().cfg.ambient.tInlet, 52.0);
+}
+
+TEST(ScenarioSpec, NoSweepMeansOneBasePoint)
+{
+    ScenarioSpec s;
+    s.name = "single";
+    s.workloads = {"W1"};
+    s.policies = {"No-limit"};
+    LoweredScenario low = s.lower();
+    ASSERT_EQ(low.points.size(), 1u);
+    EXPECT_EQ(low.points[0].label, "base");
+    // Defaults are the Chapter 4 config.
+    SimConfig ref = makeCh4Config(coolingAohs15(), false);
+    EXPECT_EQ(low.points[0].cfg.copiesPerApp, ref.copiesPerApp);
+    EXPECT_EQ(low.points[0].cfg.ambient.tInlet, ref.ambient.tInlet);
+}
+
+TEST(ScenarioSpec, PlatformScenariosUseTheCh5Lineup)
+{
+    ScenarioSpec s;
+    s.name = "testbed";
+    s.platform = "SR1500AL";
+    s.copiesPerApp = 2;
+    s.workloads = {"W1"};
+    s.policies = {"No-limit", "DTM-BW"};
+
+    LoweredScenario low = s.lower();
+    ASSERT_EQ(low.points.size(), 1u);
+    ASSERT_EQ(low.points[0].runs.size(), 2u);
+    // Platform runs carry the Chapter 5 policy factory.
+    EXPECT_TRUE(static_cast<bool>(low.points[0].runs[0].factory));
+    // The paper's protocol: the SR1500AL No-limit baseline runs at a
+    // 26 C room ambient instead of the hot box.
+    EXPECT_EQ(low.points[0].runs[0].cfg.ambient.tInlet, 26.0);
+    EXPECT_GT(low.points[0].runs[1].cfg.ambient.tInlet, 26.0);
+    EXPECT_EQ(low.points[0].runs[1].cfg.copiesPerApp, 2);
+
+    // Platform policies are validated against the Chapter 5 lineup.
+    s.policies = {"DTM-BW+PID"};
+    EXPECT_THROW(s.lower(), FatalError);
+    // The cooling axis cannot apply to a fixed platform.
+    s.policies = {"DTM-BW"};
+    s.sweepCooling = {"AOHS_1.5"};
+    EXPECT_THROW(s.lower(), FatalError);
+}
+
+TEST(ScenarioSpec, UnknownNamesReportValidKeys)
+{
+    ScenarioSpec s;
+    s.name = "bad";
+    s.workloads = {"W1"};
+    s.policies = {"DTM-TURBO"};
+    try {
+        s.lower();
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("DTM-TURBO"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("valid:"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("DTM-CDVFS"), std::string::npos) << msg;
+    }
+
+    s.policies = {"No-limit"};
+    s.workloads = {"W99"};
+    EXPECT_THROW(s.lower(), FatalError);
+
+    s.workloads = {"W1"};
+    s.cooling = "WATER_9000";
+    EXPECT_THROW(s.lower(), FatalError);
+
+    ScenarioSpec empty;
+    empty.policies = {"No-limit"};
+    EXPECT_THROW(empty.lower(), FatalError); // no workloads
+}
+
+TEST(ScenarioSpec, ParserRejectsUnknownMembers)
+{
+    EXPECT_THROW(
+        ScenarioSpec::fromJson(Json::parse(R"({"workload": ["W1"]})")),
+        FatalError);
+    EXPECT_THROW(ScenarioSpec::fromJson(
+                     Json::parse(R"({"config": {"cooling_rate": 2}})")),
+                 FatalError);
+    EXPECT_THROW(ScenarioSpec::fromJson(
+                     Json::parse(R"({"sweep": {"ambient": ["a"]}})")),
+                 FatalError);
+    EXPECT_THROW(ScenarioSpec::fromJson(Json::parse(R"(["not an object"])")),
+                 FatalError);
+    EXPECT_THROW(ScenarioSpec::fromJson(Json::parse(
+                     R"({"config": {"copies_per_app": 2.5}})")),
+                 FatalError);
+}
+
+/**
+ * Acceptance pin: running the shipped ch4_baseline scenario is
+ * bit-identical to the equivalent hand-coded ExperimentEngine
+ * invocation (`memtherm run examples/scenarios/ch4_baseline.json`
+ * executes exactly this code path).
+ */
+TEST(Scenario, Ch4BaselineMatchesHandCodedEngineBitExactly)
+{
+    ScenarioSpec spec = ScenarioSpec::load(scenarioPath("ch4_baseline.json"));
+    ASSERT_EQ(spec.name, "ch4_baseline");
+
+    ExperimentEngine engine(2);
+    ScenarioResults got = runScenario(spec, engine);
+    ASSERT_EQ(got.points.size(), 1u);
+    EXPECT_EQ(got.points[0].label, "base");
+
+    // The hand-coded equivalent, built without the scenario layer.
+    SimConfig cfg = makeCh4Config(coolingAohs15(), false);
+    cfg.copiesPerApp = 4;
+    std::vector<Workload> ws{workloadMix("W1"), workloadMix("W2")};
+    std::vector<std::string> pols{"No-limit", "DTM-TS", "DTM-BW",
+                                  "DTM-ACG", "DTM-CDVFS"};
+    SuiteResults ref = engine.runSuite(cfg, ws, pols);
+
+    const SuiteResults &suite = got.points[0].suite;
+    ASSERT_EQ(suite.size(), ref.size());
+    for (const auto &[w, per_policy] : ref) {
+        ASSERT_EQ(suite.count(w), 1u);
+        ASSERT_EQ(suite.at(w).size(), per_policy.size());
+        for (const auto &[p, res] : per_policy) {
+            SCOPED_TRACE(w + "/" + p);
+            expectIdentical(suite.at(w).at(p), res);
+        }
+    }
+
+    // And the serialized form carries the same numbers.
+    Json j = toJson(got);
+    const Json &r =
+        j.at("points").asArray()[0].at("results").at("W1").at("DTM-TS");
+    EXPECT_EQ(r.at("running_time_s").asNumber(),
+              ref.at("W1").at("DTM-TS").runningTime);
+    EXPECT_EQ(r.at("mem_energy_j").asNumber(),
+              ref.at("W1").at("DTM-TS").memEnergy);
+}
+
+} // namespace
+} // namespace memtherm

@@ -1,0 +1,312 @@
+/**
+ * @file
+ * `memtherm` — the scenario-driven command-line front end.
+ *
+ *   memtherm run <scenario.json> [options]   execute a scenario file
+ *   memtherm validate <scenario.json>...     parse + resolve, no runs
+ *   memtherm list <catalog>                  print valid names
+ *
+ * Scenarios are declarative (core/sim/scenario.hh): config overrides,
+ * workload/policy names, and sweep axes, all resolved through the
+ * registries — an unknown name prints the valid keys instead of
+ * aborting. Results serialize through the shared JSON layer, and the
+ * --golden mode re-checks a result file within a relative tolerance,
+ * which is what the CLI smoke test pins `memtherm run` output with.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "core/sim/registry.hh"
+#include "core/sim/scenario.hh"
+
+using namespace memtherm;
+
+namespace
+{
+
+int
+usage(std::ostream &os, int rc)
+{
+    os << "usage:\n"
+          "  memtherm run <scenario.json> [options]\n"
+          "      -o <file>        write results as JSON\n"
+          "      --traces         include full traces in the JSON output\n"
+          "      --threads <n>    engine thread count (default:\n"
+          "                       MEMTHERM_THREADS or hardware)\n"
+          "      --copies <n>     override the batch depth and drop any\n"
+          "                       copies sweep (quick looks, smoke tests)\n"
+          "      --golden <file>  compare results against a reference\n"
+          "                       results JSON; nonzero exit on mismatch\n"
+          "      --tol <x>        relative tolerance for --golden\n"
+          "                       (default 1e-9)\n"
+          "      --quiet          suppress the summary table\n"
+          "  memtherm validate <scenario.json>...\n"
+          "  memtherm list policies|workloads|coolings|ambients|platforms\n";
+    return rc;
+}
+
+int
+cmdList(const std::vector<std::string> &args)
+{
+    if (args.size() != 1)
+        return usage(std::cerr, 1);
+    const std::string &what = args[0];
+    std::vector<std::string> names;
+    if (what == "policies")
+        names = PolicyRegistry::instance().names();
+    else if (what == "workloads")
+        names = workloadNames();
+    else if (what == "coolings")
+        names = coolingNames();
+    else if (what == "ambients")
+        names = ambientNames();
+    else if (what == "platforms")
+        names = platformNames();
+    else {
+        std::cerr << "memtherm list: unknown catalog '" << what
+                  << "' (valid: policies, workloads, coolings, ambients, "
+                     "platforms)\n";
+        return 1;
+    }
+    for (const auto &n : names)
+        std::cout << n << '\n';
+    if (what == "workloads")
+        std::cout << "<app>x<n> (homogeneous batch, e.g. swimx4)\n";
+    return 0;
+}
+
+int
+cmdValidate(const std::vector<std::string> &args)
+{
+    if (args.empty())
+        return usage(std::cerr, 1);
+    for (const auto &path : args) {
+        ScenarioSpec spec = ScenarioSpec::load(path);
+        LoweredScenario low = spec.lower();
+        std::cout << path << ": ok — scenario '" << spec.name << "', "
+                  << low.points.size() << " point(s), " << low.totalRuns()
+                  << " run(s)\n";
+    }
+    return 0;
+}
+
+/**
+ * Recursive comparison with a relative tolerance on numbers; on the
+ * first mismatch fills @p where / @p detail and returns false.
+ */
+bool
+jsonNear(const Json &a, const Json &b, double tol, const std::string &path,
+         std::string &where, std::string &detail)
+{
+    auto miss = [&](const std::string &d) {
+        where = path.empty() ? "(root)" : path;
+        detail = d;
+        return false;
+    };
+    if (a.type() != b.type())
+        return miss("type mismatch");
+    switch (a.type()) {
+      case Json::Type::Null:
+        return true;
+      case Json::Type::Bool:
+        return a.asBool() == b.asBool() ? true : miss("bool mismatch");
+      case Json::Type::Number: {
+          double x = a.asNumber(), y = b.asNumber();
+          double bound = tol * std::max(std::abs(x), std::abs(y)) + 1e-12;
+          if (std::abs(x - y) <= bound)
+              return true;
+          return miss(std::to_string(x) + " vs " + std::to_string(y));
+      }
+      case Json::Type::String:
+        return a.asString() == b.asString()
+                   ? true
+                   : miss("'" + a.asString() + "' vs '" + b.asString() +
+                          "'");
+      case Json::Type::Array: {
+          const auto &av = a.asArray(), &bv = b.asArray();
+          if (av.size() != bv.size())
+              return miss("array length mismatch");
+          for (std::size_t i = 0; i < av.size(); ++i) {
+              if (!jsonNear(av[i], bv[i], tol,
+                            path + "[" + std::to_string(i) + "]", where,
+                            detail))
+                  return false;
+          }
+          return true;
+      }
+      case Json::Type::Object: {
+          const auto &ao = a.asObject(), &bo = b.asObject();
+          if (ao.size() != bo.size())
+              return miss("object size mismatch");
+          for (const auto &[k, v] : ao) {
+              const Json *bv = b.find(k);
+              if (!bv)
+                  return miss("missing member '" + k + "'");
+              if (!jsonNear(v, *bv, tol, path + "." + k, where, detail))
+                  return false;
+          }
+          return true;
+      }
+    }
+    return miss("unreachable");
+}
+
+void
+printSummary(const ScenarioResults &results)
+{
+    Table t("scenario '" + results.scenario + "'",
+            {"point", "workload", "policy", "time s", "max AMB C",
+             "max DRAM C", "done"});
+    for (const auto &pt : results.points) {
+        for (const auto &[w, per_policy] : pt.suite) {
+            for (const auto &[p, r] : per_policy) {
+                t.addRow({pt.label, w, p, Table::num(r.runningTime, 2),
+                          Table::num(r.maxAmb, 2),
+                          Table::num(r.maxDram, 2),
+                          r.completed ? "yes" : "NO"});
+            }
+        }
+    }
+    t.print(std::cout);
+}
+
+int
+cmdRun(const std::vector<std::string> &args)
+{
+    std::string scenario_path, out_path, golden_path;
+    double tol = 1e-9;
+    int threads = 0;
+    std::optional<int> copies;
+    bool traces = false, quiet = false;
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        auto next = [&](const char *opt) -> std::string {
+            if (i + 1 >= args.size())
+                fatal(std::string("memtherm run: ") + opt +
+                      " needs an argument");
+            return args[++i];
+        };
+        auto nextInt = [&](const char *opt) {
+            std::string v = next(opt);
+            std::size_t used = 0;
+            int n = 0;
+            try {
+                n = std::stoi(v, &used);
+            } catch (const std::exception &) {
+                used = 0;
+            }
+            if (used != v.size())
+                fatal(std::string("memtherm run: ") + opt +
+                      " needs an integer, got '" + v + "'");
+            return n;
+        };
+        auto nextDouble = [&](const char *opt) {
+            std::string v = next(opt);
+            std::size_t used = 0;
+            double x = 0.0;
+            try {
+                x = std::stod(v, &used);
+            } catch (const std::exception &) {
+                used = 0;
+            }
+            if (used != v.size())
+                fatal(std::string("memtherm run: ") + opt +
+                      " needs a number, got '" + v + "'");
+            return x;
+        };
+        if (a == "-o")
+            out_path = next("-o");
+        else if (a == "--golden")
+            golden_path = next("--golden");
+        else if (a == "--tol")
+            tol = nextDouble("--tol");
+        else if (a == "--threads")
+            threads = nextInt("--threads");
+        else if (a == "--copies")
+            copies = nextInt("--copies");
+        else if (a == "--traces")
+            traces = true;
+        else if (a == "--quiet")
+            quiet = true;
+        else if (!a.empty() && a[0] == '-')
+            fatal("memtherm run: unknown option '" + a + "'");
+        else if (scenario_path.empty())
+            scenario_path = a;
+        else
+            fatal("memtherm run: more than one scenario file given");
+    }
+    if (scenario_path.empty())
+        return usage(std::cerr, 1);
+
+    ScenarioSpec spec = ScenarioSpec::load(scenario_path);
+    if (copies) {
+        spec.copiesPerApp = *copies;
+        spec.sweepCopies.clear();
+    }
+
+    ExperimentEngine engine(threads);
+    ScenarioResults results = runScenario(spec, engine);
+
+    if (!quiet)
+        printSummary(results);
+
+    Json out = toJson(results, traces);
+    if (!out_path.empty()) {
+        out.save(out_path);
+        if (!quiet)
+            std::cout << "wrote " << out_path << '\n';
+    }
+
+    if (!golden_path.empty()) {
+        Json golden = Json::load(golden_path);
+        std::string where, detail;
+        if (!jsonNear(out, golden, tol, "", where, detail)) {
+            std::cerr << "memtherm run: results diverge from '"
+                      << golden_path << "' at " << where << ": " << detail
+                      << " (tol " << tol << ")\n";
+            return 1;
+        }
+        if (!quiet)
+            std::cout << "results match " << golden_path << " (tol " << tol
+                      << ")\n";
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty() || args[0] == "--help" || args[0] == "-h")
+        return usage(args.empty() ? std::cerr : std::cout,
+                     args.empty() ? 1 : 0);
+
+    const std::string cmd = args[0];
+    const std::vector<std::string> rest(args.begin() + 1, args.end());
+    try {
+        if (cmd == "run")
+            return cmdRun(rest);
+        if (cmd == "validate")
+            return cmdValidate(rest);
+        if (cmd == "list")
+            return cmdList(rest);
+    } catch (const FatalError &e) {
+        std::cerr << "memtherm: " << e.what() << '\n';
+        return 1;
+    } catch (const PanicError &e) {
+        std::cerr << "memtherm: " << e.what() << '\n';
+        return 1;
+    }
+    std::cerr << "memtherm: unknown command '" << cmd << "'\n";
+    return usage(std::cerr, 1);
+}
