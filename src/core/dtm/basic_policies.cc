@@ -69,36 +69,55 @@ act(bool on, GBps cap, int cores, std::size_t dvfs)
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+/**
+ * The Table 4.3 action tables have exactly five rows; reject ladders of
+ * any other depth before LeveledPolicy's ctor panics on the mismatch.
+ * (With five levels the ladder has >= 2 boundaries, so the second
+ * boundary pair is a valid latch release — 109.0/84.0 C by default.)
+ */
+void
+checkCh4Ladder(const EmergencyLevels &levels, const char *policy)
+{
+    if (levels.numLevels() != 5) {
+        fatal(std::string(policy) + ": the Chapter 4 action table has "
+              "five levels; the given emergency ladder has " +
+              std::to_string(levels.numLevels()));
+    }
+}
+
 } // namespace
 
 LeveledPolicy
-makeCh4BwPolicy()
+makeCh4BwPolicy(const EmergencyLevels &levels)
 {
-    return LeveledPolicy("DTM-BW", ch4EmergencyLevels(),
+    checkCh4Ladder(levels, "DTM-BW");
+    return LeveledPolicy("DTM-BW", levels,
                          {act(true, kInf, 4, 0), act(true, 19.2, 4, 0),
                           act(true, 12.8, 4, 0), act(true, 6.4, 4, 0),
                           act(false, 0.0, 4, 0)},
-                         109.0, 84.0);
+                         levels.ambBounds()[1], levels.dramBounds()[1]);
 }
 
 LeveledPolicy
-makeCh4AcgPolicy()
+makeCh4AcgPolicy(const EmergencyLevels &levels)
 {
-    return LeveledPolicy("DTM-ACG", ch4EmergencyLevels(),
+    checkCh4Ladder(levels, "DTM-ACG");
+    return LeveledPolicy("DTM-ACG", levels,
                          {act(true, kInf, 4, 0), act(true, kInf, 3, 0),
                           act(true, kInf, 2, 0), act(true, kInf, 1, 0),
                           act(false, 0.0, 0, 0)},
-                         109.0, 84.0);
+                         levels.ambBounds()[1], levels.dramBounds()[1]);
 }
 
 LeveledPolicy
-makeCh4CdvfsPolicy()
+makeCh4CdvfsPolicy(const EmergencyLevels &levels)
 {
-    return LeveledPolicy("DTM-CDVFS", ch4EmergencyLevels(),
+    checkCh4Ladder(levels, "DTM-CDVFS");
+    return LeveledPolicy("DTM-CDVFS", levels,
                          {act(true, kInf, 4, 0), act(true, kInf, 4, 1),
                           act(true, kInf, 4, 2), act(true, kInf, 4, 3),
                           act(false, 0.0, 4, 3)},
-                         109.0, 84.0);
+                         levels.ambBounds()[1], levels.dramBounds()[1]);
 }
 
 } // namespace memtherm

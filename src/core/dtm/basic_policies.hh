@@ -91,14 +91,26 @@ class LeveledPolicy : public DtmPolicy
     bool latched = false;
 };
 
+/**
+ * The Table 4.3 Chapter 4 schemes over an emergency ladder. The default
+ * ladder is ch4EmergencyLevels(); any five-level ladder (e.g. a Table
+ * 5.1 variant from the emergency-ladder catalog) may be substituted —
+ * the action tables are five rows, so a ladder of any other depth is a
+ * FatalError. A latched top-level shutdown releases at the ladder's
+ * second boundary pair (109.0/84.0 C for the default ladder).
+ */
+
 /** Table 4.3 DTM-BW: caps {inf, 19.2, 12.8, 6.4, off} GB/s. */
-LeveledPolicy makeCh4BwPolicy();
+LeveledPolicy makeCh4BwPolicy(const EmergencyLevels &levels =
+                                  ch4EmergencyLevels());
 
 /** Table 4.3 DTM-ACG: active cores {4, 3, 2, 1, 0(off)}. */
-LeveledPolicy makeCh4AcgPolicy();
+LeveledPolicy makeCh4AcgPolicy(const EmergencyLevels &levels =
+                                   ch4EmergencyLevels());
 
 /** Table 4.3 DTM-CDVFS: DVFS levels {0, 1, 2, 3, stopped}. */
-LeveledPolicy makeCh4CdvfsPolicy();
+LeveledPolicy makeCh4CdvfsPolicy(const EmergencyLevels &levels =
+                                     ch4EmergencyLevels());
 
 } // namespace memtherm
 

@@ -5,6 +5,7 @@
 #include <exception>
 
 #include "common/logging.hh"
+#include "core/sim/registry.hh"
 
 namespace memtherm
 {
@@ -72,7 +73,10 @@ ExperimentEngine::execute(const Run &r, ThermalSimulator::Scratch &s)
     ThermalSimulator sim(r.cfg);
     auto policy = r.factory
                       ? r.factory(r.cfg, r.policy)
-                      : makeCh4Policy(r.policy, r.cfg.dtmInterval);
+                      : PolicyRegistry::instance().make(
+                            r.policy, PolicyBuildContext{
+                                          r.cfg.dtmInterval,
+                                          r.cfg.emergencyLevels});
     panicIfNot(policy != nullptr, "ExperimentEngine: null policy");
     return sim.run(r.workload, *policy, s);
 }

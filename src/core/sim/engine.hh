@@ -39,7 +39,8 @@ namespace memtherm
  * Builds the policy object for one run. Runs must not share a policy
  * instance (policies carry controller state), so the engine constructs
  * one per run through this factory. An empty factory means the Chapter 4
- * lineup: makeCh4Policy(name, cfg.dtmInterval).
+ * lineup, built through PolicyRegistry from the run's configuration
+ * (cfg.dtmInterval and cfg.emergencyLevels).
  */
 using PolicyFactory = std::function<std::unique_ptr<DtmPolicy>(
     const SimConfig &cfg, const std::string &policy_name)>;

@@ -27,41 +27,58 @@ joinNames(const std::vector<std::string> &names)
 
 // --- policies ---------------------------------------------------------------
 
+namespace
+{
+
+/** The ladder the leveled Chapter 4 schemes build on (Table 4.3 default). */
+EmergencyLevels
+ladderOf(const PolicyBuildContext &ctx)
+{
+    return ctx.emergencyLevels ? *ctx.emergencyLevels : ch4EmergencyLevels();
+}
+
+} // namespace
+
 PolicyRegistry::PolicyRegistry()
 {
     // The Chapter 4 lineup (Section 4.4). DTM-TS has only two control
     // decisions and does not benefit from PID, so it has no "+PID"
-    // variant (Section 4.4.2).
-    add("No-limit",
-        [](Seconds) { return std::make_unique<NoLimitPolicy>(); });
-    add("DTM-TS", [](Seconds) {
+    // variant (Section 4.4.2). The leveled schemes honor the context's
+    // emergency ladder; DTM-TS and the PID controllers regulate against
+    // ThermalLimits instead.
+    add("No-limit", [](const PolicyBuildContext &) {
+        return std::make_unique<NoLimitPolicy>();
+    });
+    add("DTM-TS", [](const PolicyBuildContext &) {
         ThermalLimits lim;
         return std::make_unique<TsPolicy>(lim.ambTdp, lim.ambTrp,
                                           lim.dramTdp, lim.dramTrp);
     });
-    add("DTM-BW", [](Seconds) {
-        return std::make_unique<LeveledPolicy>(makeCh4BwPolicy());
+    add("DTM-BW", [](const PolicyBuildContext &ctx) {
+        return std::make_unique<LeveledPolicy>(makeCh4BwPolicy(ladderOf(ctx)));
     });
-    add("DTM-ACG", [](Seconds) {
-        return std::make_unique<LeveledPolicy>(makeCh4AcgPolicy());
+    add("DTM-ACG", [](const PolicyBuildContext &ctx) {
+        return std::make_unique<LeveledPolicy>(
+            makeCh4AcgPolicy(ladderOf(ctx)));
     });
-    add("DTM-CDVFS", [](Seconds) {
-        return std::make_unique<LeveledPolicy>(makeCh4CdvfsPolicy());
+    add("DTM-CDVFS", [](const PolicyBuildContext &ctx) {
+        return std::make_unique<LeveledPolicy>(
+            makeCh4CdvfsPolicy(ladderOf(ctx)));
     });
-    add("DTM-BW+PID", [](Seconds dtm_interval) {
+    add("DTM-BW+PID", [](const PolicyBuildContext &ctx) {
         return std::make_unique<PidPolicy>(PidActuator::Bandwidth,
                                            ambPidParams(), dramPidParams(),
-                                           ThermalLimits{}, dtm_interval);
+                                           ThermalLimits{}, ctx.dtmInterval);
     });
-    add("DTM-ACG+PID", [](Seconds dtm_interval) {
+    add("DTM-ACG+PID", [](const PolicyBuildContext &ctx) {
         return std::make_unique<PidPolicy>(PidActuator::CoreGating,
                                            ambPidParams(), dramPidParams(),
-                                           ThermalLimits{}, dtm_interval);
+                                           ThermalLimits{}, ctx.dtmInterval);
     });
-    add("DTM-CDVFS+PID", [](Seconds dtm_interval) {
+    add("DTM-CDVFS+PID", [](const PolicyBuildContext &ctx) {
         return std::make_unique<PidPolicy>(PidActuator::Dvfs,
                                            ambPidParams(), dramPidParams(),
-                                           ThermalLimits{}, dtm_interval);
+                                           ThermalLimits{}, ctx.dtmInterval);
     });
 }
 
@@ -109,7 +126,8 @@ PolicyRegistry::contains(const std::string &name) const
 }
 
 std::unique_ptr<DtmPolicy>
-PolicyRegistry::tryMake(const std::string &name, Seconds dtm_interval,
+PolicyRegistry::tryMake(const std::string &name,
+                        const PolicyBuildContext &ctx,
                         std::string *error) const
 {
     Factory factory;
@@ -129,17 +147,107 @@ PolicyRegistry::tryMake(const std::string &name, Seconds dtm_interval,
         }
         return nullptr;
     }
-    return factory(dtm_interval);
+    return factory(ctx);
+}
+
+std::unique_ptr<DtmPolicy>
+PolicyRegistry::tryMake(const std::string &name, Seconds dtm_interval,
+                        std::string *error) const
+{
+    return tryMake(name, PolicyBuildContext{dtm_interval, std::nullopt},
+                   error);
+}
+
+std::unique_ptr<DtmPolicy>
+PolicyRegistry::make(const std::string &name,
+                     const PolicyBuildContext &ctx) const
+{
+    std::string error;
+    auto p = tryMake(name, ctx, &error);
+    if (!p)
+        fatal("PolicyRegistry: " + error);
+    return p;
 }
 
 std::unique_ptr<DtmPolicy>
 PolicyRegistry::make(const std::string &name, Seconds dtm_interval) const
 {
+    return make(name, PolicyBuildContext{dtm_interval, std::nullopt});
+}
+
+// --- DVFS tables ------------------------------------------------------------
+
+DvfsRegistry::DvfsRegistry()
+{
+    add("simulated_cmp", simulatedCmpDvfs());
+    add("xeon5160", xeon5160Dvfs());
+}
+
+DvfsRegistry &
+DvfsRegistry::instance()
+{
+    static DvfsRegistry r;
+    return r;
+}
+
+void
+DvfsRegistry::add(const std::string &name, DvfsTable table)
+{
+    std::lock_guard lock(mtx);
+    for (auto &[n, t] : entries) {
+        if (n == name) {
+            t = std::move(table);
+            return;
+        }
+    }
+    entries.emplace_back(name, std::move(table));
+}
+
+std::vector<std::string>
+DvfsRegistry::names() const
+{
+    std::lock_guard lock(mtx);
+    std::vector<std::string> out;
+    out.reserve(entries.size());
+    for (const auto &[n, t] : entries)
+        out.push_back(n);
+    return out;
+}
+
+bool
+DvfsRegistry::contains(const std::string &name) const
+{
+    std::lock_guard lock(mtx);
+    for (const auto &[n, t] : entries)
+        if (n == name)
+            return true;
+    return false;
+}
+
+std::optional<DvfsTable>
+DvfsRegistry::tryGet(const std::string &name, std::string *error) const
+{
+    {
+        std::lock_guard lock(mtx);
+        for (const auto &[n, t] : entries)
+            if (n == name)
+                return t;
+    }
+    if (error) {
+        *error = "unknown DVFS table '" + name +
+                 "' (valid: " + joinNames(names()) + ")";
+    }
+    return std::nullopt;
+}
+
+DvfsTable
+DvfsRegistry::byName(const std::string &name) const
+{
     std::string error;
-    auto p = tryMake(name, dtm_interval, &error);
-    if (!p)
-        fatal("PolicyRegistry: " + error);
-    return p;
+    auto t = tryGet(name, &error);
+    if (!t)
+        fatal("DvfsRegistry: " + error);
+    return *t;
 }
 
 // --- cooling ----------------------------------------------------------------
@@ -296,6 +404,54 @@ platformByName(const std::string &name)
               "' (valid: " + joinNames(platformNames()) + ")");
     }
     return *p;
+}
+
+// --- emergency ladders ------------------------------------------------------
+
+namespace
+{
+
+/**
+ * A Table 5.1 ladder: the platform's AMB boundaries with the DRAM
+ * boundaries parked out of reach ("the memory hot spots are AMBs").
+ */
+EmergencyLevels
+platformLadder(const std::vector<Celsius> &amb_bounds)
+{
+    return EmergencyLevels(amb_bounds, {200.0, 210.0, 220.0, 230.0});
+}
+
+} // namespace
+
+std::vector<std::string>
+emergencyLevelNames()
+{
+    return {"ch4", "pe1950", "sr1500al", "sr1500al_tdp90"};
+}
+
+std::optional<EmergencyLevels>
+tryEmergencyLevels(const std::string &name)
+{
+    if (name == "ch4")
+        return ch4EmergencyLevels();
+    if (name == "pe1950")
+        return platformLadder(pe1950().ambBounds);
+    if (name == "sr1500al")
+        return platformLadder(sr1500al().ambBounds);
+    if (name == "sr1500al_tdp90")
+        return platformLadder(sr1500al(36.0, 90.0).ambBounds);
+    return std::nullopt;
+}
+
+EmergencyLevels
+emergencyLevelsByName(const std::string &name)
+{
+    auto l = tryEmergencyLevels(name);
+    if (!l) {
+        fatal("unknown emergency ladder '" + name +
+              "' (valid: " + joinNames(emergencyLevelNames()) + ")");
+    }
+    return *l;
 }
 
 } // namespace memtherm

@@ -27,13 +27,34 @@
 #include <vector>
 
 #include "core/dtm/dtm_policy.hh"
+#include "core/dtm/emergency_levels.hh"
 #include "core/thermal/thermal_params.hh"
+#include "cpu/dvfs.hh"
 #include "workloads/workload.hh"
 
 namespace memtherm
 {
 
 struct Platform;
+
+/**
+ * Everything a PolicyRegistry factory may build from. One run's policy
+ * is constructed from its SimConfig, and this is the slice of it the
+ * policy constructors consume.
+ */
+struct PolicyBuildContext
+{
+    /// Decision period (used by PID controllers' first step).
+    Seconds dtmInterval = 0.01;
+
+    /**
+     * Emergency ladder for the leveled Chapter 4 schemes (DTM-BW,
+     * DTM-ACG, DTM-CDVFS); std::nullopt selects the Table 4.3 ladder.
+     * Threshold (DTM-TS) and PID policies regulate against ThermalLimits
+     * and ignore this.
+     */
+    std::optional<EmergencyLevels> emergencyLevels;
+};
 
 /**
  * Registry of DTM policy constructors by display name.
@@ -47,9 +68,9 @@ struct Platform;
 class PolicyRegistry
 {
   public:
-    /// Constructs one policy instance for a run's decision period.
-    using Factory =
-        std::function<std::unique_ptr<DtmPolicy>(Seconds dtm_interval)>;
+    /// Constructs one policy instance for a run's build context.
+    using Factory = std::function<std::unique_ptr<DtmPolicy>(
+        const PolicyBuildContext &ctx)>;
 
     /** The process-wide registry. */
     static PolicyRegistry &instance();
@@ -67,10 +88,17 @@ class PolicyRegistry
      * @p error (when given) set to a diagnostic listing the valid keys.
      */
     std::unique_ptr<DtmPolicy> tryMake(const std::string &name,
+                                       const PolicyBuildContext &ctx,
+                                       std::string *error = nullptr) const;
+
+    /** Convenience overload: a default context with @p dtm_interval. */
+    std::unique_ptr<DtmPolicy> tryMake(const std::string &name,
                                        Seconds dtm_interval,
                                        std::string *error = nullptr) const;
 
     /** Throwing construction: FatalError listing the valid keys. */
+    std::unique_ptr<DtmPolicy> make(const std::string &name,
+                                    const PolicyBuildContext &ctx) const;
     std::unique_ptr<DtmPolicy> make(const std::string &name,
                                     Seconds dtm_interval) const;
 
@@ -79,6 +107,45 @@ class PolicyRegistry
 
     mutable std::mutex mtx;
     std::vector<std::pair<std::string, Factory>> entries;
+};
+
+/**
+ * Registry of DVFS operating tables by name.
+ *
+ * Seeded with "simulated_cmp" (the Table 4.1/4.3 four-core CMP points)
+ * and "xeon5160" (the Chapter 5 Intel Xeon 5160 points); add() registers
+ * additional tables at runtime, which scenario files can then name as a
+ * `dvfs` override or sweep axis. Lookups are thread-safe.
+ */
+class DvfsRegistry
+{
+  public:
+    /** The process-wide registry. */
+    static DvfsRegistry &instance();
+
+    /** Register (or replace) an operating table. */
+    void add(const std::string &name, DvfsTable table);
+
+    /** Valid table names, registration order. */
+    std::vector<std::string> names() const;
+
+    bool contains(const std::string &name) const;
+
+    /**
+     * Error-returning lookup: nullopt for an unknown name, with @p error
+     * (when given) set to a diagnostic listing the valid keys.
+     */
+    std::optional<DvfsTable> tryGet(const std::string &name,
+                                    std::string *error = nullptr) const;
+
+    /** Throwing lookup: FatalError listing the valid keys. */
+    DvfsTable byName(const std::string &name) const;
+
+  private:
+    DvfsRegistry();
+
+    mutable std::mutex mtx;
+    std::vector<std::pair<std::string, DvfsTable>> entries;
 };
 
 /** Table 3.2 cooling setups: "AOHS_1.0" ... "FDHS_3.0". */
@@ -110,6 +177,17 @@ Workload workloadByName(const std::string &name);
 std::vector<std::string> platformNames();
 std::optional<Platform> tryPlatform(const std::string &name);
 Platform platformByName(const std::string &name);
+
+/**
+ * Emergency-ladder catalog: "ch4" (the Table 4.3 FBDIMM ladder) and the
+ * Table 5.1 testbed variants "pe1950", "sr1500al", "sr1500al_tdp90"
+ * (AMB ladders of the Chapter 5 platforms with the DRAM boundaries
+ * parked out of reach — the Chapter 5 hot spots are AMBs). Every entry
+ * has the five-level depth the Chapter 4 action tables expect.
+ */
+std::vector<std::string> emergencyLevelNames();
+std::optional<EmergencyLevels> tryEmergencyLevels(const std::string &name);
+EmergencyLevels emergencyLevelsByName(const std::string &name);
 
 /** "a, b, c" — the key lists used in registry diagnostics. */
 std::string joinNames(const std::vector<std::string> &names);

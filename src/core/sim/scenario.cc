@@ -1,6 +1,8 @@
 #include "core/sim/scenario.hh"
 
+#include <array>
 #include <cmath>
+#include <limits>
 
 #include "common/logging.hh"
 #include "core/sim/registry.hh"
@@ -185,6 +187,13 @@ ScenarioSpec::lower() const
                       "platform scenarios fix cooling and ambient; remove "
                       "those members");
         }
+        if (!emergencyLevels.empty() || !sweepEmergencyLevels.empty() ||
+            !dvfs.empty() || !sweepDvfs.empty()) {
+            specError(*this,
+                      "platform scenarios fix the DVFS table and derive "
+                      "the emergency ladders from the platform; remove the "
+                      "dvfs/emergency_levels members and sweeps");
+        }
         const auto valid = platformPolicyNames();
         for (const auto &p : policies) {
             bool known = false;
@@ -208,102 +217,258 @@ ScenarioSpec::lower() const
         }
     }
 
-    for (int c : sweepCopies)
-        if (c < 1)
-            specError(*this, "copies_per_app sweep values must be >= 1");
+    // --- scalar override sanity: non-finite values would otherwise be
+    // indistinguishable from "keep the base value" downstream -----------
+    auto checkFinite = [&](const std::optional<double> &v,
+                           const char *what) {
+        if (v && !std::isfinite(*v))
+            specError(*this, std::string(what) + " must be finite");
+    };
+    checkFinite(tInlet, "t_inlet");
+    checkFinite(instrScale, "instr_scale");
+    checkFinite(maxSimTime, "max_sim_time");
+    checkFinite(dtmInterval, "dtm_interval");
+    checkFinite(sensorNoiseSigma, "sensor_noise_sigma");
+    checkFinite(sensorQuant, "sensor_quant");
+    if (instrScale && *instrScale <= 0.0)
+        specError(*this, "instr_scale must be > 0");
+    if (maxSimTime && *maxSimTime <= 0.0)
+        specError(*this, "max_sim_time must be > 0");
+    if (dtmInterval && *dtmInterval <= 0.0)
+        specError(*this, "dtm_interval must be > 0");
+    if (sensorNoiseSigma && *sensorNoiseSigma < 0.0)
+        specError(*this, "sensor_noise_sigma must be >= 0");
+    if (sensorQuant && *sensorQuant < 0.0)
+        specError(*this, "sensor_quant must be >= 0");
     if (copiesPerApp && *copiesPerApp < 1)
         specError(*this, "copies_per_app must be >= 1");
 
-    // Each axis contributes its values, or one "keep the base" slot.
-    const std::vector<std::string> coolAxis =
-        sweepCooling.empty() ? std::vector<std::string>{""} : sweepCooling;
-    const std::vector<double> inletAxis =
-        sweepTInlet.empty() ? std::vector<double>{NAN} : sweepTInlet;
-    const std::vector<int> copyAxis =
-        sweepCopies.empty() ? std::vector<int>{0} : sweepCopies;
-    const std::vector<double> noiseAxis = sweepSensorNoise.empty()
-                                              ? std::vector<double>{NAN}
-                                              : sweepSensorNoise;
-
-    for (const std::string &coolName : coolAxis) {
-        for (double inlet : inletAxis) {
-            for (int copies : copyAxis) {
-                for (double noise : noiseAxis) {
-                    LoweredScenario::Point pt;
-
-                    std::vector<std::string> parts;
-                    if (!coolName.empty())
-                        parts.push_back("cooling=" + coolName);
-                    if (!std::isnan(inlet))
-                        parts.push_back("inlet=" + numStr(inlet));
-                    if (copies > 0) {
-                        parts.push_back("copies=" +
-                                        std::to_string(copies));
-                    }
-                    if (!std::isnan(noise))
-                        parts.push_back("noise=" + numStr(noise));
-                    if (parts.empty()) {
-                        pt.label = "base";
-                    } else {
-                        for (const auto &part : parts) {
-                            if (!pt.label.empty())
-                                pt.label += ",";
-                            pt.label += part;
-                        }
-                    }
-
-                    SimConfig cfg;
-                    if (onPlatform) {
-                        cfg = plat->sim;
-                    } else {
-                        cfg = makeCh4Config(
-                            coolingByName(coolName.empty() ? cooling
-                                                           : coolName),
-                            ambient == "integrated");
-                    }
-
-                    // Spec-level overrides, then sweep coordinates
-                    // (an axis supersedes the scalar member).
-                    if (tInlet)
-                        cfg.ambient.tInlet = *tInlet;
-                    if (copiesPerApp)
-                        cfg.copiesPerApp = *copiesPerApp;
-                    if (instrScale)
-                        cfg.instrScale = *instrScale;
-                    if (maxSimTime)
-                        cfg.maxSimTime = *maxSimTime;
-                    if (dtmInterval)
-                        cfg.dtmInterval = *dtmInterval;
-                    if (sensorNoiseSigma)
-                        cfg.sensorNoiseSigma = *sensorNoiseSigma;
-                    if (sensorQuant)
-                        cfg.sensorQuant = *sensorQuant;
-                    if (sensorSeed)
-                        cfg.sensorSeed = *sensorSeed;
-                    if (!std::isnan(inlet))
-                        cfg.ambient.tInlet = inlet;
-                    if (copies > 0)
-                        cfg.copiesPerApp = copies;
-                    if (!std::isnan(noise))
-                        cfg.sensorNoiseSigma = noise;
-
-                    pt.cfg = cfg;
-                    pt.runs.reserve(ws.size() * policies.size());
-                    if (onPlatform) {
-                        Platform p = *plat;
-                        p.sim = cfg;
-                        for (const Workload &w : ws)
-                            for (const auto &pol : policies)
-                                pt.runs.push_back(ch5EngineRun(p, w, pol));
-                    } else {
-                        for (const Workload &w : ws)
-                            for (const auto &pol : policies)
-                                pt.runs.push_back({cfg, w, pol, {}});
-                    }
-                    out.points.push_back(std::move(pt));
-                }
+    // --- sweep axis sanity ---------------------------------------------
+    auto checkSweep = [&](const std::vector<double> &vals, const char *axis,
+                          double min, bool exclusive) {
+        for (double v : vals) {
+            if (!std::isfinite(v)) {
+                specError(*this, std::string("sweep.") + axis +
+                                     " values must be finite");
+            }
+            if (exclusive ? v <= min : v < min) {
+                specError(*this, std::string("sweep.") + axis +
+                                     " values must be " +
+                                     (exclusive ? "> " : ">= ") +
+                                     numStr(min));
             }
         }
+    };
+    checkSweep(sweepTInlet, "t_inlet",
+               -std::numeric_limits<double>::max(), false);
+    checkSweep(sweepSensorNoise, "sensor_noise_sigma", 0.0, false);
+    checkSweep(sweepDtmInterval, "dtm_interval", 0.0, true);
+    for (int c : sweepCopies)
+        if (c < 1)
+            specError(*this, "copies_per_app sweep values must be >= 1");
+
+    // --- duplicates: SuiteResults is keyed [workload][policy] and sweep
+    // points are keyed by label, so a duplicate anywhere would silently
+    // clobber a result. Numeric axes compare by their label rendering,
+    // which is exact (shortest-round-trip formatting). -------------------
+    auto rejectDuplicates = [&](const std::vector<std::string> &keys,
+                                const std::string &what) {
+        for (std::size_t i = 0; i < keys.size(); ++i)
+            for (std::size_t j = 0; j < i; ++j)
+                if (keys[i] == keys[j])
+                    specError(*this,
+                              "duplicate " + what + " '" + keys[i] + "'");
+    };
+    auto numKeys = [](const std::vector<double> &v) {
+        std::vector<std::string> out;
+        for (double x : v)
+            out.push_back(numStr(x));
+        return out;
+    };
+    auto intKeys = [](const std::vector<int> &v) {
+        std::vector<std::string> out;
+        for (int x : v)
+            out.push_back(std::to_string(x));
+        return out;
+    };
+    rejectDuplicates(workloads, "workload");
+    rejectDuplicates(policies, "policy");
+    rejectDuplicates(sweepCooling, "sweep.cooling value");
+    rejectDuplicates(numKeys(sweepTInlet), "sweep.t_inlet value");
+    rejectDuplicates(intKeys(sweepCopies), "sweep.copies_per_app value");
+    rejectDuplicates(numKeys(sweepSensorNoise),
+                     "sweep.sensor_noise_sigma value");
+    rejectDuplicates(numKeys(sweepDtmInterval), "sweep.dtm_interval value");
+    rejectDuplicates(sweepEmergencyLevels, "sweep.emergency_levels value");
+    rejectDuplicates(sweepDvfs, "sweep.dvfs value");
+
+    // --- resolve ladder and DVFS names up front (throws listing the
+    // valid keys), and keep the Chapter 4 CDVFS schemes honest: their
+    // action tables select operating points 0..3. ------------------------
+    const bool usesCdvfs = [&] {
+        for (const auto &p : policies)
+            if (p == "DTM-CDVFS" || p == "DTM-CDVFS+PID")
+                return true;
+        return false;
+    }();
+    auto checkDvfsName = [&](const std::string &name) {
+        DvfsTable t = DvfsRegistry::instance().byName(name);
+        if (usesCdvfs && t.levels() < 4) {
+            specError(*this, "DVFS table '" + name + "' has " +
+                                 std::to_string(t.levels()) +
+                                 " levels; DTM-CDVFS selects levels 0..3");
+        }
+    };
+    // Resolution doubles as the validity check, and the resolved values
+    // are reused across every grid point below.
+    std::optional<EmergencyLevels> baseLadder;
+    if (!emergencyLevels.empty())
+        baseLadder = emergencyLevelsByName(emergencyLevels);
+    std::vector<EmergencyLevels> sweepLadders;
+    sweepLadders.reserve(sweepEmergencyLevels.size());
+    for (const auto &n : sweepEmergencyLevels)
+        sweepLadders.push_back(emergencyLevelsByName(n));
+    std::optional<DvfsTable> baseDvfs;
+    if (!dvfs.empty()) {
+        checkDvfsName(dvfs);
+        baseDvfs = DvfsRegistry::instance().byName(dvfs);
+    }
+    std::vector<DvfsTable> sweepTables;
+    sweepTables.reserve(sweepDvfs.size());
+    for (const auto &n : sweepDvfs) {
+        checkDvfsName(n);
+        sweepTables.push_back(DvfsRegistry::instance().byName(n));
+    }
+
+    // --- the grid: an odometer over the seven axes, last axis fastest.
+    // An empty axis contributes one "keep the base value" slot (a null
+    // coordinate below), so no in-band sentinel value can be swallowed.
+    const std::array<std::size_t, 7> dim = {
+        std::max<std::size_t>(sweepCooling.size(), 1),
+        std::max<std::size_t>(sweepTInlet.size(), 1),
+        std::max<std::size_t>(sweepCopies.size(), 1),
+        std::max<std::size_t>(sweepSensorNoise.size(), 1),
+        std::max<std::size_t>(sweepDtmInterval.size(), 1),
+        std::max<std::size_t>(sweepEmergencyLevels.size(), 1),
+        std::max<std::size_t>(sweepDvfs.size(), 1),
+    };
+    std::array<std::size_t, 7> ix{};
+    for (;;) {
+        auto coord = [&](const auto &axis,
+                         std::size_t a) -> const auto * {
+            return axis.empty() ? nullptr : &axis[ix[a]];
+        };
+        const std::string *coolName = coord(sweepCooling, 0);
+        const double *inlet = coord(sweepTInlet, 1);
+        const int *copies = coord(sweepCopies, 2);
+        const double *noise = coord(sweepSensorNoise, 3);
+        const double *dtm = coord(sweepDtmInterval, 4);
+        const std::string *ladder = coord(sweepEmergencyLevels, 5);
+        const std::string *dvfsName = coord(sweepDvfs, 6);
+
+        LoweredScenario::Point pt;
+
+        std::vector<std::string> parts;
+        if (coolName)
+            parts.push_back("cooling=" + *coolName);
+        if (inlet)
+            parts.push_back("inlet=" + numStr(*inlet));
+        if (copies)
+            parts.push_back("copies=" + std::to_string(*copies));
+        if (noise)
+            parts.push_back("noise=" + numStr(*noise));
+        if (dtm)
+            parts.push_back("dtm=" + numStr(*dtm));
+        if (ladder)
+            parts.push_back("levels=" + *ladder);
+        if (dvfsName)
+            parts.push_back("dvfs=" + *dvfsName);
+        if (parts.empty()) {
+            pt.label = "base";
+        } else {
+            for (const auto &part : parts) {
+                if (!pt.label.empty())
+                    pt.label += ",";
+                pt.label += part;
+            }
+        }
+
+        SimConfig cfg;
+        if (onPlatform) {
+            cfg = plat->sim;
+        } else {
+            cfg = makeCh4Config(coolingByName(coolName ? *coolName
+                                                       : cooling),
+                                ambient == "integrated");
+        }
+
+        // Spec-level overrides, then sweep coordinates
+        // (an axis supersedes the scalar member).
+        if (tInlet)
+            cfg.ambient.tInlet = *tInlet;
+        if (copiesPerApp)
+            cfg.copiesPerApp = *copiesPerApp;
+        if (instrScale)
+            cfg.instrScale = *instrScale;
+        if (maxSimTime)
+            cfg.maxSimTime = *maxSimTime;
+        if (dtmInterval)
+            cfg.dtmInterval = *dtmInterval;
+        if (sensorNoiseSigma)
+            cfg.sensorNoiseSigma = *sensorNoiseSigma;
+        if (sensorQuant)
+            cfg.sensorQuant = *sensorQuant;
+        if (sensorSeed)
+            cfg.sensorSeed = *sensorSeed;
+        if (baseLadder)
+            cfg.emergencyLevels = *baseLadder;
+        if (baseDvfs)
+            cfg.dvfs = *baseDvfs;
+        if (inlet)
+            cfg.ambient.tInlet = *inlet;
+        if (copies)
+            cfg.copiesPerApp = *copies;
+        if (noise)
+            cfg.sensorNoiseSigma = *noise;
+        if (dtm)
+            cfg.dtmInterval = *dtm;
+        if (ladder)
+            cfg.emergencyLevels = sweepLadders[ix[5]];
+        if (dvfsName)
+            cfg.dvfs = sweepTables[ix[6]];
+
+        // The simulator panics on a decision period below its trace
+        // window; report it as a configuration error instead.
+        if (cfg.dtmInterval < cfg.window) {
+            specError(*this, "dtm_interval " + numStr(cfg.dtmInterval) +
+                                 " is below the simulator window (" +
+                                 numStr(cfg.window) + " s)");
+        }
+
+        pt.cfg = cfg;
+        pt.runs.reserve(ws.size() * policies.size());
+        if (onPlatform) {
+            Platform p = *plat;
+            p.sim = cfg;
+            for (const Workload &w : ws)
+                for (const auto &pol : policies)
+                    pt.runs.push_back(ch5EngineRun(p, w, pol));
+        } else {
+            for (const Workload &w : ws)
+                for (const auto &pol : policies)
+                    pt.runs.push_back({cfg, w, pol, {}});
+        }
+        out.points.push_back(std::move(pt));
+
+        // Advance the odometer; carry out of axis 0 means we are done.
+        std::size_t k = dim.size();
+        for (; k > 0; --k) {
+            if (++ix[k - 1] < dim[k - 1])
+                break;
+            ix[k - 1] = 0;
+        }
+        if (k == 0)
+            break;
     }
     return out;
 }
@@ -323,6 +488,10 @@ ScenarioSpec::toJson() const
         cfg.set("cooling", cooling);
         cfg.set("ambient", ambient);
     }
+    if (!emergencyLevels.empty())
+        cfg.set("emergency_levels", emergencyLevels);
+    if (!dvfs.empty())
+        cfg.set("dvfs", dvfs);
     if (tInlet)
         cfg.set("t_inlet", *tInlet);
     if (copiesPerApp)
@@ -358,6 +527,12 @@ ScenarioSpec::toJson() const
     }
     if (!sweepSensorNoise.empty())
         sweep.set("sensor_noise_sigma", toJsonList(sweepSensorNoise));
+    if (!sweepDtmInterval.empty())
+        sweep.set("dtm_interval", toJsonList(sweepDtmInterval));
+    if (!sweepEmergencyLevels.empty())
+        sweep.set("emergency_levels", toJsonList(sweepEmergencyLevels));
+    if (!sweepDvfs.empty())
+        sweep.set("dvfs", toJsonList(sweepDvfs));
     if (!sweep.asObject().empty())
         j.set("sweep", std::move(sweep));
 
@@ -385,13 +560,18 @@ ScenarioSpec::fromJson(const Json &j)
         if (!cfg->isObject())
             fatal("scenario: 'config' must be an object");
         checkMembers(*cfg, "'config'",
-                     {"cooling", "ambient", "t_inlet", "copies_per_app",
-                      "instr_scale", "max_sim_time", "dtm_interval",
-                      "sensor_noise_sigma", "sensor_quant", "sensor_seed"});
+                     {"cooling", "ambient", "emergency_levels", "dvfs",
+                      "t_inlet", "copies_per_app", "instr_scale",
+                      "max_sim_time", "dtm_interval", "sensor_noise_sigma",
+                      "sensor_quant", "sensor_seed"});
         if (cfg->find("cooling"))
             s.cooling = memberString(*cfg, "cooling");
         if (cfg->find("ambient"))
             s.ambient = memberString(*cfg, "ambient");
+        if (cfg->find("emergency_levels"))
+            s.emergencyLevels = memberString(*cfg, "emergency_levels");
+        if (cfg->find("dvfs"))
+            s.dvfs = memberString(*cfg, "dvfs");
         if (cfg->find("t_inlet"))
             s.tInlet = memberNumber(*cfg, "t_inlet");
         if (cfg->find("copies_per_app"))
@@ -425,7 +605,8 @@ ScenarioSpec::fromJson(const Json &j)
             fatal("scenario: 'sweep' must be an object");
         checkMembers(*sweep, "'sweep'",
                      {"cooling", "t_inlet", "copies_per_app",
-                      "sensor_noise_sigma"});
+                      "sensor_noise_sigma", "dtm_interval",
+                      "emergency_levels", "dvfs"});
         if (sweep->find("cooling")) {
             s.sweepCooling =
                 stringList(sweep->at("cooling"), "sweep.cooling");
@@ -448,6 +629,16 @@ ScenarioSpec::fromJson(const Json &j)
             s.sweepSensorNoise = numberList(
                 sweep->at("sensor_noise_sigma"), "sweep.sensor_noise_sigma");
         }
+        if (sweep->find("dtm_interval")) {
+            s.sweepDtmInterval =
+                numberList(sweep->at("dtm_interval"), "sweep.dtm_interval");
+        }
+        if (sweep->find("emergency_levels")) {
+            s.sweepEmergencyLevels = stringList(
+                sweep->at("emergency_levels"), "sweep.emergency_levels");
+        }
+        if (sweep->find("dvfs"))
+            s.sweepDvfs = stringList(sweep->at("dvfs"), "sweep.dvfs");
     }
     return s;
 }

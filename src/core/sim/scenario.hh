@@ -6,7 +6,8 @@
  * base configuration (by catalog names — cooling, ambient model, or a
  * Chapter 5 platform), override knobs, the workload and policy name
  * lists, and optional sweep axes (cooling, inlet temperature, batch
- * depth, sensor noise) whose cross product spans a configuration grid.
+ * depth, sensor noise, DTM decision interval, emergency ladder, DVFS
+ * operating table) whose cross product spans a configuration grid.
  * Specs lower to ExperimentEngine run lists and round-trip losslessly
  * through JSON, so an experiment is data (a scenario file fed to the
  * `memtherm` CLI), not a hand-written binary.
@@ -73,6 +74,13 @@ struct ScenarioSpec
     std::string cooling = "AOHS_1.5"; ///< Table 3.2 column name
     std::string ambient = "isolated"; ///< "isolated" or "integrated"
 
+    /// Emergency-ladder catalog name for the leveled Chapter 4 schemes
+    /// (empty = the Table 4.3 ladder). Rejected for platform scenarios.
+    std::string emergencyLevels;
+    /// DvfsRegistry table name (empty = the base configuration's table).
+    /// Rejected for platform scenarios.
+    std::string dvfs;
+
     std::optional<double> tInlet;          ///< system inlet override (C)
     std::optional<int> copiesPerApp;       ///< batch depth override
     std::optional<double> instrScale;      ///< instruction-volume scale
@@ -86,10 +94,16 @@ struct ScenarioSpec
     std::vector<std::string> policies;  ///< registry names
 
     /// Sweep axes; the grid is their cross product (empty = base value).
+    /// An axis supersedes the matching scalar override. Values must be
+    /// finite and free of duplicates (duplicates would collapse sweep
+    /// points onto one result key).
     std::vector<std::string> sweepCooling;
     std::vector<double> sweepTInlet;
     std::vector<int> sweepCopies;
     std::vector<double> sweepSensorNoise;
+    std::vector<double> sweepDtmInterval;
+    std::vector<std::string> sweepEmergencyLevels;
+    std::vector<std::string> sweepDvfs;
 
     bool operator==(const ScenarioSpec &) const = default;
 

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "core/dtm/emergency_levels.hh"
 #include "core/thermal/memory_thermal.hh"
 #include "core/thermal/thermal_params.hh"
 #include "cpu/cpu_power.hh"
@@ -44,6 +45,17 @@ struct SimConfig
     Seconds rotationSlice = 0.1; ///< time-multiplex slice under gating
 
     ThermalLimits limits{};
+
+    /**
+     * Emergency ladder for the leveled Chapter 4 DTM schemes (DTM-BW,
+     * DTM-ACG, DTM-CDVFS), consumed by the engine's default policy
+     * construction; std::nullopt selects the Table 4.3 ladder. DTM-TS
+     * and the PID controllers regulate against `limits` and ignore
+     * this, as do runs with an explicit PolicyFactory (e.g. Chapter 5
+     * platforms, whose ladders derive from the platform descriptor).
+     */
+    std::optional<EmergencyLevels> emergencyLevels;
+
     Seconds maxSimTime = 20000.0;
     Seconds traceSample = 1.0;   ///< temperature/power trace resolution
 

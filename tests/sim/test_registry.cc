@@ -64,8 +64,9 @@ TEST(PolicyRegistry, CustomPoliciesRegister)
 {
     auto &reg = PolicyRegistry::instance();
     ASSERT_FALSE(reg.contains("TEST-custom"));
-    reg.add("TEST-custom",
-            [](Seconds) { return std::make_unique<NoLimitPolicy>(); });
+    reg.add("TEST-custom", [](const PolicyBuildContext &) {
+        return std::make_unique<NoLimitPolicy>();
+    });
     EXPECT_TRUE(reg.contains("TEST-custom"));
     auto p = reg.tryMake("TEST-custom", 0.01);
     ASSERT_NE(p, nullptr);
@@ -131,6 +132,91 @@ TEST(Catalogs, WorkloadNamesResolve)
     // Overflowing copy counts are bad names, not internal errors.
     EXPECT_FALSE(tryWorkload("swimx99999999999999999999").has_value());
     EXPECT_THROW(workloadByName("W99"), FatalError);
+}
+
+TEST(PolicyRegistry, BuildContextLaddersApplyToLeveledSchemes)
+{
+    auto &reg = PolicyRegistry::instance();
+    EmergencyLevels pe = emergencyLevelsByName("pe1950");
+
+    for (const char *name : {"DTM-BW", "DTM-ACG", "DTM-CDVFS"}) {
+        SCOPED_TRACE(name);
+        auto p = reg.make(name, PolicyBuildContext{0.01, pe});
+        auto *lp = dynamic_cast<LeveledPolicy *>(p.get());
+        ASSERT_NE(lp, nullptr);
+        EXPECT_EQ(lp->levelTable().ambBounds(), pe.ambBounds());
+        EXPECT_EQ(lp->levelTable().dramBounds(), pe.dramBounds());
+    }
+
+    // The default context (and the Seconds overloads) keep Table 4.3.
+    auto p = reg.make("DTM-BW", 0.01);
+    auto *lp = dynamic_cast<LeveledPolicy *>(p.get());
+    ASSERT_NE(lp, nullptr);
+    EXPECT_EQ(lp->levelTable().ambBounds(),
+              ch4EmergencyLevels().ambBounds());
+
+    // The Chapter 4 action tables are five rows; other depths are a
+    // usable configuration error, not a panic.
+    EmergencyLevels shallow({100.0}, {80.0});
+    EXPECT_THROW(reg.make("DTM-BW", PolicyBuildContext{0.01, shallow}),
+                 FatalError);
+}
+
+TEST(Catalogs, EmergencyLevelNamesResolve)
+{
+    for (const auto &n : emergencyLevelNames()) {
+        SCOPED_TRACE(n);
+        auto l = tryEmergencyLevels(n);
+        ASSERT_TRUE(l.has_value());
+        // Every catalog ladder fits the five-level Chapter 4 tables.
+        EXPECT_EQ(l->numLevels(), 5);
+    }
+    EXPECT_EQ(emergencyLevelsByName("ch4").ambBounds(),
+              ch4EmergencyLevels().ambBounds());
+    // The Table 5.1 variants carry the platform AMB ladders with the
+    // DRAM boundaries parked out of reach.
+    EmergencyLevels pe = emergencyLevelsByName("pe1950");
+    EXPECT_EQ(pe.ambBounds(), pe1950().ambBounds);
+    EXPECT_GE(pe.dramBounds().front(), 200.0);
+    EXPECT_LT(emergencyLevelsByName("sr1500al_tdp90").ambBounds().back(),
+              emergencyLevelsByName("sr1500al").ambBounds().back());
+
+    EXPECT_FALSE(tryEmergencyLevels("lava").has_value());
+    try {
+        emergencyLevelsByName("lava");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("sr1500al"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Catalogs, DvfsRegistryResolvesAndAcceptsRuntimeTables)
+{
+    auto &reg = DvfsRegistry::instance();
+    for (const auto &n : reg.names()) {
+        SCOPED_TRACE(n);
+        EXPECT_TRUE(reg.contains(n));
+        ASSERT_TRUE(reg.tryGet(n).has_value());
+    }
+    EXPECT_EQ(reg.byName("simulated_cmp").maxFreq(),
+              simulatedCmpDvfs().maxFreq());
+    EXPECT_EQ(reg.byName("xeon5160").levels(), xeon5160Dvfs().levels());
+    EXPECT_EQ(reg.byName("xeon5160").at(3).freq, xeon5160Dvfs().at(3).freq);
+
+    std::string error;
+    EXPECT_FALSE(reg.tryGet("TEST-turbo", &error).has_value());
+    EXPECT_NE(error.find("unknown DVFS table 'TEST-turbo'"),
+              std::string::npos)
+        << error;
+    EXPECT_NE(error.find("xeon5160"), std::string::npos) << error;
+    EXPECT_THROW(reg.byName("TEST-turbo"), FatalError);
+
+    ASSERT_FALSE(reg.contains("TEST-lowpower"));
+    reg.add("TEST-lowpower", DvfsTable({{1.0, 1.0}, {0.5, 0.8}}));
+    EXPECT_TRUE(reg.contains("TEST-lowpower"));
+    EXPECT_EQ(reg.byName("TEST-lowpower").levels(), 2u);
+    EXPECT_EQ(reg.names().back(), "TEST-lowpower");
 }
 
 TEST(Catalogs, PlatformNamesResolve)

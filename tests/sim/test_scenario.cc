@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -72,12 +74,17 @@ TEST(ScenarioSpec, FullSpecRoundTripsLosslessly)
     s.sensorNoiseSigma = 0.75;
     s.sensorQuant = 0.5;
     s.sensorSeed = 1234567;
+    s.emergencyLevels = "pe1950";
+    s.dvfs = "xeon5160";
     s.workloads = {"W1", "swimx4"};
     s.policies = {"No-limit", "DTM-BW+PID"};
     s.sweepCooling = {"AOHS_1.5", "AOHS_3.0"};
     s.sweepTInlet = {46.0, 50.5};
     s.sweepCopies = {2, 4};
     s.sweepSensorNoise = {0.0, 0.1};
+    s.sweepDtmInterval = {0.01, 0.05};
+    s.sweepEmergencyLevels = {"ch4", "sr1500al"};
+    s.sweepDvfs = {"simulated_cmp", "xeon5160"};
 
     Json j = s.toJson();
     ScenarioSpec back = ScenarioSpec::fromJson(Json::parse(j.dump()));
@@ -89,7 +96,8 @@ TEST(ScenarioSpec, FullSpecRoundTripsLosslessly)
 TEST(ScenarioSpec, ExampleScenariosRoundTripAndLower)
 {
     const char *files[] = {"ch4_baseline.json", "fan_failure.json",
-                           "datacenter_ambient.json", "sensor_noise.json"};
+                           "datacenter_ambient.json", "sensor_noise.json",
+                           "dtm_sensitivity.json"};
     for (const char *f : files) {
         SCOPED_TRACE(f);
         ScenarioSpec spec = ScenarioSpec::load(scenarioPath(f));
@@ -143,6 +151,207 @@ TEST(ScenarioSpec, SweepLoweringSpansTheGrid)
     EXPECT_EQ(low.points.back().cfg.ambient.tInlet, 52.0);
 }
 
+TEST(ScenarioSpec, NewAxesLowerAcrossTheGrid)
+{
+    ScenarioSpec s;
+    s.name = "knobs";
+    s.workloads = {"W1"};
+    s.policies = {"DTM-CDVFS"};
+    s.sweepDtmInterval = {0.01, 0.1};
+    s.sweepEmergencyLevels = {"ch4", "sr1500al"};
+    s.sweepDvfs = {"simulated_cmp", "xeon5160"};
+
+    LoweredScenario low = s.lower();
+    ASSERT_EQ(low.points.size(), 8u); // 2 intervals x 2 ladders x 2 tables
+    EXPECT_EQ(low.points[0].label,
+              "dtm=0.01,levels=ch4,dvfs=simulated_cmp");
+    EXPECT_EQ(low.points.back().label,
+              "dtm=0.1,levels=sr1500al,dvfs=xeon5160");
+
+    // The coordinates land in the configurations.
+    EXPECT_EQ(low.points[0].cfg.dtmInterval, 0.01);
+    EXPECT_EQ(low.points.back().cfg.dtmInterval, 0.1);
+    ASSERT_TRUE(low.points[0].cfg.emergencyLevels.has_value());
+    EXPECT_EQ(low.points[0].cfg.emergencyLevels->ambBounds(),
+              emergencyLevelsByName("ch4").ambBounds());
+    ASSERT_TRUE(low.points.back().cfg.emergencyLevels.has_value());
+    EXPECT_EQ(low.points.back().cfg.emergencyLevels->ambBounds(),
+              emergencyLevelsByName("sr1500al").ambBounds());
+    EXPECT_EQ(low.points[0].cfg.dvfs.maxFreq(),
+              simulatedCmpDvfs().maxFreq());
+    EXPECT_EQ(low.points.back().cfg.dvfs.maxFreq(),
+              xeon5160Dvfs().maxFreq());
+
+    // Scalar overrides: the axis supersedes the matching member, other
+    // members hold everywhere.
+    s.sweepEmergencyLevels.clear();
+    s.emergencyLevels = "pe1950";
+    s.dvfs = "xeon5160";
+    s.dtmInterval = 0.5; // superseded by the dtm axis
+    low = s.lower();
+    ASSERT_EQ(low.points.size(), 4u);
+    for (const auto &pt : low.points) {
+        EXPECT_NE(pt.cfg.dtmInterval, 0.5);
+        ASSERT_TRUE(pt.cfg.emergencyLevels.has_value());
+        EXPECT_EQ(pt.cfg.emergencyLevels->ambBounds(),
+                  emergencyLevelsByName("pe1950").ambBounds());
+    }
+    // The dvfs axis wins over the scalar dvfs member.
+    EXPECT_EQ(low.points[0].cfg.dvfs.maxFreq(),
+              simulatedCmpDvfs().maxFreq());
+
+    // Unknown names report the valid keys.
+    s.sweepDvfs = {"warp9"};
+    try {
+        s.lower();
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("warp9"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("xeon5160"), std::string::npos) << msg;
+    }
+    s.sweepDvfs = {"simulated_cmp"};
+    s.sweepEmergencyLevels = {"nosuch"};
+    EXPECT_THROW(s.lower(), FatalError);
+
+    // A decision period below the simulator window is a spec error
+    // (the simulator itself would panic).
+    s.sweepEmergencyLevels.clear();
+    s.sweepDtmInterval = {0.001};
+    EXPECT_THROW(s.lower(), FatalError);
+}
+
+TEST(ScenarioSpec, RejectsNonFiniteSweepValuesAndOverrides)
+{
+    ScenarioSpec base;
+    base.name = "nonfinite";
+    base.workloads = {"W1"};
+    base.policies = {"No-limit"};
+    const double inf = std::numeric_limits<double>::infinity();
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+
+    // Before the fix a NaN sweep value was the "keep base" sentinel: it
+    // silently collapsed onto the base configuration and its label
+    // coordinate vanished. Now every non-finite value is rejected.
+    for (double bad : {nan, inf, -inf}) {
+        SCOPED_TRACE(bad);
+        ScenarioSpec s = base;
+        s.sweepTInlet = {46.0, bad};
+        EXPECT_THROW(s.lower(), FatalError);
+        s = base;
+        s.sweepSensorNoise = {bad};
+        EXPECT_THROW(s.lower(), FatalError);
+        s = base;
+        s.sweepDtmInterval = {bad};
+        EXPECT_THROW(s.lower(), FatalError);
+        s = base;
+        s.tInlet = bad;
+        EXPECT_THROW(s.lower(), FatalError);
+        s = base;
+        s.maxSimTime = bad;
+        EXPECT_THROW(s.lower(), FatalError);
+        s = base;
+        s.sensorNoiseSigma = bad;
+        EXPECT_THROW(s.lower(), FatalError);
+    }
+    try {
+        ScenarioSpec s = base;
+        s.sweepTInlet = {NAN};
+        s.lower();
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("finite"), std::string::npos)
+            << e.what();
+    }
+
+    // Range checks on the scalar knobs.
+    ScenarioSpec s = base;
+    s.dtmInterval = 0.0;
+    EXPECT_THROW(s.lower(), FatalError);
+    s = base;
+    s.instrScale = -1.0;
+    EXPECT_THROW(s.lower(), FatalError);
+    s = base;
+    s.sweepSensorNoise = {-0.5};
+    EXPECT_THROW(s.lower(), FatalError);
+}
+
+TEST(ScenarioSpec, RejectsDuplicateNamesAndSweepValues)
+{
+    ScenarioSpec base;
+    base.name = "dups";
+    base.workloads = {"W1"};
+    base.policies = {"No-limit"};
+
+    // SuiteResults is keyed [workload][policy]; duplicates would
+    // silently overwrite results. The diagnostic names the offender.
+    ScenarioSpec s = base;
+    s.workloads = {"W1", "W2", "W1"};
+    try {
+        s.lower();
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("duplicate workload 'W1'"),
+                  std::string::npos)
+            << e.what();
+    }
+    s = base;
+    s.policies = {"No-limit", "DTM-TS", "No-limit"};
+    try {
+        s.lower();
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("duplicate policy 'No-limit'"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    // Duplicate sweep values produce identical point labels.
+    s = base;
+    s.sweepTInlet = {46.0, 48.0, 46.0};
+    try {
+        s.lower();
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what())
+                      .find("duplicate sweep.t_inlet value '46'"),
+                  std::string::npos)
+            << e.what();
+    }
+    s = base;
+    s.sweepCooling = {"AOHS_1.5", "AOHS_1.5"};
+    EXPECT_THROW(s.lower(), FatalError);
+    s = base;
+    s.sweepCopies = {2, 2};
+    EXPECT_THROW(s.lower(), FatalError);
+    s = base;
+    s.sweepEmergencyLevels = {"ch4", "ch4"};
+    EXPECT_THROW(s.lower(), FatalError);
+    s = base;
+    s.sweepDvfs = {"xeon5160", "xeon5160"};
+    EXPECT_THROW(s.lower(), FatalError);
+    s = base;
+    s.sweepDtmInterval = {0.01, 0.01};
+    EXPECT_THROW(s.lower(), FatalError);
+}
+
+TEST(ScenarioSpec, LabelsRenderFractionalAndNegativeValuesExactly)
+{
+    ScenarioSpec s;
+    s.name = "labels";
+    s.workloads = {"W1"};
+    s.policies = {"No-limit"};
+    s.sweepTInlet = {-3.5, 0.25, 46.125};
+    s.sweepSensorNoise = {0.1};
+
+    LoweredScenario low = s.lower();
+    ASSERT_EQ(low.points.size(), 3u);
+    EXPECT_EQ(low.points[0].label, "inlet=-3.5,noise=0.1");
+    EXPECT_EQ(low.points[1].label, "inlet=0.25,noise=0.1");
+    EXPECT_EQ(low.points[2].label, "inlet=46.125,noise=0.1");
+    EXPECT_EQ(low.points[0].cfg.ambient.tInlet, -3.5);
+}
+
 TEST(ScenarioSpec, NoSweepMeansOneBasePoint)
 {
     ScenarioSpec s;
@@ -184,6 +393,23 @@ TEST(ScenarioSpec, PlatformScenariosUseTheCh5Lineup)
     // The cooling axis cannot apply to a fixed platform.
     s.policies = {"DTM-BW"};
     s.sweepCooling = {"AOHS_1.5"};
+    EXPECT_THROW(s.lower(), FatalError);
+    // Platforms also fix the DVFS table and derive their own ladders.
+    s.sweepCooling.clear();
+    s.dvfs = "xeon5160";
+    EXPECT_THROW(s.lower(), FatalError);
+    s.dvfs.clear();
+    s.sweepEmergencyLevels = {"ch4"};
+    EXPECT_THROW(s.lower(), FatalError);
+    // The decision interval still sweeps on platforms (but must respect
+    // the platform's coarser 0.1 s window).
+    s.sweepEmergencyLevels.clear();
+    s.sweepDtmInterval = {1.0, 2.0};
+    LoweredScenario low2 = s.lower();
+    ASSERT_EQ(low2.points.size(), 2u);
+    EXPECT_EQ(low2.points[0].label, "dtm=1");
+    EXPECT_EQ(low2.points[1].runs[0].cfg.dtmInterval, 2.0);
+    s.sweepDtmInterval = {0.01};
     EXPECT_THROW(s.lower(), FatalError);
 }
 
@@ -277,6 +503,53 @@ TEST(Scenario, Ch4BaselineMatchesHandCodedEngineBitExactly)
               ref.at("W1").at("DTM-TS").runningTime);
     EXPECT_EQ(r.at("mem_energy_j").asNumber(),
               ref.at("W1").at("DTM-TS").memEnergy);
+}
+
+/**
+ * The new axes lower bit-identically too: a dtm_interval x
+ * emergency_levels x dvfs sweep equals hand-building each SimConfig
+ * (decision period, ladder, operating table) and handing the runs to
+ * the engine directly.
+ */
+TEST(Scenario, NewAxesMatchHandCodedEngineBitExactly)
+{
+    ScenarioSpec spec;
+    spec.name = "knob_grid";
+    spec.copiesPerApp = 1;
+    spec.maxSimTime = 500.0;
+    spec.workloads = {"swimx2"};
+    spec.policies = {"DTM-CDVFS"};
+    spec.sweepDtmInterval = {0.01, 0.1};
+    spec.sweepEmergencyLevels = {"ch4", "sr1500al"};
+    spec.sweepDvfs = {"simulated_cmp", "xeon5160"};
+
+    ExperimentEngine engine(2);
+    ScenarioResults got = runScenario(spec, engine);
+    ASSERT_EQ(got.points.size(), 8u);
+
+    // The hand-coded equivalent, built without the scenario layer.
+    std::vector<ExperimentEngine::Run> runs;
+    for (double dtm : {0.01, 0.1}) {
+        for (const char *ladder : {"ch4", "sr1500al"}) {
+            for (const char *table : {"simulated_cmp", "xeon5160"}) {
+                SimConfig cfg = makeCh4Config(coolingAohs15(), false);
+                cfg.copiesPerApp = 1;
+                cfg.maxSimTime = 500.0;
+                cfg.dtmInterval = dtm;
+                cfg.emergencyLevels = emergencyLevelsByName(ladder);
+                cfg.dvfs = DvfsRegistry::instance().byName(table);
+                runs.push_back(
+                    {cfg, workloadByName("swimx2"), "DTM-CDVFS", {}});
+            }
+        }
+    }
+    std::vector<SimResult> ref = engine.run(runs);
+    ASSERT_EQ(ref.size(), 8u);
+    for (std::size_t i = 0; i < 8; ++i) {
+        SCOPED_TRACE(got.points[i].label);
+        expectIdentical(got.points[i].suite.at("swimx2").at("DTM-CDVFS"),
+                        ref[i]);
+    }
 }
 
 } // namespace

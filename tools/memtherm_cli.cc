@@ -3,6 +3,7 @@
  * `memtherm` — the scenario-driven command-line front end.
  *
  *   memtherm run <scenario.json> [options]   execute a scenario file
+ *   memtherm report <results.json> [options] summarize a results file
  *   memtherm validate <scenario.json>...     parse + resolve, no runs
  *   memtherm list <catalog>                  print valid names
  *
@@ -12,10 +13,16 @@
  * aborting. Results serialize through the shared JSON layer, and the
  * --golden mode re-checks a result file within a relative tolerance,
  * which is what the CLI smoke test pins `memtherm run` output with.
+ * `report` closes the loop: scenario file -> run -> per-point and
+ * per-axis summary tables (and CSV) with running time, max AMB/DRAM
+ * temperature, and a normalized-to-baseline column in the spirit of
+ * Figures 4.5-4.8, with no custom binary anywhere.
  */
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -47,8 +54,15 @@ usage(std::ostream &os, int rc)
           "      --tol <x>        relative tolerance for --golden\n"
           "                       (default 1e-9)\n"
           "      --quiet          suppress the summary table\n"
+          "  memtherm report <results.json> [options]\n"
+          "      --baseline <p>   normalization baseline policy (default:\n"
+          "                       No-limit when present, else the first\n"
+          "                       policy of each workload)\n"
+          "      --csv <file>     also write the flat per-run rows as CSV\n"
+          "      --quiet          suppress the summary tables\n"
           "  memtherm validate <scenario.json>...\n"
-          "  memtherm list policies|workloads|coolings|ambients|platforms\n";
+          "  memtherm list policies|workloads|coolings|ambients|platforms"
+          "|emergency_levels|dvfs\n";
     return rc;
 }
 
@@ -69,10 +83,14 @@ cmdList(const std::vector<std::string> &args)
         names = ambientNames();
     else if (what == "platforms")
         names = platformNames();
+    else if (what == "emergency_levels")
+        names = emergencyLevelNames();
+    else if (what == "dvfs")
+        names = DvfsRegistry::instance().names();
     else {
         std::cerr << "memtherm list: unknown catalog '" << what
                   << "' (valid: policies, workloads, coolings, ambients, "
-                     "platforms)\n";
+                     "platforms, emergency_levels, dvfs)\n";
         return 1;
     }
     for (const auto &n : names)
@@ -97,9 +115,22 @@ cmdValidate(const std::vector<std::string> &args)
     return 0;
 }
 
+/** Number rendering for diagnostics; tolerates non-finite values. */
+std::string
+numForDiag(double v)
+{
+    if (std::isnan(v))
+        return "nan";
+    if (std::isinf(v))
+        return v > 0 ? "inf" : "-inf";
+    return Json::numberToString(v);
+}
+
 /**
  * Recursive comparison with a relative tolerance on numbers; on the
- * first mismatch fills @p where / @p detail and returns false.
+ * first mismatch fills @p where / @p detail and returns false. Two NaNs
+ * compare equal (a NaN golden entry means "NaN expected here", not a
+ * mismatch) and infinities compare by sign.
  */
 bool
 jsonNear(const Json &a, const Json &b, double tol, const std::string &path,
@@ -119,10 +150,21 @@ jsonNear(const Json &a, const Json &b, double tol, const std::string &path,
         return a.asBool() == b.asBool() ? true : miss("bool mismatch");
       case Json::Type::Number: {
           double x = a.asNumber(), y = b.asNumber();
+          if (std::isnan(x) && std::isnan(y))
+              return true;
+          if (!std::isfinite(x) || !std::isfinite(y)) {
+              // Equal infinities match; anything else (inf vs finite,
+              // inf vs -inf, NaN vs number) is a mismatch. The relative
+              // bound below would turn every such pair into NaN > NaN
+              // comparisons and misreport them.
+              if (x == y)
+                  return true;
+              return miss(numForDiag(x) + " vs " + numForDiag(y));
+          }
           double bound = tol * std::max(std::abs(x), std::abs(y)) + 1e-12;
           if (std::abs(x - y) <= bound)
               return true;
-          return miss(std::to_string(x) + " vs " + std::to_string(y));
+          return miss(numForDiag(x) + " vs " + numForDiag(y));
       }
       case Json::Type::String:
         return a.asString() == b.asString()
@@ -177,6 +219,264 @@ printSummary(const ScenarioResults &results)
     t.print(std::cout);
 }
 
+/** One run row extracted from a results JSON. */
+struct ReportRow
+{
+    std::string workload;
+    std::string policy;
+    bool completed = false;
+    double time = 0.0;
+    double maxAmb = 0.0;
+    double maxDram = 0.0;
+    double norm = NAN; ///< time / baseline time; NaN when no baseline
+};
+
+/** One sweep point of a results file. */
+struct ReportPoint
+{
+    std::string label;
+    std::vector<ReportRow> rows;
+};
+
+/** Split a sweep-point label ("cooling=X,inlet=46") into coordinates. */
+std::vector<std::pair<std::string, std::string>>
+labelCoords(const std::string &label)
+{
+    std::vector<std::pair<std::string, std::string>> out;
+    if (label == "base")
+        return out;
+    std::size_t start = 0;
+    for (;;) {
+        std::size_t comma = label.find(',', start);
+        std::string part =
+            label.substr(start, comma == std::string::npos
+                                    ? std::string::npos
+                                    : comma - start);
+        std::size_t eq = part.find('=');
+        if (eq == std::string::npos)
+            out.emplace_back(part, "");
+        else
+            out.emplace_back(part.substr(0, eq), part.substr(eq + 1));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+/** RFC-4180 quoting: labels contain commas. */
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+int
+cmdReport(const std::vector<std::string> &args)
+{
+    std::string results_path, csv_path, baseline;
+    bool quiet = false;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        auto next = [&](const char *opt) -> std::string {
+            if (i + 1 >= args.size())
+                fatal(std::string("memtherm report: ") + opt +
+                      " needs an argument");
+            return args[++i];
+        };
+        if (a == "--csv")
+            csv_path = next("--csv");
+        else if (a == "--baseline")
+            baseline = next("--baseline");
+        else if (a == "--quiet")
+            quiet = true;
+        else if (!a.empty() && a[0] == '-')
+            fatal("memtherm report: unknown option '" + a + "'");
+        else if (results_path.empty())
+            results_path = a;
+        else
+            fatal("memtherm report: more than one results file given");
+    }
+    if (results_path.empty())
+        return usage(std::cerr, 1);
+
+    Json doc = Json::load(results_path);
+    if (!doc.isObject() || !doc.find("points")) {
+        fatal("memtherm report: '" + results_path +
+              "' does not look like memtherm results (expected an object "
+              "with a 'points' array; produce one with `memtherm run -o`)");
+    }
+    const std::string scenario =
+        doc.find("scenario") ? doc.at("scenario").asString() : "(unnamed)";
+    if (!doc.at("points").isArray())
+        fatal("memtherm report: 'points' must be an array");
+
+    std::vector<ReportPoint> points;
+    for (const Json &pj : doc.at("points").asArray()) {
+        ReportPoint pd;
+        pd.label = pj.at("label").asString();
+        const Json &res = pj.at("results");
+        if (!res.isObject())
+            fatal("memtherm report: point 'results' must be an object");
+        for (const auto &[w, per_policy] : res.asObject()) {
+            if (!per_policy.isObject() || per_policy.asObject().empty()) {
+                fatal("memtherm report: results of workload '" + w +
+                      "' must be a non-empty object");
+            }
+            // Baseline of this workload group: --baseline, else No-limit
+            // when present, else the group's first policy.
+            std::string base = baseline;
+            if (base.empty()) {
+                base = per_policy.find("No-limit")
+                           ? "No-limit"
+                           : per_policy.asObject().front().first;
+            }
+            // An incomplete baseline run's time is the simulation cap,
+            // not a running time — normalizing against it would report
+            // garbage, so the column stays empty then.
+            double base_time = NAN;
+            if (const Json *b = per_policy.find(base)) {
+                if (b->at("completed").asBool())
+                    base_time = b->at("running_time_s").asNumber();
+            }
+            for (const auto &[p, rj] : per_policy.asObject()) {
+                ReportRow row;
+                row.workload = w;
+                row.policy = p;
+                row.completed = rj.at("completed").asBool();
+                row.time = rj.at("running_time_s").asNumber();
+                row.maxAmb = rj.at("max_amb_c").asNumber();
+                row.maxDram = rj.at("max_dram_c").asNumber();
+                if (std::isfinite(base_time) && base_time > 0.0)
+                    row.norm = row.time / base_time;
+                pd.rows.push_back(std::move(row));
+            }
+        }
+        points.push_back(std::move(pd));
+    }
+
+    // A --baseline typo would otherwise just blank every normalization
+    // column; report it like any other bad name lookup.
+    if (!baseline.empty()) {
+        std::vector<std::string> seen;
+        bool found = false;
+        for (const auto &pd : points) {
+            for (const auto &r : pd.rows) {
+                found |= (r.policy == baseline);
+                if (std::find(seen.begin(), seen.end(), r.policy) ==
+                    seen.end())
+                    seen.push_back(r.policy);
+            }
+        }
+        if (!found) {
+            fatal("memtherm report: baseline policy '" + baseline +
+                  "' does not appear in the results (valid: " +
+                  joinNames(seen) + ")");
+        }
+    }
+
+    const std::string base_desc = baseline.empty() ? "No-limit" : baseline;
+
+    if (!quiet) {
+        // Per-point detail: the Figures 4.5-4.8 view (running time
+        // normalized to the baseline, plus the thermal peaks).
+        for (const auto &pd : points) {
+            Table t("scenario '" + scenario + "' — point " + pd.label,
+                    {"workload", "policy", "time s", "max AMB C",
+                     "max DRAM C", "x " + base_desc, "done"});
+            for (const auto &r : pd.rows) {
+                t.addRow({r.workload, r.policy, Table::num(r.time, 2),
+                          Table::num(r.maxAmb, 2), Table::num(r.maxDram, 2),
+                          std::isfinite(r.norm) ? Table::num(r.norm, 3)
+                                                : "-",
+                          r.completed ? "yes" : "NO"});
+            }
+            t.print(std::cout);
+        }
+
+        // Per-axis sweep summary: one row per point, the label split
+        // into one column per sweep axis.
+        std::vector<std::string> keys;
+        for (const auto &pd : points)
+            for (const auto &[k, v] : labelCoords(pd.label))
+                if (std::find(keys.begin(), keys.end(), k) == keys.end())
+                    keys.push_back(k);
+        std::vector<std::string> headers =
+            keys.empty() ? std::vector<std::string>{"point"} : keys;
+        headers.insert(headers.end(),
+                       {"runs", "incomplete", "max AMB C", "max DRAM C",
+                        "mean x " + base_desc});
+        Table s("scenario '" + scenario + "' — sweep summary", headers);
+        for (const auto &pd : points) {
+            std::vector<std::string> row;
+            if (keys.empty()) {
+                row.push_back(pd.label);
+            } else {
+                const auto coords = labelCoords(pd.label);
+                for (const auto &k : keys) {
+                    std::string v = "-";
+                    for (const auto &[ck, cv] : coords)
+                        if (ck == k)
+                            v = cv;
+                    row.push_back(v);
+                }
+            }
+            std::size_t incomplete = 0, norm_n = 0;
+            double max_amb = -HUGE_VAL, max_dram = -HUGE_VAL;
+            double norm_sum = 0.0;
+            for (const auto &r : pd.rows) {
+                incomplete += r.completed ? 0 : 1;
+                max_amb = std::max(max_amb, r.maxAmb);
+                max_dram = std::max(max_dram, r.maxDram);
+                if (std::isfinite(r.norm)) {
+                    norm_sum += r.norm;
+                    ++norm_n;
+                }
+            }
+            row.push_back(std::to_string(pd.rows.size()));
+            row.push_back(std::to_string(incomplete));
+            row.push_back(pd.rows.empty() ? "-" : Table::num(max_amb, 2));
+            row.push_back(pd.rows.empty() ? "-" : Table::num(max_dram, 2));
+            row.push_back(norm_n ? Table::num(norm_sum / norm_n, 3) : "-");
+            s.addRow(std::move(row));
+        }
+        s.print(std::cout);
+    }
+
+    if (!csv_path.empty()) {
+        std::ofstream f(csv_path);
+        if (!f)
+            fatal("memtherm report: cannot write '" + csv_path + "'");
+        f << "scenario,point,workload,policy,completed,running_time_s,"
+             "max_amb_c,max_dram_c,time_vs_base\n";
+        for (const auto &pd : points) {
+            for (const auto &r : pd.rows) {
+                f << csvField(scenario) << ',' << csvField(pd.label) << ','
+                  << csvField(r.workload) << ',' << csvField(r.policy)
+                  << ',' << (r.completed ? "true" : "false") << ','
+                  << numForDiag(r.time) << ',' << numForDiag(r.maxAmb)
+                  << ',' << numForDiag(r.maxDram) << ','
+                  << (std::isfinite(r.norm) ? numForDiag(r.norm) : "")
+                  << '\n';
+            }
+        }
+        if (!f.good())
+            fatal("memtherm report: error writing '" + csv_path + "'");
+        if (!quiet)
+            std::cout << "wrote " << csv_path << '\n';
+    }
+    return 0;
+}
+
 int
 cmdRun(const std::vector<std::string> &args)
 {
@@ -194,7 +494,9 @@ cmdRun(const std::vector<std::string> &args)
                       " needs an argument");
             return args[++i];
         };
-        auto nextInt = [&](const char *opt) {
+        // Positive-integer options: reject trailing garbage, overflow,
+        // and the silently-accepted 0/negative counts alike.
+        auto nextPosInt = [&](const char *opt) {
             std::string v = next(opt);
             std::size_t used = 0;
             int n = 0;
@@ -203,9 +505,9 @@ cmdRun(const std::vector<std::string> &args)
             } catch (const std::exception &) {
                 used = 0;
             }
-            if (used != v.size())
+            if (used != v.size() || v.empty() || n < 1)
                 fatal(std::string("memtherm run: ") + opt +
-                      " needs an integer, got '" + v + "'");
+                      " needs a positive integer, got '" + v + "'");
             return n;
         };
         auto nextDouble = [&](const char *opt) {
@@ -229,9 +531,9 @@ cmdRun(const std::vector<std::string> &args)
         else if (a == "--tol")
             tol = nextDouble("--tol");
         else if (a == "--threads")
-            threads = nextInt("--threads");
+            threads = nextPosInt("--threads");
         else if (a == "--copies")
-            copies = nextInt("--copies");
+            copies = nextPosInt("--copies");
         else if (a == "--traces")
             traces = true;
         else if (a == "--quiet")
@@ -296,6 +598,8 @@ main(int argc, char **argv)
     try {
         if (cmd == "run")
             return cmdRun(rest);
+        if (cmd == "report")
+            return cmdReport(rest);
         if (cmd == "validate")
             return cmdValidate(rest);
         if (cmd == "list")
