@@ -58,7 +58,11 @@ main()
         Celsius amb_probe =
             i == 0 ? 50.0 : lv.ambBounds()[static_cast<std::size_t>(i - 1)];
         ThermalReading r{amb_probe, 20.0, 50.0};
-        t.addRow({"L" + std::to_string(i + 1),
+        // Built with += : GCC 12's -Wrestrict false-positives on
+        // operator+(const char *, std::string &&) here under -O2.
+        std::string level = "L";
+        level += std::to_string(i + 1);
+        t.addRow({level,
                   range(lv.ambBounds(), i), range(lv.dramBounds(), i),
                   describe(bw.decide(r, 0.0)),
                   describe(acg.decide(r, 0.0)),

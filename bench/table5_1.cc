@@ -28,7 +28,11 @@ main()
                                  ? Table::num(p.bwCaps[i], 1) + " GB/s"
                                  : "no limit";
             int cores = i == 0 ? 4 : (i == 1 ? 3 : 2);
-            t.addRow({"L" + std::to_string(i + 1),
+            // Built with += : GCC 12's -Wrestrict false-positives on
+            // operator+(const char *, std::string &&) here under -O2.
+            std::string level = "L";
+            level += std::to_string(i + 1);
+            t.addRow({level,
                       "[" + lo + ", " + hi + ")", bw,
                       std::to_string(cores),
                       Table::num(dvfs.at(i).freq, 3),

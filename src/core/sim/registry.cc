@@ -406,6 +406,57 @@ platformByName(const std::string &name)
     return *p;
 }
 
+// --- memory organizations ---------------------------------------------------
+
+namespace
+{
+
+const std::vector<std::pair<std::string, MemoryOrgConfig>> &
+memoryOrgCatalog()
+{
+    // "ch4_4x4" is the Table 4.1 platform; the rest vary channel width
+    // and chain depth around it (the organization study of Section 3.4:
+    // fewer channels concentrate traffic and heat per DIMM, deeper
+    // chains steepen the per-DIMM bypass gradient).
+    static const std::vector<std::pair<std::string, MemoryOrgConfig>> cat = {
+        {"ch4_4x4", {4, 4}}, {"1x4", {1, 4}}, {"2x2", {2, 2}},
+        {"2x4", {2, 4}},     {"4x2", {4, 2}}, {"4x8", {4, 8}},
+        {"8x2", {8, 2}},     {"8x4", {8, 4}},
+    };
+    return cat;
+}
+
+} // namespace
+
+std::vector<std::string>
+memoryOrgNames()
+{
+    std::vector<std::string> out;
+    for (const auto &[n, o] : memoryOrgCatalog())
+        out.push_back(n);
+    return out;
+}
+
+std::optional<MemoryOrgConfig>
+tryMemoryOrg(const std::string &name)
+{
+    for (const auto &[n, o] : memoryOrgCatalog())
+        if (n == name)
+            return o;
+    return std::nullopt;
+}
+
+MemoryOrgConfig
+memoryOrgByName(const std::string &name)
+{
+    auto o = tryMemoryOrg(name);
+    if (!o) {
+        fatal("unknown memory organization '" + name +
+              "' (valid: " + joinNames(memoryOrgNames()) + ")");
+    }
+    return *o;
+}
+
 // --- emergency ladders ------------------------------------------------------
 
 namespace

@@ -28,6 +28,7 @@
 
 #include "core/dtm/dtm_policy.hh"
 #include "core/dtm/emergency_levels.hh"
+#include "core/thermal/memory_thermal.hh"
 #include "core/thermal/thermal_params.hh"
 #include "cpu/dvfs.hh"
 #include "workloads/workload.hh"
@@ -177,6 +178,19 @@ Workload workloadByName(const std::string &name);
 std::vector<std::string> platformNames();
 std::optional<Platform> tryPlatform(const std::string &name);
 Platform platformByName(const std::string &name);
+
+/**
+ * Memory-organization catalog: named {channels, DIMMs-per-channel}
+ * configurations for the `memory_org` scenario knob and sweep axis.
+ * "ch4_4x4" is the Table 4.1 default (4 physical / 2 logical FBDIMM
+ * channels, 4 DIMMs each); the "<channels>x<dimms>" entries span
+ * narrow (1x4), small (2x2), half-width (2x4), shallow (4x2), deep
+ * (4x8), and wide (8x2, 8x4) variants. Scenario files can also give an
+ * inline {channels, dimms} object for anything the catalog lacks.
+ */
+std::vector<std::string> memoryOrgNames();
+std::optional<MemoryOrgConfig> tryMemoryOrg(const std::string &name);
+MemoryOrgConfig memoryOrgByName(const std::string &name);
 
 /**
  * Emergency-ladder catalog: "ch4" (the Table 4.3 FBDIMM ladder) and the

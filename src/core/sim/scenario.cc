@@ -128,6 +128,49 @@ toJsonList(const std::vector<double> &v)
 }
 
 Json
+orgToJson(const MemoryOrgSpec &o)
+{
+    if (!o.name.empty())
+        return Json(o.name);
+    // A default-constructed spec means "keep the base organization" and
+    // has no serialized form — callers filter those out; reaching here
+    // with one (e.g. an empty sweep entry) is a spec bug, not UB.
+    if (!o.org)
+        fatal("scenario: empty memory organization");
+    Json j = Json::object();
+    j.set("channels", o.org->nChannels);
+    j.set("dimms", o.org->nDimmsPerChannel);
+    return j;
+}
+
+/** Parse a memory organization: a catalog name or {channels, dimms}. */
+MemoryOrgSpec
+orgFromJson(const Json &v, const std::string &where)
+{
+    MemoryOrgSpec s;
+    if (v.isString()) {
+        s.name = v.asString();
+        if (s.name.empty())
+            fatal("scenario: " + where + " name must not be empty");
+        return s;
+    }
+    if (v.isObject()) {
+        checkMembers(v, where, {"channels", "dimms"});
+        if (!v.find("channels") || !v.find("dimms")) {
+            fatal("scenario: " + where +
+                  " needs both 'channels' and 'dimms'");
+        }
+        MemoryOrgConfig o;
+        o.nChannels = memberInt(v, "channels");
+        o.nDimmsPerChannel = memberInt(v, "dimms");
+        s.org = o;
+        return s;
+    }
+    fatal("scenario: " + where +
+          " must be a catalog name or a {channels, dimms} object");
+}
+
+Json
 traceJson(const TimeSeries &t)
 {
     Json j = Json::object();
@@ -140,6 +183,32 @@ traceJson(const TimeSeries &t)
 }
 
 } // namespace
+
+std::string
+MemoryOrgSpec::label() const
+{
+    if (!name.empty())
+        return name;
+    if (org) {
+        return std::to_string(org->nChannels) + "x" +
+               std::to_string(org->nDimmsPerChannel);
+    }
+    return "";
+}
+
+MemoryOrgConfig
+MemoryOrgSpec::resolve() const
+{
+    if (!name.empty())
+        return memoryOrgByName(name);
+    if (!org)
+        fatal("scenario: empty memory organization");
+    if (org->nChannels < 1 || org->nDimmsPerChannel < 1) {
+        fatal("scenario: memory organization " + label() +
+              " must have >= 1 channel and >= 1 DIMM per channel");
+    }
+    return *org;
+}
 
 std::size_t
 LoweredScenario::totalRuns() const
@@ -193,6 +262,12 @@ ScenarioSpec::lower() const
                       "platform scenarios fix the DVFS table and derive "
                       "the emergency ladders from the platform; remove the "
                       "dvfs/emergency_levels members and sweeps");
+        }
+        if (!memoryOrg.empty() || !sweepMemoryOrg.empty()) {
+            specError(*this,
+                      "platform scenarios fix the memory organization "
+                      "(the testbed hardware fixes its DIMM population); "
+                      "remove the memory_org member and sweep");
         }
         const auto valid = platformPolicyNames();
         for (const auto &p : policies) {
@@ -302,6 +377,31 @@ ScenarioSpec::lower() const
     rejectDuplicates(sweepEmergencyLevels, "sweep.emergency_levels value");
     rejectDuplicates(sweepDvfs, "sweep.dvfs value");
 
+    // --- memory organizations: resolve up front (catalog lookup throws
+    // listing the valid keys; inline pairs reject non-positive counts)
+    // and compare by the *resolved* organization, so "ch4_4x4" and an
+    // inline {4, 4} cannot silently collapse onto one sweep point. ------
+    std::optional<MemoryOrgConfig> baseOrg;
+    if (!memoryOrg.empty())
+        baseOrg = memoryOrg.resolve();
+    std::vector<MemoryOrgConfig> sweepOrgs;
+    sweepOrgs.reserve(sweepMemoryOrg.size());
+    for (const auto &o : sweepMemoryOrg)
+        sweepOrgs.push_back(o.resolve());
+    for (std::size_t i = 0; i < sweepOrgs.size(); ++i) {
+        for (std::size_t j = 0; j < i; ++j) {
+            if (sweepOrgs[i] == sweepOrgs[j]) {
+                std::string what = "duplicate sweep.memory_org "
+                                   "organization '" +
+                                   sweepMemoryOrg[i].label() + "'";
+                if (sweepMemoryOrg[i].label() != sweepMemoryOrg[j].label())
+                    what += " (same organization as '" +
+                            sweepMemoryOrg[j].label() + "')";
+                specError(*this, what);
+            }
+        }
+    }
+
     // --- resolve ladder and DVFS names up front (throws listing the
     // valid keys), and keep the Chapter 4 CDVFS schemes honest: their
     // action tables select operating points 0..3. ------------------------
@@ -340,10 +440,11 @@ ScenarioSpec::lower() const
         sweepTables.push_back(DvfsRegistry::instance().byName(n));
     }
 
-    // --- the grid: an odometer over the seven axes, last axis fastest.
+    // --- the grid: an odometer over the eight axes, last axis fastest.
     // An empty axis contributes one "keep the base value" slot (a null
     // coordinate below), so no in-band sentinel value can be swallowed.
-    const std::array<std::size_t, 7> dim = {
+    const std::array<std::size_t, 8> dim = {
+        std::max<std::size_t>(sweepMemoryOrg.size(), 1),
         std::max<std::size_t>(sweepCooling.size(), 1),
         std::max<std::size_t>(sweepTInlet.size(), 1),
         std::max<std::size_t>(sweepCopies.size(), 1),
@@ -352,23 +453,26 @@ ScenarioSpec::lower() const
         std::max<std::size_t>(sweepEmergencyLevels.size(), 1),
         std::max<std::size_t>(sweepDvfs.size(), 1),
     };
-    std::array<std::size_t, 7> ix{};
+    std::array<std::size_t, 8> ix{};
     for (;;) {
         auto coord = [&](const auto &axis,
                          std::size_t a) -> const auto * {
             return axis.empty() ? nullptr : &axis[ix[a]];
         };
-        const std::string *coolName = coord(sweepCooling, 0);
-        const double *inlet = coord(sweepTInlet, 1);
-        const int *copies = coord(sweepCopies, 2);
-        const double *noise = coord(sweepSensorNoise, 3);
-        const double *dtm = coord(sweepDtmInterval, 4);
-        const std::string *ladder = coord(sweepEmergencyLevels, 5);
-        const std::string *dvfsName = coord(sweepDvfs, 6);
+        const MemoryOrgSpec *orgSpec = coord(sweepMemoryOrg, 0);
+        const std::string *coolName = coord(sweepCooling, 1);
+        const double *inlet = coord(sweepTInlet, 2);
+        const int *copies = coord(sweepCopies, 3);
+        const double *noise = coord(sweepSensorNoise, 4);
+        const double *dtm = coord(sweepDtmInterval, 5);
+        const std::string *ladder = coord(sweepEmergencyLevels, 6);
+        const std::string *dvfsName = coord(sweepDvfs, 7);
 
         LoweredScenario::Point pt;
 
         std::vector<std::string> parts;
+        if (orgSpec)
+            parts.push_back("org=" + orgSpec->label());
         if (coolName)
             parts.push_back("cooling=" + *coolName);
         if (inlet)
@@ -404,6 +508,8 @@ ScenarioSpec::lower() const
 
         // Spec-level overrides, then sweep coordinates
         // (an axis supersedes the scalar member).
+        if (baseOrg)
+            cfg.org = *baseOrg;
         if (tInlet)
             cfg.ambient.tInlet = *tInlet;
         if (copiesPerApp)
@@ -424,6 +530,8 @@ ScenarioSpec::lower() const
             cfg.emergencyLevels = *baseLadder;
         if (baseDvfs)
             cfg.dvfs = *baseDvfs;
+        if (orgSpec)
+            cfg.org = sweepOrgs[ix[0]];
         if (inlet)
             cfg.ambient.tInlet = *inlet;
         if (copies)
@@ -433,9 +541,9 @@ ScenarioSpec::lower() const
         if (dtm)
             cfg.dtmInterval = *dtm;
         if (ladder)
-            cfg.emergencyLevels = sweepLadders[ix[5]];
+            cfg.emergencyLevels = sweepLadders[ix[6]];
         if (dvfsName)
-            cfg.dvfs = sweepTables[ix[6]];
+            cfg.dvfs = sweepTables[ix[7]];
 
         // The simulator panics on a decision period below its trace
         // window; report it as a configuration error instead.
@@ -492,6 +600,8 @@ ScenarioSpec::toJson() const
         cfg.set("emergency_levels", emergencyLevels);
     if (!dvfs.empty())
         cfg.set("dvfs", dvfs);
+    if (!memoryOrg.empty())
+        cfg.set("memory_org", orgToJson(memoryOrg));
     if (tInlet)
         cfg.set("t_inlet", *tInlet);
     if (copiesPerApp)
@@ -515,6 +625,12 @@ ScenarioSpec::toJson() const
     j.set("policies", toJsonList(policies));
 
     Json sweep = Json::object();
+    if (!sweepMemoryOrg.empty()) {
+        Json a = Json::array();
+        for (const auto &o : sweepMemoryOrg)
+            a.push(orgToJson(o));
+        sweep.set("memory_org", std::move(a));
+    }
     if (!sweepCooling.empty())
         sweep.set("cooling", toJsonList(sweepCooling));
     if (!sweepTInlet.empty())
@@ -561,9 +677,9 @@ ScenarioSpec::fromJson(const Json &j)
             fatal("scenario: 'config' must be an object");
         checkMembers(*cfg, "'config'",
                      {"cooling", "ambient", "emergency_levels", "dvfs",
-                      "t_inlet", "copies_per_app", "instr_scale",
-                      "max_sim_time", "dtm_interval", "sensor_noise_sigma",
-                      "sensor_quant", "sensor_seed"});
+                      "memory_org", "t_inlet", "copies_per_app",
+                      "instr_scale", "max_sim_time", "dtm_interval",
+                      "sensor_noise_sigma", "sensor_quant", "sensor_seed"});
         if (cfg->find("cooling"))
             s.cooling = memberString(*cfg, "cooling");
         if (cfg->find("ambient"))
@@ -572,6 +688,10 @@ ScenarioSpec::fromJson(const Json &j)
             s.emergencyLevels = memberString(*cfg, "emergency_levels");
         if (cfg->find("dvfs"))
             s.dvfs = memberString(*cfg, "dvfs");
+        if (cfg->find("memory_org")) {
+            s.memoryOrg =
+                orgFromJson(cfg->at("memory_org"), "'config.memory_org'");
+        }
         if (cfg->find("t_inlet"))
             s.tInlet = memberNumber(*cfg, "t_inlet");
         if (cfg->find("copies_per_app"))
@@ -604,9 +724,20 @@ ScenarioSpec::fromJson(const Json &j)
         if (!sweep->isObject())
             fatal("scenario: 'sweep' must be an object");
         checkMembers(*sweep, "'sweep'",
-                     {"cooling", "t_inlet", "copies_per_app",
+                     {"memory_org", "cooling", "t_inlet", "copies_per_app",
                       "sensor_noise_sigma", "dtm_interval",
                       "emergency_levels", "dvfs"});
+        if (sweep->find("memory_org")) {
+            const Json &a = sweep->at("memory_org");
+            if (!a.isArray()) {
+                fatal("scenario: 'sweep.memory_org' must be an array of "
+                      "catalog names or {channels, dimms} objects");
+            }
+            for (const Json &e : a.asArray()) {
+                s.sweepMemoryOrg.push_back(
+                    orgFromJson(e, "'sweep.memory_org' entry"));
+            }
+        }
         if (sweep->find("cooling")) {
             s.sweepCooling =
                 stringList(sweep->at("cooling"), "sweep.cooling");
@@ -707,6 +838,8 @@ toJson(const SimResult &r, bool traces)
     j.set("max_dram_c", r.maxDram);
     j.set("time_above_amb_tdp_s", r.timeAboveAmbTdp);
     j.set("time_above_dram_tdp_s", r.timeAboveDramTdp);
+    j.set("peak_amb_per_dimm_c", toJsonList(r.peakAmbPerDimm));
+    j.set("peak_dram_per_dimm_c", toJsonList(r.peakDramPerDimm));
     if (traces) {
         Json t = Json::object();
         t.set("amb_c", traceJson(r.ambTrace));

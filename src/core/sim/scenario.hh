@@ -5,9 +5,10 @@
  * A ScenarioSpec is a serializable description of one experiment: the
  * base configuration (by catalog names — cooling, ambient model, or a
  * Chapter 5 platform), override knobs, the workload and policy name
- * lists, and optional sweep axes (cooling, inlet temperature, batch
- * depth, sensor noise, DTM decision interval, emergency ladder, DVFS
- * operating table) whose cross product spans a configuration grid.
+ * lists, and optional sweep axes (memory organization, cooling, inlet
+ * temperature, batch depth, sensor noise, DTM decision interval,
+ * emergency ladder, DVFS operating table) whose cross product spans a
+ * configuration grid.
  * Specs lower to ExperimentEngine run lists and round-trip losslessly
  * through JSON, so an experiment is data (a scenario file fed to the
  * `memtherm` CLI), not a hand-written binary.
@@ -53,6 +54,34 @@ struct LoweredScenario
 };
 
 /**
+ * One memory organization a spec names: a catalog entry
+ * (registry.hh memoryOrgNames(), e.g. "ch4_4x4" or "2x4") or an inline
+ * {channels, dimms} pair for organizations the catalog lacks. A
+ * default-constructed value means "keep the base configuration's
+ * organization". When both a name and an inline pair are set, the name
+ * wins (the serialized form never carries both).
+ */
+struct MemoryOrgSpec
+{
+    std::string name;                   ///< catalog name; empty -> inline
+    std::optional<MemoryOrgConfig> org; ///< inline organization
+
+    bool operator==(const MemoryOrgSpec &) const = default;
+
+    bool empty() const { return name.empty() && !org; }
+
+    /** Sweep-label coordinate: the catalog name, or "<c>x<d>" inline. */
+    std::string label() const;
+
+    /**
+     * The organization this spec denotes: catalog lookup (FatalError
+     * listing the valid keys) or the inline pair (FatalError when a
+     * count is non-positive).
+     */
+    MemoryOrgConfig resolve() const;
+};
+
+/**
  * Declarative description of an experiment. Field defaults mirror the
  * Chapter 4 platform; std::nullopt means "keep the base configuration's
  * value" (makeCh4Config's, or the platform's when `platform` is set).
@@ -81,6 +110,11 @@ struct ScenarioSpec
     /// Rejected for platform scenarios.
     std::string dvfs;
 
+    /// Memory organization (catalog name or inline {channels, dimms});
+    /// empty keeps the base organization. Rejected for platform
+    /// scenarios (the testbed hardware fixes its DIMM population).
+    MemoryOrgSpec memoryOrg;
+
     std::optional<double> tInlet;          ///< system inlet override (C)
     std::optional<int> copiesPerApp;       ///< batch depth override
     std::optional<double> instrScale;      ///< instruction-volume scale
@@ -97,6 +131,7 @@ struct ScenarioSpec
     /// An axis supersedes the matching scalar override. Values must be
     /// finite and free of duplicates (duplicates would collapse sweep
     /// points onto one result key).
+    std::vector<MemoryOrgSpec> sweepMemoryOrg;
     std::vector<std::string> sweepCooling;
     std::vector<double> sweepTInlet;
     std::vector<int> sweepCopies;

@@ -26,7 +26,9 @@ namespace memtherm
  */
 struct SimConfig
 {
-    /// Memory organization: 2 logical (4 physical) channels, 4 DIMMs each.
+    /// Memory organization: 2 logical (4 physical) channels, 4 DIMMs
+    /// each (the catalog's "ch4_4x4"; scenarios override it through the
+    /// `memory_org` knob or sweep axis).
     MemoryOrgConfig org{4, 4};
     CoolingConfig cooling = coolingAohs15();
     AmbientParams ambient = isolatedAmbient(coolingAohs15());

@@ -7,6 +7,7 @@
 #define MEMTHERM_CORE_SIM_SIM_RESULT_HH
 
 #include <string>
+#include <vector>
 
 #include "common/time_series.hh"
 #include "common/units.hh"
@@ -35,6 +36,12 @@ struct SimResult
     Celsius maxDram = 0.0;       ///< hottest DRAM temperature seen
     Seconds timeAboveAmbTdp = 0.0;
     Seconds timeAboveDramTdp = 0.0;
+
+    /// Per-DIMM peak temperatures on the representative channel, index 0
+    /// nearest the memory controller (one entry per DIMM of the run's
+    /// memory organization) — the thermal-gradient view of Section 3.4.
+    std::vector<Celsius> peakAmbPerDimm;
+    std::vector<Celsius> peakDramPerDimm;
 
     TimeSeries ambTrace{1.0};      ///< hottest AMB temperature over time
     TimeSeries dramTrace{1.0};     ///< hottest DRAM temperature over time

@@ -276,6 +276,12 @@ ThermalSimulator::run(const Workload &mix, DtmPolicy &policy,
 
     res.completed = batch.done();
     res.runningTime = t;
+    res.peakAmbPerDimm.reserve(mem.dimmPeaks().size());
+    res.peakDramPerDimm.reserve(mem.dimmPeaks().size());
+    for (const DimmTemps &p : mem.dimmPeaks()) {
+        res.peakAmbPerDimm.push_back(p.amb);
+        res.peakDramPerDimm.push_back(p.dram);
+    }
     return res;
 }
 

@@ -18,6 +18,7 @@ MemoryThermalModel::MemoryThermalModel(const MemoryOrgConfig &org,
     dimms.reserve(org.nDimmsPerChannel);
     for (int i = 0; i < org.nDimmsPerChannel; ++i)
         dimms.emplace_back(cooling, t0);
+    peaks.assign(dimms.size(), {t0, t0});
 }
 
 const std::vector<DimmPower> &
@@ -46,6 +47,8 @@ MemoryThermalModel::advance(GBps total_read, GBps total_write,
         DimmTemps t = dimms[i].advance(ambient, powers[i], dt);
         s.hottestAmb = std::max(s.hottestAmb, t.amb);
         s.hottestDram = std::max(s.hottestDram, t.dram);
+        peaks[i].amb = std::max(peaks[i].amb, t.amb);
+        peaks[i].dram = std::max(peaks[i].dram, t.dram);
         channel_power += powers[i].total();
     }
     s.subsystemPower = channel_power * orgCfg.nChannels;
@@ -111,6 +114,7 @@ MemoryThermalModel::reset(Celsius t)
 {
     for (auto &d : dimms)
         d.reset(t);
+    peaks.assign(dimms.size(), {t, t});
 }
 
 void
@@ -118,8 +122,10 @@ MemoryThermalModel::resetToStable(GBps total_read, GBps total_write,
                                   Celsius ambient)
 {
     const auto &powers = channelPower(total_read, total_write);
-    for (std::size_t i = 0; i < dimms.size(); ++i)
+    for (std::size_t i = 0; i < dimms.size(); ++i) {
         dimms[i].resetToStable(ambient, powers[i]);
+        peaks[i] = dimms[i].temps();
+    }
 }
 
 } // namespace memtherm

@@ -18,11 +18,17 @@
 namespace memtherm
 {
 
-/** Physical organization of the FBDIMM subsystem (Table 4.1 defaults). */
+/**
+ * Physical organization of the FBDIMM subsystem (Table 4.1 defaults).
+ * Scenario files select one by catalog name or inline object (the
+ * `memory_org` knob and sweep axis of core/sim/scenario.hh).
+ */
 struct MemoryOrgConfig
 {
     int nChannels = 4;          ///< physical FBDIMM channels
     int nDimmsPerChannel = 4;   ///< DIMMs per physical channel
+
+    bool operator==(const MemoryOrgConfig &) const = default;
 };
 
 /** One advance() step's outputs. */
@@ -77,6 +83,14 @@ class MemoryThermalModel
     /** Per-DIMM temperatures on the representative channel. */
     std::vector<DimmTemps> dimmTemps() const;
 
+    /**
+     * Per-DIMM peak temperatures since the last reset (index 0 nearest
+     * the memory controller). advance() folds every step into these, so
+     * the hot loop never materializes a temperature vector; resets
+     * restart the peaks from the reset temperatures.
+     */
+    const std::vector<DimmTemps> &dimmPeaks() const { return peaks; }
+
     /** Reset every node. */
     void reset(Celsius t);
 
@@ -108,6 +122,7 @@ class MemoryThermalModel
     MemoryOrgConfig orgCfg;
     DimmPowerModel pwr;
     std::vector<DimmThermalModel> dimms;
+    std::vector<DimmTemps> peaks; ///< per-DIMM maxima since last reset
 
     /// Scratch for channelPower(): per-DIMM traffic and power, reused
     /// across steps (mutable: const queries share the scratch).

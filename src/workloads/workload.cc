@@ -53,8 +53,13 @@ std::vector<Workload>
 cpu2000Mixes()
 {
     std::vector<Workload> out;
-    for (int i = 1; i <= 8; ++i)
-        out.push_back(workloadMix("W" + std::to_string(i)));
+    for (int i = 1; i <= 8; ++i) {
+        // Built with += : GCC 12's -Wrestrict false-positives on
+        // operator+(const char *, std::string &&) here under -O2.
+        std::string name = "W";
+        name += std::to_string(i);
+        out.push_back(workloadMix(name));
+    }
     return out;
 }
 

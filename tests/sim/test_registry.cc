@@ -219,6 +219,37 @@ TEST(Catalogs, DvfsRegistryResolvesAndAcceptsRuntimeTables)
     EXPECT_EQ(reg.names().back(), "TEST-lowpower");
 }
 
+TEST(Catalogs, MemoryOrgNamesResolve)
+{
+    auto names = memoryOrgNames();
+    ASSERT_FALSE(names.empty());
+    // The first entry is the Table 4.1 organization SimConfig ships.
+    EXPECT_EQ(names.front(), "ch4_4x4");
+    EXPECT_EQ(memoryOrgByName("ch4_4x4"), SimConfig{}.org);
+    for (const auto &n : names) {
+        SCOPED_TRACE(n);
+        auto o = tryMemoryOrg(n);
+        ASSERT_TRUE(o.has_value());
+        EXPECT_GE(o->nChannels, 1);
+        EXPECT_GE(o->nDimmsPerChannel, 1);
+    }
+    EXPECT_EQ(memoryOrgByName("2x4"), (MemoryOrgConfig{2, 4}));
+    EXPECT_EQ(memoryOrgByName("4x8").nDimmsPerChannel, 8);
+    EXPECT_EQ(memoryOrgByName("8x2").nChannels, 8);
+
+    EXPECT_FALSE(tryMemoryOrg("3x3").has_value());
+    try {
+        memoryOrgByName("3x3");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("unknown memory organization '3x3'"),
+                  std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("ch4_4x4"), std::string::npos) << msg;
+    }
+}
+
 TEST(Catalogs, PlatformNamesResolve)
 {
     for (const auto &n : platformNames()) {

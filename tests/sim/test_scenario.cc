@@ -52,6 +52,8 @@ expectIdentical(const SimResult &a, const SimResult &b)
     EXPECT_EQ(a.maxDram, b.maxDram);
     EXPECT_EQ(a.timeAboveAmbTdp, b.timeAboveAmbTdp);
     EXPECT_EQ(a.timeAboveDramTdp, b.timeAboveDramTdp);
+    EXPECT_EQ(a.peakAmbPerDimm, b.peakAmbPerDimm);
+    EXPECT_EQ(a.peakDramPerDimm, b.peakDramPerDimm);
     EXPECT_EQ(a.ambTrace.values(), b.ambTrace.values());
     EXPECT_EQ(a.dramTrace.values(), b.dramTrace.values());
     EXPECT_EQ(a.inletTrace.values(), b.inletTrace.values());
@@ -76,8 +78,11 @@ TEST(ScenarioSpec, FullSpecRoundTripsLosslessly)
     s.sensorSeed = 1234567;
     s.emergencyLevels = "pe1950";
     s.dvfs = "xeon5160";
+    s.memoryOrg = MemoryOrgSpec{"2x4", std::nullopt};
     s.workloads = {"W1", "swimx4"};
     s.policies = {"No-limit", "DTM-BW+PID"};
+    s.sweepMemoryOrg = {MemoryOrgSpec{"1x4", std::nullopt},
+                        MemoryOrgSpec{"", MemoryOrgConfig{2, 8}}};
     s.sweepCooling = {"AOHS_1.5", "AOHS_3.0"};
     s.sweepTInlet = {46.0, 50.5};
     s.sweepCopies = {2, 4};
@@ -97,7 +102,7 @@ TEST(ScenarioSpec, ExampleScenariosRoundTripAndLower)
 {
     const char *files[] = {"ch4_baseline.json", "fan_failure.json",
                            "datacenter_ambient.json", "sensor_noise.json",
-                           "dtm_sensitivity.json"};
+                           "dtm_sensitivity.json", "memory_org.json"};
     for (const char *f : files) {
         SCOPED_TRACE(f);
         ScenarioSpec spec = ScenarioSpec::load(scenarioPath(f));
@@ -219,6 +224,167 @@ TEST(ScenarioSpec, NewAxesLowerAcrossTheGrid)
     s.sweepEmergencyLevels.clear();
     s.sweepDtmInterval = {0.001};
     EXPECT_THROW(s.lower(), FatalError);
+}
+
+TEST(ScenarioSpec, MemoryOrgAxisLowersAcrossTheGrid)
+{
+    ScenarioSpec s;
+    s.name = "orgs";
+    s.workloads = {"W1"};
+    s.policies = {"No-limit"};
+    s.sweepMemoryOrg = {MemoryOrgSpec{"1x4", std::nullopt},
+                        MemoryOrgSpec{"ch4_4x4", std::nullopt},
+                        MemoryOrgSpec{"", MemoryOrgConfig{2, 8}}};
+    s.sweepTInlet = {46.0, 50.0};
+
+    LoweredScenario low = s.lower();
+    ASSERT_EQ(low.points.size(), 6u); // 3 orgs x 2 inlets
+    // The org axis leads the label (it is the most structural knob).
+    EXPECT_EQ(low.points[0].label, "org=1x4,inlet=46");
+    EXPECT_EQ(low.points[1].label, "org=1x4,inlet=50");
+    EXPECT_EQ(low.points[4].label, "org=2x8,inlet=46");
+    EXPECT_EQ(low.points.back().label, "org=2x8,inlet=50");
+
+    // The coordinates land in the configurations.
+    EXPECT_EQ(low.points[0].cfg.org, (MemoryOrgConfig{1, 4}));
+    EXPECT_EQ(low.points[2].cfg.org, (MemoryOrgConfig{4, 4}));
+    EXPECT_EQ(low.points.back().cfg.org, (MemoryOrgConfig{2, 8}));
+
+    // The scalar override applies when no axis sweeps the org, and the
+    // axis supersedes it when one does.
+    s.sweepMemoryOrg.clear();
+    s.memoryOrg = MemoryOrgSpec{"8x2", std::nullopt};
+    low = s.lower();
+    ASSERT_EQ(low.points.size(), 2u);
+    EXPECT_EQ(low.points[0].label, "inlet=46");
+    for (const auto &pt : low.points)
+        EXPECT_EQ(pt.cfg.org, (MemoryOrgConfig{8, 2}));
+    s.sweepMemoryOrg = {MemoryOrgSpec{"", MemoryOrgConfig{2, 2}}};
+    low = s.lower();
+    for (const auto &pt : low.points)
+        EXPECT_EQ(pt.cfg.org, (MemoryOrgConfig{2, 2}));
+}
+
+TEST(ScenarioSpec, RejectsBadMemoryOrganizations)
+{
+    ScenarioSpec base;
+    base.name = "badorg";
+    base.workloads = {"W1"};
+    base.policies = {"No-limit"};
+
+    // Non-positive counts, in the override and on the axis.
+    for (auto bad : {MemoryOrgConfig{0, 4}, MemoryOrgConfig{4, 0},
+                     MemoryOrgConfig{-2, 4}}) {
+        SCOPED_TRACE(bad.nChannels);
+        ScenarioSpec s = base;
+        s.memoryOrg = MemoryOrgSpec{"", bad};
+        EXPECT_THROW(s.lower(), FatalError);
+        s = base;
+        s.sweepMemoryOrg = {MemoryOrgSpec{"", bad}};
+        EXPECT_THROW(s.lower(), FatalError);
+    }
+    try {
+        ScenarioSpec s = base;
+        s.memoryOrg = MemoryOrgSpec{"", MemoryOrgConfig{0, 4}};
+        s.lower();
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find(">= 1 channel"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    // Unknown catalog names list the valid keys.
+    ScenarioSpec s = base;
+    s.memoryOrg = MemoryOrgSpec{"16x16", std::nullopt};
+    try {
+        s.lower();
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("16x16"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("ch4_4x4"), std::string::npos) << msg;
+    }
+
+    // Duplicates collapse sweep points; comparison is by the *resolved*
+    // organization, so a catalog name and an equal inline pair collide.
+    s = base;
+    s.sweepMemoryOrg = {MemoryOrgSpec{"2x4", std::nullopt},
+                        MemoryOrgSpec{"2x4", std::nullopt}};
+    EXPECT_THROW(s.lower(), FatalError);
+    s = base;
+    s.sweepMemoryOrg = {MemoryOrgSpec{"ch4_4x4", std::nullopt},
+                        MemoryOrgSpec{"", MemoryOrgConfig{4, 4}}};
+    try {
+        s.lower();
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("duplicate sweep.memory_org"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("same organization as 'ch4_4x4'"),
+                  std::string::npos)
+            << msg;
+    }
+
+    // Platform scenarios fix the testbed's DIMM population.
+    s = base;
+    s.platform = "SR1500AL";
+    s.policies = {"No-limit"};
+    s.memoryOrg = MemoryOrgSpec{"2x4", std::nullopt};
+    EXPECT_THROW(s.lower(), FatalError);
+    s.memoryOrg = {};
+    s.sweepMemoryOrg = {MemoryOrgSpec{"2x4", std::nullopt}};
+    EXPECT_THROW(s.lower(), FatalError);
+}
+
+TEST(ScenarioSpec, MemoryOrgParsesNamesAndInlineObjects)
+{
+    ScenarioSpec s = ScenarioSpec::fromJson(Json::parse(R"({
+        "name": "orgjson",
+        "config": {"memory_org": "2x4"},
+        "workloads": ["W1"],
+        "policies": ["No-limit"],
+        "sweep": {"memory_org": ["1x4", {"channels": 2, "dimms": 8}]}
+    })"));
+    EXPECT_EQ(s.memoryOrg.name, "2x4");
+    ASSERT_EQ(s.sweepMemoryOrg.size(), 2u);
+    EXPECT_EQ(s.sweepMemoryOrg[0].name, "1x4");
+    ASSERT_TRUE(s.sweepMemoryOrg[1].org.has_value());
+    EXPECT_EQ(*s.sweepMemoryOrg[1].org, (MemoryOrgConfig{2, 8}));
+    EXPECT_EQ(s.sweepMemoryOrg[1].label(), "2x8");
+
+    // Lossless round-trip, inline objects included.
+    Json j = s.toJson();
+    ScenarioSpec back = ScenarioSpec::fromJson(Json::parse(j.dump()));
+    EXPECT_EQ(back, s);
+    EXPECT_EQ(back.toJson(), j);
+
+    // Malformed orgs fail loudly.
+    EXPECT_THROW(ScenarioSpec::fromJson(Json::parse(
+                     R"({"config": {"memory_org": 4}})")),
+                 FatalError);
+    EXPECT_THROW(ScenarioSpec::fromJson(Json::parse(
+                     R"({"config": {"memory_org": {"channels": 4}}})")),
+                 FatalError);
+    EXPECT_THROW(ScenarioSpec::fromJson(Json::parse(
+                     R"({"config": {"memory_org":
+                         {"channels": 4, "dimms": 2.5}}})")),
+                 FatalError);
+    EXPECT_THROW(ScenarioSpec::fromJson(Json::parse(
+                     R"({"config": {"memory_org":
+                         {"channels": 4, "dimms": 4, "ranks": 2}}})")),
+                 FatalError);
+    EXPECT_THROW(ScenarioSpec::fromJson(Json::parse(
+                     R"({"config": {"memory_org": ""}})")),
+                 FatalError);
+
+    // A default-constructed (empty) sweep entry has no serialized form
+    // and no organization to resolve: both paths fail loudly.
+    ScenarioSpec empty_entry = s;
+    empty_entry.sweepMemoryOrg.push_back(MemoryOrgSpec{});
+    EXPECT_THROW(empty_entry.toJson(), FatalError);
+    EXPECT_THROW(empty_entry.lower(), FatalError);
 }
 
 TEST(ScenarioSpec, RejectsNonFiniteSweepValuesAndOverrides)
@@ -550,6 +716,76 @@ TEST(Scenario, NewAxesMatchHandCodedEngineBitExactly)
         expectIdentical(got.points[i].suite.at("swimx2").at("DTM-CDVFS"),
                         ref[i]);
     }
+}
+
+/**
+ * The memory_org axis lowers bit-identically as well: sweeping named
+ * and inline organizations equals hand-setting SimConfig::org for each
+ * point and handing the runs to the engine directly. Doubles as the
+ * per-DIMM-peak contract check: one peak pair per DIMM of the point's
+ * organization, bounded by the run's maxima, with the bypass gradient
+ * (DIMM 0 relays all downstream traffic) visible on the AMBs.
+ */
+TEST(Scenario, MemoryOrgAxisMatchesHandCodedEngineBitExactly)
+{
+    ScenarioSpec spec;
+    spec.name = "org_grid";
+    spec.copiesPerApp = 1;
+    spec.maxSimTime = 300.0;
+    spec.workloads = {"swimx2"};
+    spec.policies = {"No-limit"};
+    spec.sweepMemoryOrg = {MemoryOrgSpec{"1x4", std::nullopt},
+                           MemoryOrgSpec{"ch4_4x4", std::nullopt},
+                           MemoryOrgSpec{"", MemoryOrgConfig{2, 8}}};
+
+    ExperimentEngine engine(2);
+    ScenarioResults got = runScenario(spec, engine);
+    ASSERT_EQ(got.points.size(), 3u);
+
+    // The hand-coded equivalent, built without the scenario layer.
+    std::vector<ExperimentEngine::Run> runs;
+    for (auto org : {MemoryOrgConfig{1, 4}, MemoryOrgConfig{4, 4},
+                     MemoryOrgConfig{2, 8}}) {
+        SimConfig cfg = makeCh4Config(coolingAohs15(), false);
+        cfg.copiesPerApp = 1;
+        cfg.maxSimTime = 300.0;
+        cfg.org = org;
+        runs.push_back({cfg, workloadByName("swimx2"), "No-limit", {}});
+    }
+    std::vector<SimResult> ref = engine.run(runs);
+    ASSERT_EQ(ref.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        SCOPED_TRACE(got.points[i].label);
+        expectIdentical(got.points[i].suite.at("swimx2").at("No-limit"),
+                        ref[i]);
+    }
+
+    // Per-DIMM peaks: sized by the organization, consistent with the
+    // scalar maxima, and monotonically cooler down the daisy chain for
+    // the AMBs (uniform interleave: bypass traffic decreases with the
+    // distance from the controller).
+    const std::size_t depth[] = {4u, 4u, 8u};
+    for (std::size_t i = 0; i < 3; ++i) {
+        SCOPED_TRACE(got.points[i].label);
+        const SimResult &r = got.points[i].suite.at("swimx2").at("No-limit");
+        ASSERT_EQ(r.peakAmbPerDimm.size(), depth[i]);
+        ASSERT_EQ(r.peakDramPerDimm.size(), depth[i]);
+        double hottest = 0.0;
+        for (std::size_t d = 0; d < depth[i]; ++d) {
+            EXPECT_LE(r.peakAmbPerDimm[d], r.maxAmb);
+            EXPECT_LE(r.peakDramPerDimm[d], r.maxDram);
+            hottest = std::max(hottest, r.peakAmbPerDimm[d]);
+            if (d > 0) {
+                EXPECT_LE(r.peakAmbPerDimm[d], r.peakAmbPerDimm[d - 1]);
+            }
+        }
+        EXPECT_EQ(hottest, r.maxAmb);
+        EXPECT_EQ(r.peakAmbPerDimm.front(), r.maxAmb);
+    }
+    // Concentrating the same traffic on one channel runs hotter than
+    // spreading it over four (the Section 3.4 story).
+    EXPECT_GT(got.points[0].suite.at("swimx2").at("No-limit").maxAmb,
+              got.points[1].suite.at("swimx2").at("No-limit").maxAmb);
 }
 
 } // namespace

@@ -16,7 +16,10 @@
  * `report` closes the loop: scenario file -> run -> per-point and
  * per-axis summary tables (and CSV) with running time, max AMB/DRAM
  * temperature, and a normalized-to-baseline column in the spirit of
- * Figures 4.5-4.8, with no custom binary anywhere.
+ * Figures 4.5-4.8, with no custom binary anywhere. The CSV also carries
+ * per-DIMM peak-temperature columns (sized to the widest organization
+ * present), so a memory_org sweep exposes the per-DIMM thermal
+ * gradient directly.
  */
 
 #include <algorithm>
@@ -62,7 +65,7 @@ usage(std::ostream &os, int rc)
           "      --quiet          suppress the summary tables\n"
           "  memtherm validate <scenario.json>...\n"
           "  memtherm list policies|workloads|coolings|ambients|platforms"
-          "|emergency_levels|dvfs\n";
+          "|emergency_levels|dvfs|memory_orgs\n";
     return rc;
 }
 
@@ -87,16 +90,21 @@ cmdList(const std::vector<std::string> &args)
         names = emergencyLevelNames();
     else if (what == "dvfs")
         names = DvfsRegistry::instance().names();
+    else if (what == "memory_orgs")
+        names = memoryOrgNames();
     else {
         std::cerr << "memtherm list: unknown catalog '" << what
                   << "' (valid: policies, workloads, coolings, ambients, "
-                     "platforms, emergency_levels, dvfs)\n";
+                     "platforms, emergency_levels, dvfs, memory_orgs)\n";
         return 1;
     }
     for (const auto &n : names)
         std::cout << n << '\n';
     if (what == "workloads")
         std::cout << "<app>x<n> (homogeneous batch, e.g. swimx4)\n";
+    if (what == "memory_orgs")
+        std::cout << "{channels, dimms} (inline organization, e.g. "
+                     "{\"channels\": 2, \"dimms\": 8})\n";
     return 0;
 }
 
@@ -229,6 +237,10 @@ struct ReportRow
     double maxAmb = 0.0;
     double maxDram = 0.0;
     double norm = NAN; ///< time / baseline time; NaN when no baseline
+    /// Per-DIMM peaks (index 0 nearest the controller); empty when the
+    /// results file predates per-DIMM reporting.
+    std::vector<double> peakAmb;
+    std::vector<double> peakDram;
 };
 
 /** One sweep point of a results file. */
@@ -356,6 +368,16 @@ cmdReport(const std::vector<std::string> &args)
                 row.time = rj.at("running_time_s").asNumber();
                 row.maxAmb = rj.at("max_amb_c").asNumber();
                 row.maxDram = rj.at("max_dram_c").asNumber();
+                auto peakList = [&](const char *key,
+                                    std::vector<double> &out) {
+                    const Json *a = rj.find(key);
+                    if (!a || !a->isArray())
+                        return;
+                    for (const Json &v : a->asArray())
+                        out.push_back(v.asNumber());
+                };
+                peakList("peak_amb_per_dimm_c", row.peakAmb);
+                peakList("peak_dram_per_dimm_c", row.peakDram);
                 if (std::isfinite(base_time) && base_time > 0.0)
                     row.norm = row.time / base_time;
                 pd.rows.push_back(std::move(row));
@@ -456,8 +478,31 @@ cmdReport(const std::vector<std::string> &args)
         std::ofstream f(csv_path);
         if (!f)
             fatal("memtherm report: cannot write '" + csv_path + "'");
+        // Per-DIMM peak columns cover the widest organization in the
+        // results (an org sweep mixes DIMM counts); runs with fewer
+        // DIMMs leave their trailing cells empty.
+        std::size_t max_dimms = 0;
+        for (const auto &pd : points) {
+            for (const auto &r : pd.rows) {
+                max_dimms = std::max(
+                    max_dimms, std::max(r.peakAmb.size(),
+                                        r.peakDram.size()));
+            }
+        }
         f << "scenario,point,workload,policy,completed,running_time_s,"
-             "max_amb_c,max_dram_c,time_vs_base\n";
+             "max_amb_c,max_dram_c,time_vs_base";
+        for (std::size_t d = 0; d < max_dimms; ++d)
+            f << ",peak_amb_dimm" << d << "_c";
+        for (std::size_t d = 0; d < max_dimms; ++d)
+            f << ",peak_dram_dimm" << d << "_c";
+        f << '\n';
+        auto peakCells = [&](const std::vector<double> &peaks) {
+            for (std::size_t d = 0; d < max_dimms; ++d) {
+                f << ',';
+                if (d < peaks.size())
+                    f << numForDiag(peaks[d]);
+            }
+        };
         for (const auto &pd : points) {
             for (const auto &r : pd.rows) {
                 f << csvField(scenario) << ',' << csvField(pd.label) << ','
@@ -465,8 +510,10 @@ cmdReport(const std::vector<std::string> &args)
                   << ',' << (r.completed ? "true" : "false") << ','
                   << numForDiag(r.time) << ',' << numForDiag(r.maxAmb)
                   << ',' << numForDiag(r.maxDram) << ','
-                  << (std::isfinite(r.norm) ? numForDiag(r.norm) : "")
-                  << '\n';
+                  << (std::isfinite(r.norm) ? numForDiag(r.norm) : "");
+                peakCells(r.peakAmb);
+                peakCells(r.peakDram);
+                f << '\n';
             }
         }
         if (!f.good())
