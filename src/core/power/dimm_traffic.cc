@@ -21,8 +21,13 @@ decomposeChannelTraffic(GBps channel_read, GBps channel_write, int n_dimms,
         panicIfNot(static_cast<int>(shares.size()) == n_dimms,
                    "decomposeChannelTraffic: share vector arity");
         double sum = 0.0;
-        for (double f : shares)
+        for (double f : shares) {
+            // A NaN share fails the >= 0 test too, so non-finite vectors
+            // cannot slip through as "negative traffic" downstream.
+            panicIfNot(f >= 0.0,
+                       "decomposeChannelTraffic: negative share");
             sum += f;
+        }
         panicIfNot(std::abs(sum - 1.0) < 1e-9,
                    "decomposeChannelTraffic: shares must sum to 1");
     }

@@ -33,7 +33,8 @@ struct DimmTraffic
  * Decompose a channel's read/write throughput into per-DIMM traffic.
  *
  * DIMM 0 is closest to the memory controller. With the given per-DIMM
- * share vector (fractions summing to 1; uniform interleave when empty),
+ * share vector (non-negative fractions summing to 1; uniform interleave
+ * when empty — scenario files shape one via the `traffic_shape` knob),
  * traffic destined for DIMM j > i passes through AMB i as bypass traffic
  * (commands/write data southbound, read data northbound — both charged
  * once at data size, matching the paper's throughput bookkeeping).

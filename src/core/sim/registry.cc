@@ -1,7 +1,9 @@
 #include "core/sim/registry.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <climits>
+#include <cmath>
 #include <cstdlib>
 
 #include "common/logging.hh"
@@ -455,6 +457,74 @@ memoryOrgByName(const std::string &name)
               "' (valid: " + joinNames(memoryOrgNames()) + ")");
     }
     return *o;
+}
+
+// --- traffic shapes ---------------------------------------------------------
+
+std::vector<std::string>
+trafficShapeNames()
+{
+    return {"uniform", "front_heavy", "back_heavy", "hot_dimm0",
+            "linear_taper"};
+}
+
+std::optional<std::vector<double>>
+tryTrafficShape(const std::string &name, int n_dimms)
+{
+    panicIfNot(n_dimms >= 1, "tryTrafficShape: need >= 1 DIMM");
+    const std::size_t n = static_cast<std::size_t>(n_dimms);
+    std::vector<double> w(n);
+    if (name == "uniform") {
+        // Each entry is exactly 1/n — the same value the traffic
+        // decomposition uses for an empty share vector, which is what
+        // makes an explicit "uniform" run bit-identical to an unset one.
+        for (double &x : w)
+            x = 1.0 / n_dimms;
+        return w;
+    }
+    if (name == "front_heavy" || name == "back_heavy") {
+        // Geometric halving: each DIMM sees half its hotter neighbor's
+        // local traffic. 2^-i is exact in binary, so only the
+        // normalization divides.
+        double sum = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            w[i] = std::ldexp(1.0, -static_cast<int>(i));
+            sum += w[i];
+        }
+        for (double &x : w)
+            x /= sum;
+        if (name == "back_heavy")
+            std::reverse(w.begin(), w.end());
+        return w;
+    }
+    if (name == "hot_dimm0") {
+        if (n == 1) {
+            w[0] = 1.0;
+            return w;
+        }
+        w[0] = 0.5;
+        for (std::size_t i = 1; i < n; ++i)
+            w[i] = 0.5 / static_cast<double>(n - 1);
+        return w;
+    }
+    if (name == "linear_taper") {
+        const double sum = static_cast<double>(n) * (n + 1) / 2.0;
+        for (std::size_t i = 0; i < n; ++i)
+            w[i] = static_cast<double>(n - i) / sum;
+        return w;
+    }
+    return std::nullopt;
+}
+
+std::vector<double>
+trafficShapeByName(const std::string &name, int n_dimms)
+{
+    auto w = tryTrafficShape(name, n_dimms);
+    if (!w) {
+        fatal("unknown traffic shape '" + name +
+              "' (valid: " + joinNames(trafficShapeNames()) + ")");
+    }
+    return *w;
 }
 
 // --- emergency ladders ------------------------------------------------------

@@ -4,7 +4,9 @@
  * API (core/sim/scenario.hh) and the `memtherm` CLI.
  *
  * Everything a scenario file can name — DTM policies, cooling setups,
- * ambient models, workload mixes, Chapter 5 platforms — resolves here.
+ * ambient models, workload mixes, Chapter 5 platforms, memory
+ * organizations, traffic shapes, emergency ladders, DVFS tables —
+ * resolves here.
  * Each catalog offers three entry points with uniform semantics:
  *
  *  - names()           the valid keys, stable order;
@@ -191,6 +193,32 @@ Platform platformByName(const std::string &name);
 std::vector<std::string> memoryOrgNames();
 std::optional<MemoryOrgConfig> tryMemoryOrg(const std::string &name);
 MemoryOrgConfig memoryOrgByName(const std::string &name);
+
+/**
+ * Traffic-shape catalog: named per-DIMM traffic distributions for the
+ * `traffic_shape` scenario knob and sweep axis. A shape is
+ * parameterized by the DIMM count of the resolved memory organization,
+ * so the same name fits any chain depth; the resolved vector is the
+ * share of a channel's local traffic each DIMM receives (index 0
+ * nearest the memory controller, non-negative, summing to 1):
+ *
+ *  - "uniform"       1/n each (exactly — a run with this shape is
+ *                    bit-identical to one with the knob unset);
+ *  - "front_heavy"   geometric halving away from the controller
+ *                    (share_i proportional to 2^-i);
+ *  - "back_heavy"    the mirror image: geometric halving toward the
+ *                    controller, so the far end of the chain is loaded;
+ *  - "hot_dimm0"     DIMM 0 takes half the channel's traffic, the rest
+ *                    split the remainder uniformly;
+ *  - "linear_taper"  arithmetic taper (share_i proportional to n - i).
+ *
+ * Scenario files can also give an inline share vector for anything the
+ * catalog lacks. Every shape resolves to {1} on a one-DIMM chain.
+ */
+std::vector<std::string> trafficShapeNames();
+std::optional<std::vector<double>> tryTrafficShape(const std::string &name,
+                                                   int n_dimms);
+std::vector<double> trafficShapeByName(const std::string &name, int n_dimms);
 
 /**
  * Emergency-ladder catalog: "ch4" (the Table 4.3 FBDIMM ladder) and the

@@ -171,6 +171,42 @@ orgFromJson(const Json &v, const std::string &where)
 }
 
 Json
+shapeToJson(const TrafficShapeSpec &t)
+{
+    if (!t.name.empty())
+        return Json(t.name);
+    // A default-constructed spec means "keep uniform interleave" and has
+    // no serialized form — callers filter those out; reaching here with
+    // one (e.g. an empty sweep entry) is a spec bug, not UB.
+    if (t.shares.empty())
+        fatal("scenario: empty traffic shape");
+    return toJsonList(t.shares);
+}
+
+/** Parse a traffic shape: a catalog name or an inline share vector. */
+TrafficShapeSpec
+shapeFromJson(const Json &v, const std::string &where)
+{
+    TrafficShapeSpec s;
+    if (v.isString()) {
+        s.name = v.asString();
+        if (s.name.empty())
+            fatal("scenario: " + where + " name must not be empty");
+        return s;
+    }
+    if (v.isArray()) {
+        s.shares = numberList(v, where);
+        if (s.shares.empty()) {
+            fatal("scenario: " + where +
+                  " share vector must not be empty");
+        }
+        return s;
+    }
+    fatal("scenario: " + where +
+          " must be a catalog shape name or an array of per-DIMM shares");
+}
+
+Json
 traceJson(const TimeSeries &t)
 {
     Json j = Json::object();
@@ -208,6 +244,54 @@ MemoryOrgSpec::resolve() const
               " must have >= 1 channel and >= 1 DIMM per channel");
     }
     return *org;
+}
+
+std::string
+TrafficShapeSpec::label() const
+{
+    if (!name.empty())
+        return name;
+    // '|' keeps the coordinate free of ',' and '=', which the sweep
+    // label grammar reserves for separating coordinates.
+    std::string out;
+    for (double s : shares) {
+        if (!out.empty())
+            out += "|";
+        out += numStr(s);
+    }
+    return out;
+}
+
+std::vector<double>
+TrafficShapeSpec::resolve(int n_dimms) const
+{
+    if (!name.empty())
+        return trafficShapeByName(name, n_dimms);
+    if (shares.empty())
+        fatal("scenario: empty traffic shape");
+    double sum = 0.0;
+    for (double s : shares) {
+        if (!std::isfinite(s)) {
+            fatal("scenario: traffic shape " + label() +
+                  " shares must be finite");
+        }
+        if (s < 0.0) {
+            fatal("scenario: traffic shape " + label() +
+                  " shares must not be negative");
+        }
+        sum += s;
+    }
+    if (std::abs(sum - 1.0) >= 1e-9) {
+        fatal("scenario: traffic shape " + label() +
+              " shares must sum to 1 (got " + numStr(sum) + ")");
+    }
+    if (static_cast<int>(shares.size()) != n_dimms) {
+        fatal("scenario: traffic shape " + label() + " has " +
+              std::to_string(shares.size()) +
+              " share(s) but the memory organization has " +
+              std::to_string(n_dimms) + " DIMM(s) per channel");
+    }
+    return shares;
 }
 
 std::size_t
@@ -268,6 +352,12 @@ ScenarioSpec::lower() const
                       "platform scenarios fix the memory organization "
                       "(the testbed hardware fixes its DIMM population); "
                       "remove the memory_org member and sweep");
+        }
+        if (!trafficShape.empty() || !sweepTrafficShape.empty()) {
+            specError(*this,
+                      "platform scenarios use the testbed's measured "
+                      "traffic distribution; remove the traffic_shape "
+                      "member and sweep");
         }
         const auto valid = platformPolicyNames();
         for (const auto &p : policies) {
@@ -402,6 +492,90 @@ ScenarioSpec::lower() const
         }
     }
 
+    // --- traffic shapes: resolve against every organization the grid
+    // can visit (the sweep axis, else the scalar override, else the
+    // base configuration's chain). Resolving per organization checks an
+    // inline vector's arity against each one up front — the error names
+    // both axes — and rejects two swept shapes that resolve to the same
+    // share vector under any organization, matching the memory_org
+    // axis's resolved-value semantics: same-label entries would clobber
+    // a result key, and distinctly-named coincidences (front_heavy and
+    // linear_taper on a two-DIMM chain; every shape on a one-DIMM
+    // chain) would silently duplicate a measurement the sweep presents
+    // as two distinct distributions. ----------------------------------
+    struct OrgPoint
+    {
+        MemoryOrgConfig org;
+        std::string desc;
+    };
+    std::vector<OrgPoint> orgPoints;
+    if (!sweepOrgs.empty()) {
+        for (std::size_t i = 0; i < sweepOrgs.size(); ++i) {
+            orgPoints.push_back({sweepOrgs[i],
+                                 "sweep.memory_org organization '" +
+                                     sweepMemoryOrg[i].label() + "'"});
+        }
+    } else if (baseOrg) {
+        orgPoints.push_back({*baseOrg,
+                             "config.memory_org organization '" +
+                                 memoryOrg.label() + "'"});
+    } else {
+        MemoryOrgConfig def = SimConfig{}.org;
+        orgPoints.push_back(
+            {def, "the base organization (" +
+                      std::to_string(def.nChannels) + "x" +
+                      std::to_string(def.nDimmsPerChannel) + ")"});
+    }
+    auto checkShapeArity = [&](const TrafficShapeSpec &shape,
+                               const std::string &what,
+                               const OrgPoint &op) {
+        // Named shapes fit any chain; empty specs fail in resolve().
+        if (!shape.name.empty() || shape.shares.empty())
+            return;
+        if (static_cast<int>(shape.shares.size()) !=
+            op.org.nDimmsPerChannel) {
+            specError(*this,
+                      what + " '" + shape.label() + "' has " +
+                          std::to_string(shape.shares.size()) +
+                          " share(s) but " + op.desc + " has " +
+                          std::to_string(op.org.nDimmsPerChannel) +
+                          " DIMM(s) per channel");
+        }
+    };
+    std::vector<std::vector<double>> baseShapeByOrg(orgPoints.size());
+    std::vector<std::vector<std::vector<double>>> sweepShapesByOrg(
+        orgPoints.size());
+    for (std::size_t oi = 0; oi < orgPoints.size(); ++oi) {
+        const OrgPoint &op = orgPoints[oi];
+        if (!trafficShape.empty()) {
+            checkShapeArity(trafficShape, "config.traffic_shape", op);
+            baseShapeByOrg[oi] =
+                trafficShape.resolve(op.org.nDimmsPerChannel);
+        }
+        auto &resolved = sweepShapesByOrg[oi];
+        resolved.reserve(sweepTrafficShape.size());
+        for (const auto &sh : sweepTrafficShape) {
+            checkShapeArity(sh, "sweep.traffic_shape entry", op);
+            resolved.push_back(sh.resolve(op.org.nDimmsPerChannel));
+        }
+        for (std::size_t i = 0; i < resolved.size(); ++i) {
+            for (std::size_t j = 0; j < i; ++j) {
+                if (resolved[i] == resolved[j]) {
+                    std::string what =
+                        "duplicate sweep.traffic_shape shape '" +
+                        sweepTrafficShape[i].label() + "'";
+                    if (sweepTrafficShape[i].label() !=
+                        sweepTrafficShape[j].label()) {
+                        what += " (same shares as '" +
+                                sweepTrafficShape[j].label() +
+                                "' under " + op.desc + ")";
+                    }
+                    specError(*this, what);
+                }
+            }
+        }
+    }
+
     // --- resolve ladder and DVFS names up front (throws listing the
     // valid keys), and keep the Chapter 4 CDVFS schemes honest: their
     // action tables select operating points 0..3. ------------------------
@@ -440,11 +614,12 @@ ScenarioSpec::lower() const
         sweepTables.push_back(DvfsRegistry::instance().byName(n));
     }
 
-    // --- the grid: an odometer over the eight axes, last axis fastest.
+    // --- the grid: an odometer over the nine axes, last axis fastest.
     // An empty axis contributes one "keep the base value" slot (a null
     // coordinate below), so no in-band sentinel value can be swallowed.
-    const std::array<std::size_t, 8> dim = {
+    const std::array<std::size_t, 9> dim = {
         std::max<std::size_t>(sweepMemoryOrg.size(), 1),
+        std::max<std::size_t>(sweepTrafficShape.size(), 1),
         std::max<std::size_t>(sweepCooling.size(), 1),
         std::max<std::size_t>(sweepTInlet.size(), 1),
         std::max<std::size_t>(sweepCopies.size(), 1),
@@ -453,26 +628,32 @@ ScenarioSpec::lower() const
         std::max<std::size_t>(sweepEmergencyLevels.size(), 1),
         std::max<std::size_t>(sweepDvfs.size(), 1),
     };
-    std::array<std::size_t, 8> ix{};
+    std::array<std::size_t, 9> ix{};
     for (;;) {
         auto coord = [&](const auto &axis,
                          std::size_t a) -> const auto * {
             return axis.empty() ? nullptr : &axis[ix[a]];
         };
         const MemoryOrgSpec *orgSpec = coord(sweepMemoryOrg, 0);
-        const std::string *coolName = coord(sweepCooling, 1);
-        const double *inlet = coord(sweepTInlet, 2);
-        const int *copies = coord(sweepCopies, 3);
-        const double *noise = coord(sweepSensorNoise, 4);
-        const double *dtm = coord(sweepDtmInterval, 5);
-        const std::string *ladder = coord(sweepEmergencyLevels, 6);
-        const std::string *dvfsName = coord(sweepDvfs, 7);
+        const TrafficShapeSpec *shapeSpec = coord(sweepTrafficShape, 1);
+        const std::string *coolName = coord(sweepCooling, 2);
+        const double *inlet = coord(sweepTInlet, 3);
+        const int *copies = coord(sweepCopies, 4);
+        const double *noise = coord(sweepSensorNoise, 5);
+        const double *dtm = coord(sweepDtmInterval, 6);
+        const std::string *ladder = coord(sweepEmergencyLevels, 7);
+        const std::string *dvfsName = coord(sweepDvfs, 8);
+        // Shapes resolve per organization point (orgPoints mirrors the
+        // org axis when it sweeps, else has the single base entry).
+        const std::size_t orgIdx = sweepOrgs.empty() ? 0 : ix[0];
 
         LoweredScenario::Point pt;
 
         std::vector<std::string> parts;
         if (orgSpec)
             parts.push_back("org=" + orgSpec->label());
+        if (shapeSpec)
+            parts.push_back("shape=" + shapeSpec->label());
         if (coolName)
             parts.push_back("cooling=" + *coolName);
         if (inlet)
@@ -510,6 +691,8 @@ ScenarioSpec::lower() const
         // (an axis supersedes the scalar member).
         if (baseOrg)
             cfg.org = *baseOrg;
+        if (!trafficShape.empty())
+            cfg.trafficShares = baseShapeByOrg[orgIdx];
         if (tInlet)
             cfg.ambient.tInlet = *tInlet;
         if (copiesPerApp)
@@ -532,6 +715,8 @@ ScenarioSpec::lower() const
             cfg.dvfs = *baseDvfs;
         if (orgSpec)
             cfg.org = sweepOrgs[ix[0]];
+        if (shapeSpec)
+            cfg.trafficShares = sweepShapesByOrg[orgIdx][ix[1]];
         if (inlet)
             cfg.ambient.tInlet = *inlet;
         if (copies)
@@ -541,9 +726,9 @@ ScenarioSpec::lower() const
         if (dtm)
             cfg.dtmInterval = *dtm;
         if (ladder)
-            cfg.emergencyLevels = sweepLadders[ix[6]];
+            cfg.emergencyLevels = sweepLadders[ix[7]];
         if (dvfsName)
-            cfg.dvfs = sweepTables[ix[7]];
+            cfg.dvfs = sweepTables[ix[8]];
 
         // The simulator panics on a decision period below its trace
         // window; report it as a configuration error instead.
@@ -602,6 +787,8 @@ ScenarioSpec::toJson() const
         cfg.set("dvfs", dvfs);
     if (!memoryOrg.empty())
         cfg.set("memory_org", orgToJson(memoryOrg));
+    if (!trafficShape.empty())
+        cfg.set("traffic_shape", shapeToJson(trafficShape));
     if (tInlet)
         cfg.set("t_inlet", *tInlet);
     if (copiesPerApp)
@@ -630,6 +817,12 @@ ScenarioSpec::toJson() const
         for (const auto &o : sweepMemoryOrg)
             a.push(orgToJson(o));
         sweep.set("memory_org", std::move(a));
+    }
+    if (!sweepTrafficShape.empty()) {
+        Json a = Json::array();
+        for (const auto &t : sweepTrafficShape)
+            a.push(shapeToJson(t));
+        sweep.set("traffic_shape", std::move(a));
     }
     if (!sweepCooling.empty())
         sweep.set("cooling", toJsonList(sweepCooling));
@@ -677,9 +870,10 @@ ScenarioSpec::fromJson(const Json &j)
             fatal("scenario: 'config' must be an object");
         checkMembers(*cfg, "'config'",
                      {"cooling", "ambient", "emergency_levels", "dvfs",
-                      "memory_org", "t_inlet", "copies_per_app",
-                      "instr_scale", "max_sim_time", "dtm_interval",
-                      "sensor_noise_sigma", "sensor_quant", "sensor_seed"});
+                      "memory_org", "traffic_shape", "t_inlet",
+                      "copies_per_app", "instr_scale", "max_sim_time",
+                      "dtm_interval", "sensor_noise_sigma", "sensor_quant",
+                      "sensor_seed"});
         if (cfg->find("cooling"))
             s.cooling = memberString(*cfg, "cooling");
         if (cfg->find("ambient"))
@@ -691,6 +885,10 @@ ScenarioSpec::fromJson(const Json &j)
         if (cfg->find("memory_org")) {
             s.memoryOrg =
                 orgFromJson(cfg->at("memory_org"), "'config.memory_org'");
+        }
+        if (cfg->find("traffic_shape")) {
+            s.trafficShape = shapeFromJson(cfg->at("traffic_shape"),
+                                           "'config.traffic_shape'");
         }
         if (cfg->find("t_inlet"))
             s.tInlet = memberNumber(*cfg, "t_inlet");
@@ -724,9 +922,9 @@ ScenarioSpec::fromJson(const Json &j)
         if (!sweep->isObject())
             fatal("scenario: 'sweep' must be an object");
         checkMembers(*sweep, "'sweep'",
-                     {"memory_org", "cooling", "t_inlet", "copies_per_app",
-                      "sensor_noise_sigma", "dtm_interval",
-                      "emergency_levels", "dvfs"});
+                     {"memory_org", "traffic_shape", "cooling", "t_inlet",
+                      "copies_per_app", "sensor_noise_sigma",
+                      "dtm_interval", "emergency_levels", "dvfs"});
         if (sweep->find("memory_org")) {
             const Json &a = sweep->at("memory_org");
             if (!a.isArray()) {
@@ -736,6 +934,17 @@ ScenarioSpec::fromJson(const Json &j)
             for (const Json &e : a.asArray()) {
                 s.sweepMemoryOrg.push_back(
                     orgFromJson(e, "'sweep.memory_org' entry"));
+            }
+        }
+        if (sweep->find("traffic_shape")) {
+            const Json &a = sweep->at("traffic_shape");
+            if (!a.isArray()) {
+                fatal("scenario: 'sweep.traffic_shape' must be an array "
+                      "of catalog shape names or per-DIMM share vectors");
+            }
+            for (const Json &e : a.asArray()) {
+                s.sweepTrafficShape.push_back(
+                    shapeFromJson(e, "'sweep.traffic_shape' entry"));
             }
         }
         if (sweep->find("cooling")) {
@@ -840,6 +1049,7 @@ toJson(const SimResult &r, bool traces)
     j.set("time_above_dram_tdp_s", r.timeAboveDramTdp);
     j.set("peak_amb_per_dimm_c", toJsonList(r.peakAmbPerDimm));
     j.set("peak_dram_per_dimm_c", toJsonList(r.peakDramPerDimm));
+    j.set("avg_power_per_dimm_w", toJsonList(r.avgPowerPerDimm));
     if (traces) {
         Json t = Json::object();
         t.set("amb_c", traceJson(r.ambTrace));

@@ -5,10 +5,10 @@
  * A ScenarioSpec is a serializable description of one experiment: the
  * base configuration (by catalog names — cooling, ambient model, or a
  * Chapter 5 platform), override knobs, the workload and policy name
- * lists, and optional sweep axes (memory organization, cooling, inlet
- * temperature, batch depth, sensor noise, DTM decision interval,
- * emergency ladder, DVFS operating table) whose cross product spans a
- * configuration grid.
+ * lists, and optional sweep axes (memory organization, per-DIMM traffic
+ * shape, cooling, inlet temperature, batch depth, sensor noise, DTM
+ * decision interval, emergency ladder, DVFS operating table) whose
+ * cross product spans a configuration grid.
  * Specs lower to ExperimentEngine run lists and round-trip losslessly
  * through JSON, so an experiment is data (a scenario file fed to the
  * `memtherm` CLI), not a hand-written binary.
@@ -82,6 +82,38 @@ struct MemoryOrgSpec
 };
 
 /**
+ * One per-DIMM traffic shape a spec names: a catalog entry
+ * (registry.hh trafficShapeNames(), e.g. "hot_dimm0") or an inline
+ * share vector for distributions the catalog lacks. A
+ * default-constructed value means "keep uniform address interleave".
+ * Catalog shapes are parameterized by the DIMM count, so they fit any
+ * memory organization; an inline vector's arity must match the
+ * resolved organization's DIMMs per channel. When both a name and
+ * shares are set, the name wins (the serialized form never carries
+ * both).
+ */
+struct TrafficShapeSpec
+{
+    std::string name;           ///< catalog name; empty -> inline
+    std::vector<double> shares; ///< inline per-DIMM share vector
+
+    bool operator==(const TrafficShapeSpec &) const = default;
+
+    bool empty() const { return name.empty() && shares.empty(); }
+
+    /** Sweep-label coordinate: the catalog name, or "s0|s1|..." inline. */
+    std::string label() const;
+
+    /**
+     * The share vector this spec denotes for an @p n_dimms chain:
+     * catalog lookup (FatalError listing the valid keys) or the
+     * validated inline vector (FatalError on negative or non-finite
+     * shares, a sum off 1 by more than 1e-9, or an arity mismatch).
+     */
+    std::vector<double> resolve(int n_dimms) const;
+};
+
+/**
  * Declarative description of an experiment. Field defaults mirror the
  * Chapter 4 platform; std::nullopt means "keep the base configuration's
  * value" (makeCh4Config's, or the platform's when `platform` is set).
@@ -115,6 +147,13 @@ struct ScenarioSpec
     /// scenarios (the testbed hardware fixes its DIMM population).
     MemoryOrgSpec memoryOrg;
 
+    /// Per-DIMM traffic shape (catalog name or inline share vector);
+    /// empty keeps uniform address interleave. Shapes resolve against
+    /// each grid point's memory organization. Rejected for platform
+    /// scenarios (the testbed's traffic distribution is measured, not
+    /// modeled).
+    TrafficShapeSpec trafficShape;
+
     std::optional<double> tInlet;          ///< system inlet override (C)
     std::optional<int> copiesPerApp;       ///< batch depth override
     std::optional<double> instrScale;      ///< instruction-volume scale
@@ -132,6 +171,7 @@ struct ScenarioSpec
     /// finite and free of duplicates (duplicates would collapse sweep
     /// points onto one result key).
     std::vector<MemoryOrgSpec> sweepMemoryOrg;
+    std::vector<TrafficShapeSpec> sweepTrafficShape;
     std::vector<std::string> sweepCooling;
     std::vector<double> sweepTInlet;
     std::vector<int> sweepCopies;

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "core/dtm/emergency_levels.hh"
 #include "core/thermal/memory_thermal.hh"
@@ -30,6 +31,13 @@ struct SimConfig
     /// each (the catalog's "ch4_4x4"; scenarios override it through the
     /// `memory_org` knob or sweep axis).
     MemoryOrgConfig org{4, 4};
+    /// Per-DIMM fraction of each channel's local traffic, index 0
+    /// nearest the memory controller (one entry per DIMM of `org`'s
+    /// chain, non-negative, summing to 1). Empty selects uniform
+    /// address interleave; scenarios set it through the `traffic_shape`
+    /// knob or sweep axis. An explicit uniform vector is bit-identical
+    /// to leaving it empty.
+    std::vector<double> trafficShares;
     CoolingConfig cooling = coolingAohs15();
     AmbientParams ambient = isolatedAmbient(coolingAohs15());
     MemSystemPerf memPerf{};

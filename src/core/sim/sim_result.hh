@@ -43,6 +43,13 @@ struct SimResult
     std::vector<Celsius> peakAmbPerDimm;
     std::vector<Celsius> peakDramPerDimm;
 
+    /// Per-DIMM mean power (AMB + DRAMs) on the representative channel
+    /// over the run, same indexing — how a traffic_shape skew or a
+    /// deeper chain redistributes the heat sources. Summed over the
+    /// channel and scaled by the channel count this recovers
+    /// avgMemPower().
+    std::vector<Watts> avgPowerPerDimm;
+
     TimeSeries ambTrace{1.0};      ///< hottest AMB temperature over time
     TimeSeries dramTrace{1.0};     ///< hottest DRAM temperature over time
     TimeSeries inletTrace{1.0};    ///< memory inlet temperature over time

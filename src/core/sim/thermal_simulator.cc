@@ -104,7 +104,7 @@ ThermalSimulator::run(const Workload &mix, DtmPolicy &policy,
 
     AmbientModel ambient(cfg.ambient);
     MemoryThermalModel mem(cfg.org, cfg.cooling, DimmPowerModel{},
-                           ambient.temperature());
+                           ambient.temperature(), cfg.trafficShares);
     // The machine idles long enough before the run for temperatures to
     // settle (the measurement protocol of Section 5.4.1).
     mem.resetToStable(0.0, 0.0, ambient.temperature());
@@ -282,6 +282,7 @@ ThermalSimulator::run(const Workload &mix, DtmPolicy &policy,
         res.peakAmbPerDimm.push_back(p.amb);
         res.peakDramPerDimm.push_back(p.dram);
     }
+    res.avgPowerPerDimm = mem.dimmAvgPower();
     return res;
 }
 

@@ -10,15 +10,20 @@ namespace memtherm
 MemoryThermalModel::MemoryThermalModel(const MemoryOrgConfig &org,
                                        const CoolingConfig &cooling,
                                        const DimmPowerModel &power,
-                                       Celsius t0)
-    : orgCfg(org), pwr(power)
+                                       Celsius t0,
+                                       std::vector<double> traffic_shares)
+    : orgCfg(org), pwr(power), shares(std::move(traffic_shares))
 {
     panicIfNot(org.nChannels >= 1 && org.nDimmsPerChannel >= 1,
                "MemoryThermalModel: bad organization");
+    panicIfNot(shares.empty() ||
+                   static_cast<int>(shares.size()) == org.nDimmsPerChannel,
+               "MemoryThermalModel: traffic share arity");
     dimms.reserve(org.nDimmsPerChannel);
     for (int i = 0; i < org.nDimmsPerChannel; ++i)
         dimms.emplace_back(cooling, t0);
     peaks.assign(dimms.size(), {t0, t0});
+    energyPerDimm.assign(dimms.size(), 0.0);
 }
 
 const std::vector<DimmPower> &
@@ -26,8 +31,8 @@ MemoryThermalModel::channelPower(GBps total_read, GBps total_write) const
 {
     GBps ch_read = total_read / orgCfg.nChannels;
     GBps ch_write = total_write / orgCfg.nChannels;
-    decomposeChannelTraffic(ch_read, ch_write, orgCfg.nDimmsPerChannel, {},
-                            trafficScratch);
+    decomposeChannelTraffic(ch_read, ch_write, orgCfg.nDimmsPerChannel,
+                            shares, trafficScratch);
     powerScratch.resize(trafficScratch.size());
     for (std::size_t i = 0; i < trafficScratch.size(); ++i) {
         bool last = static_cast<int>(i) == orgCfg.nDimmsPerChannel - 1;
@@ -49,8 +54,10 @@ MemoryThermalModel::advance(GBps total_read, GBps total_write,
         s.hottestDram = std::max(s.hottestDram, t.dram);
         peaks[i].amb = std::max(peaks[i].amb, t.amb);
         peaks[i].dram = std::max(peaks[i].dram, t.dram);
+        energyPerDimm[i] += powers[i].total() * dt;
         channel_power += powers[i].total();
     }
+    energyTime += dt;
     s.subsystemPower = channel_power * orgCfg.nChannels;
     return s;
 }
@@ -109,12 +116,25 @@ MemoryThermalModel::dimmTemps() const
     return out;
 }
 
+std::vector<Watts>
+MemoryThermalModel::dimmAvgPower() const
+{
+    std::vector<Watts> out(dimms.size(), 0.0);
+    if (energyTime > 0.0) {
+        for (std::size_t i = 0; i < out.size(); ++i)
+            out[i] = energyPerDimm[i] / energyTime;
+    }
+    return out;
+}
+
 void
 MemoryThermalModel::reset(Celsius t)
 {
     for (auto &d : dimms)
         d.reset(t);
     peaks.assign(dimms.size(), {t, t});
+    energyPerDimm.assign(dimms.size(), 0.0);
+    energyTime = 0.0;
 }
 
 void
@@ -125,7 +145,9 @@ MemoryThermalModel::resetToStable(GBps total_read, GBps total_write,
     for (std::size_t i = 0; i < dimms.size(); ++i) {
         dimms[i].resetToStable(ambient, powers[i]);
         peaks[i] = dimms[i].temps();
+        energyPerDimm[i] = 0.0;
     }
+    energyTime = 0.0;
 }
 
 } // namespace memtherm

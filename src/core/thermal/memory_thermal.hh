@@ -2,9 +2,13 @@
  * @file
  * Whole-memory-subsystem power/thermal state.
  *
- * Channels are symmetric under uniform address interleave, so one
- * representative channel's DIMMs are modeled thermally; subsystem power is
- * scaled by the channel count for energy accounting.
+ * Channels are symmetric: every channel receives 1/nChannels of the
+ * system traffic and distributes it along its DIMM chain by the same
+ * per-DIMM share vector — uniform address interleave by default, or a
+ * non-uniform split supplied at construction (the scenario layer's
+ * `traffic_shape` knob). One representative channel's DIMMs are modeled
+ * thermally; subsystem power is scaled by the channel count for energy
+ * accounting.
  */
 
 #ifndef MEMTHERM_CORE_THERMAL_MEMORY_THERMAL_HH
@@ -50,10 +54,16 @@ class MemoryThermalModel
      * @param cooling Table 3.2 column
      * @param power   per-DIMM power models
      * @param t0      initial temperature of every node
+     * @param traffic_shares per-DIMM fraction of a channel's local
+     *        traffic (non-negative, summing to 1, one entry per DIMM of
+     *        the chain); empty selects uniform address interleave. An
+     *        explicit uniform vector (each entry exactly 1/nDimms) is
+     *        bit-identical to leaving it empty.
      */
     MemoryThermalModel(const MemoryOrgConfig &org,
                        const CoolingConfig &cooling,
-                       const DimmPowerModel &power, Celsius t0);
+                       const DimmPowerModel &power, Celsius t0,
+                       std::vector<double> traffic_shares = {});
 
     /**
      * Advance all DIMM nodes by dt.
@@ -91,6 +101,15 @@ class MemoryThermalModel
      */
     const std::vector<DimmTemps> &dimmPeaks() const { return peaks; }
 
+    /**
+     * Per-DIMM mean power on the representative channel since the last
+     * reset (energy folded in by advance(), divided by the elapsed
+     * time; all zeros before any advance). Like the peaks, the energy
+     * accumulators are members the hot loop updates in place — only
+     * this accessor materializes a vector.
+     */
+    std::vector<Watts> dimmAvgPower() const;
+
     /** Reset every node. */
     void reset(Celsius t);
 
@@ -104,6 +123,8 @@ class MemoryThermalModel
 
     const MemoryOrgConfig &org() const { return orgCfg; }
     const DimmPowerModel &powerModel() const { return pwr; }
+    /** Per-DIMM traffic shares; empty means uniform interleave. */
+    const std::vector<double> &trafficShares() const { return shares; }
 
   private:
     /**
@@ -121,8 +142,11 @@ class MemoryThermalModel
 
     MemoryOrgConfig orgCfg;
     DimmPowerModel pwr;
+    std::vector<double> shares; ///< per-DIMM traffic split; empty=uniform
     std::vector<DimmThermalModel> dimms;
     std::vector<DimmTemps> peaks; ///< per-DIMM maxima since last reset
+    std::vector<Joules> energyPerDimm; ///< per-DIMM energy since reset
+    Seconds energyTime = 0.0; ///< time advanced since last reset
 
     /// Scratch for channelPower(): per-DIMM traffic and power, reused
     /// across steps (mutable: const queries share the scratch).

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Doc-drift guard: the reference manual under docs/ must track the code.
+ *
+ * Every name a registry catalog exposes has to appear in
+ * docs/scenarios.md, and docs/cli.md has to cover every `memtherm`
+ * subcommand and every `memtherm list` catalog keyword — so a new
+ * catalog entry or subcommand cannot land undocumented. README.md must
+ * keep linking into docs/.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/sim/registry.hh"
+
+#ifndef MEMTHERM_SOURCE_DIR
+#error "tests need MEMTHERM_SOURCE_DIR (set by CMakeLists.txt)"
+#endif
+
+namespace memtherm
+{
+namespace
+{
+
+std::string
+readFile(const std::string &rel)
+{
+    const std::string path = std::string(MEMTHERM_SOURCE_DIR) + "/" + rel;
+    std::ifstream f(path);
+    EXPECT_TRUE(f.good()) << "cannot open " << path;
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return ss.str();
+}
+
+void
+expectMentions(const std::string &doc, const std::string &doc_name,
+               const std::vector<std::string> &names,
+               const std::string &catalog)
+{
+    for (const auto &n : names) {
+        EXPECT_NE(doc.find(n), std::string::npos)
+            << doc_name << " does not mention " << catalog << " entry '"
+            << n << "' — document every catalog name (this guard is how "
+            << "new entries are kept from landing undocumented)";
+    }
+}
+
+TEST(DocsReference, ScenariosManualCoversEveryCatalogName)
+{
+    const std::string doc = readFile("docs/scenarios.md");
+    ASSERT_FALSE(doc.empty());
+
+    expectMentions(doc, "docs/scenarios.md",
+                   PolicyRegistry::instance().names(), "policy");
+    expectMentions(doc, "docs/scenarios.md",
+                   DvfsRegistry::instance().names(), "dvfs");
+    expectMentions(doc, "docs/scenarios.md", coolingNames(), "cooling");
+    expectMentions(doc, "docs/scenarios.md", ambientNames(), "ambient");
+    expectMentions(doc, "docs/scenarios.md", workloadNames(), "workload");
+    expectMentions(doc, "docs/scenarios.md", platformNames(), "platform");
+    expectMentions(doc, "docs/scenarios.md", memoryOrgNames(),
+                   "memory organization");
+    expectMentions(doc, "docs/scenarios.md", trafficShapeNames(),
+                   "traffic shape");
+    expectMentions(doc, "docs/scenarios.md", emergencyLevelNames(),
+                   "emergency ladder");
+}
+
+TEST(DocsReference, ScenariosManualCoversEverySweepAxisAndKnob)
+{
+    const std::string doc = readFile("docs/scenarios.md");
+    // The sweep axes and config members of the JSON schema
+    // (ScenarioSpec::fromJson's checkMembers lists).
+    for (const char *key :
+         {"memory_org", "traffic_shape", "cooling", "t_inlet",
+          "copies_per_app", "sensor_noise_sigma", "dtm_interval",
+          "emergency_levels", "dvfs", "instr_scale", "max_sim_time",
+          "sensor_quant", "sensor_seed", "ambient", "platform",
+          "workloads", "policies", "sweep"}) {
+        EXPECT_NE(doc.find(key), std::string::npos)
+            << "docs/scenarios.md does not mention member '" << key << "'";
+    }
+}
+
+TEST(DocsReference, CliManualCoversEverySubcommandAndListCatalog)
+{
+    const std::string doc = readFile("docs/cli.md");
+    ASSERT_FALSE(doc.empty());
+    for (const char *cmd : {"memtherm run", "memtherm report",
+                            "memtherm validate", "memtherm list"}) {
+        EXPECT_NE(doc.find(cmd), std::string::npos)
+            << "docs/cli.md does not document '" << cmd << "'";
+    }
+    for (const char *catalog :
+         {"policies", "workloads", "coolings", "ambients", "platforms",
+          "emergency_levels", "dvfs", "memory_orgs", "traffic_shapes"}) {
+        EXPECT_NE(doc.find(catalog), std::string::npos)
+            << "docs/cli.md does not mention list catalog '" << catalog
+            << "'";
+    }
+    for (const char *flag : {"--golden", "--tol", "--baseline", "--csv",
+                             "--threads", "--copies", "--traces",
+                             "--quiet", "-o"}) {
+        EXPECT_NE(doc.find(flag), std::string::npos)
+            << "docs/cli.md does not document flag '" << flag << "'";
+    }
+}
+
+TEST(DocsReference, ReadmeLinksIntoDocs)
+{
+    const std::string readme = readFile("README.md");
+    EXPECT_NE(readme.find("docs/scenarios.md"), std::string::npos)
+        << "README.md must link to the scenario reference manual";
+    EXPECT_NE(readme.find("docs/cli.md"), std::string::npos)
+        << "README.md must link to the CLI manual";
+}
+
+} // namespace
+} // namespace memtherm

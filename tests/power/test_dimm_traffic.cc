@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/logging.hh"
 #include "core/power/dimm_traffic.hh"
 
@@ -78,6 +80,26 @@ TEST(DimmTraffic, BadSharesPanic)
     EXPECT_THROW(decomposeChannelTraffic(1.0, 0.0, 2, {1.0}), PanicError);
     EXPECT_THROW(decomposeChannelTraffic(-1.0, 0.0, 2), PanicError);
     EXPECT_THROW(decomposeChannelTraffic(1.0, 0.0, 0), PanicError);
+    // Negative shares are rejected even when the vector sums to 1 (a
+    // negative entry would mint negative local traffic), and a NaN
+    // share fails the same check rather than propagating.
+    EXPECT_THROW(decomposeChannelTraffic(1.0, 0.0, 2, {1.5, -0.5}),
+                 PanicError);
+    EXPECT_THROW(decomposeChannelTraffic(1.0, 0.0, 2, {NAN, 1.0}),
+                 PanicError);
+}
+
+TEST(DimmTraffic, ZeroShareDimmSeesOnlyBypass)
+{
+    // An all-traffic-at-the-end split: the head DIMMs do no local work
+    // but still relay everything southbound/northbound.
+    auto t = decomposeChannelTraffic(6.0, 2.0, 3, {0.0, 0.0, 1.0});
+    EXPECT_DOUBLE_EQ(t[0].local(), 0.0);
+    EXPECT_DOUBLE_EQ(t[0].bypassRead, 6.0);
+    EXPECT_DOUBLE_EQ(t[0].bypassWrite, 2.0);
+    EXPECT_DOUBLE_EQ(t[1].local(), 0.0);
+    EXPECT_DOUBLE_EQ(t[2].localRead, 6.0);
+    EXPECT_DOUBLE_EQ(t[2].bypass(), 0.0);
 }
 
 } // namespace

@@ -250,6 +250,71 @@ TEST(Catalogs, MemoryOrgNamesResolve)
     }
 }
 
+TEST(Catalogs, TrafficShapeNamesResolve)
+{
+    auto names = trafficShapeNames();
+    ASSERT_FALSE(names.empty());
+    // The first entry is the default interleave the model assumes when
+    // the knob is unset.
+    EXPECT_EQ(names.front(), "uniform");
+
+    // Every shape, at several chain depths: right arity, non-negative,
+    // sums to 1 within the decomposition's own tolerance.
+    for (const auto &n : names) {
+        for (int dimms : {1, 2, 4, 8}) {
+            SCOPED_TRACE(n + " @ " + std::to_string(dimms));
+            auto w = tryTrafficShape(n, dimms);
+            ASSERT_TRUE(w.has_value());
+            ASSERT_EQ(static_cast<int>(w->size()), dimms);
+            double sum = 0.0;
+            for (double s : *w) {
+                EXPECT_GE(s, 0.0);
+                sum += s;
+            }
+            EXPECT_NEAR(sum, 1.0, 1e-9);
+        }
+        // Every shape degenerates to {1} on a one-DIMM chain.
+        EXPECT_EQ(trafficShapeByName(n, 1), std::vector<double>{1.0});
+    }
+
+    // "uniform" is exactly 1/n per entry — the bit-identical contract.
+    auto uni = trafficShapeByName("uniform", 4);
+    for (double s : uni)
+        EXPECT_EQ(s, 1.0 / 4);
+
+    // Shape character: front_heavy strictly decreasing down the chain,
+    // back_heavy its mirror, hot_dimm0 a half-load head, linear_taper
+    // the arithmetic ramp.
+    auto front = trafficShapeByName("front_heavy", 4);
+    auto back = trafficShapeByName("back_heavy", 4);
+    for (int i = 1; i < 4; ++i) {
+        EXPECT_GT(front[i - 1], front[i]);
+        EXPECT_LT(back[i - 1], back[i]);
+        EXPECT_EQ(front[i], back[3 - i]);
+    }
+    EXPECT_EQ(front[1], front[0] / 2);
+
+    auto hot = trafficShapeByName("hot_dimm0", 4);
+    EXPECT_EQ(hot[0], 0.5);
+    for (int i = 1; i < 4; ++i)
+        EXPECT_EQ(hot[i], 0.5 / 3);
+
+    auto taper = trafficShapeByName("linear_taper", 4);
+    EXPECT_EQ(taper, (std::vector<double>{0.4, 0.3, 0.2, 0.1}));
+
+    EXPECT_FALSE(tryTrafficShape("zigzag", 4).has_value());
+    try {
+        trafficShapeByName("zigzag", 4);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("unknown traffic shape 'zigzag'"),
+                  std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("hot_dimm0"), std::string::npos) << msg;
+    }
+}
+
 TEST(Catalogs, PlatformNamesResolve)
 {
     for (const auto &n : platformNames()) {

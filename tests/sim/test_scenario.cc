@@ -54,6 +54,7 @@ expectIdentical(const SimResult &a, const SimResult &b)
     EXPECT_EQ(a.timeAboveDramTdp, b.timeAboveDramTdp);
     EXPECT_EQ(a.peakAmbPerDimm, b.peakAmbPerDimm);
     EXPECT_EQ(a.peakDramPerDimm, b.peakDramPerDimm);
+    EXPECT_EQ(a.avgPowerPerDimm, b.avgPowerPerDimm);
     EXPECT_EQ(a.ambTrace.values(), b.ambTrace.values());
     EXPECT_EQ(a.dramTrace.values(), b.dramTrace.values());
     EXPECT_EQ(a.inletTrace.values(), b.inletTrace.values());
@@ -81,8 +82,11 @@ TEST(ScenarioSpec, FullSpecRoundTripsLosslessly)
     s.memoryOrg = MemoryOrgSpec{"2x4", std::nullopt};
     s.workloads = {"W1", "swimx4"};
     s.policies = {"No-limit", "DTM-BW+PID"};
+    s.trafficShape = TrafficShapeSpec{"hot_dimm0", {}};
     s.sweepMemoryOrg = {MemoryOrgSpec{"1x4", std::nullopt},
                         MemoryOrgSpec{"", MemoryOrgConfig{2, 8}}};
+    s.sweepTrafficShape = {TrafficShapeSpec{"front_heavy", {}},
+                           TrafficShapeSpec{"back_heavy", {}}};
     s.sweepCooling = {"AOHS_1.5", "AOHS_3.0"};
     s.sweepTInlet = {46.0, 50.5};
     s.sweepCopies = {2, 4};
@@ -102,7 +106,8 @@ TEST(ScenarioSpec, ExampleScenariosRoundTripAndLower)
 {
     const char *files[] = {"ch4_baseline.json", "fan_failure.json",
                            "datacenter_ambient.json", "sensor_noise.json",
-                           "dtm_sensitivity.json", "memory_org.json"};
+                           "dtm_sensitivity.json", "memory_org.json",
+                           "hot_dimm.json"};
     for (const char *f : files) {
         SCOPED_TRACE(f);
         ScenarioSpec spec = ScenarioSpec::load(scenarioPath(f));
@@ -786,6 +791,385 @@ TEST(Scenario, MemoryOrgAxisMatchesHandCodedEngineBitExactly)
     // spreading it over four (the Section 3.4 story).
     EXPECT_GT(got.points[0].suite.at("swimx2").at("No-limit").maxAmb,
               got.points[1].suite.at("swimx2").at("No-limit").maxAmb);
+}
+
+TEST(ScenarioSpec, TrafficShapeAxisLowersAcrossTheGrid)
+{
+    ScenarioSpec s;
+    s.name = "shapes";
+    s.workloads = {"W1"};
+    s.policies = {"No-limit"};
+    s.sweepTrafficShape = {TrafficShapeSpec{"hot_dimm0", {}},
+                           TrafficShapeSpec{"", {0.7, 0.1, 0.1, 0.1}}};
+    s.sweepTInlet = {46.0, 50.0};
+
+    LoweredScenario low = s.lower();
+    ASSERT_EQ(low.points.size(), 4u); // 2 shapes x 2 inlets
+    // The shape axis labels right after the organization.
+    EXPECT_EQ(low.points[0].label, "shape=hot_dimm0,inlet=46");
+    EXPECT_EQ(low.points[1].label, "shape=hot_dimm0,inlet=50");
+    EXPECT_EQ(low.points[2].label, "shape=0.7|0.1|0.1|0.1,inlet=46");
+    EXPECT_EQ(low.points.back().label, "shape=0.7|0.1|0.1|0.1,inlet=50");
+
+    // The coordinates land in the configurations, resolved against the
+    // base (4x4) organization.
+    EXPECT_EQ(low.points[0].cfg.trafficShares,
+              trafficShapeByName("hot_dimm0", 4));
+    EXPECT_EQ(low.points[2].cfg.trafficShares,
+              (std::vector<double>{0.7, 0.1, 0.1, 0.1}));
+
+    // The scalar override applies when no axis sweeps the shape, and
+    // the axis supersedes it when one does.
+    s.sweepTrafficShape.clear();
+    s.trafficShape = TrafficShapeSpec{"linear_taper", {}};
+    low = s.lower();
+    ASSERT_EQ(low.points.size(), 2u);
+    EXPECT_EQ(low.points[0].label, "inlet=46");
+    for (const auto &pt : low.points) {
+        EXPECT_EQ(pt.cfg.trafficShares,
+                  trafficShapeByName("linear_taper", 4));
+    }
+    s.sweepTrafficShape = {TrafficShapeSpec{"front_heavy", {}}};
+    low = s.lower();
+    for (const auto &pt : low.points) {
+        EXPECT_EQ(pt.cfg.trafficShares,
+                  trafficShapeByName("front_heavy", 4));
+    }
+}
+
+TEST(ScenarioSpec, TrafficShapesReResolvePerOrganizationPoint)
+{
+    // A catalog shape is parameterized by the chain depth: sweeping the
+    // organization re-resolves it at every point, so a 2-DIMM and an
+    // 8-DIMM grid point each get a share vector of their own arity.
+    ScenarioSpec s;
+    s.name = "shape_x_org";
+    s.workloads = {"W1"};
+    s.policies = {"No-limit"};
+    s.sweepMemoryOrg = {MemoryOrgSpec{"4x2", std::nullopt},
+                        MemoryOrgSpec{"4x8", std::nullopt}};
+    s.sweepTrafficShape = {TrafficShapeSpec{"front_heavy", {}}};
+
+    LoweredScenario low = s.lower();
+    ASSERT_EQ(low.points.size(), 2u);
+    EXPECT_EQ(low.points[0].label, "org=4x2,shape=front_heavy");
+    EXPECT_EQ(low.points[0].cfg.trafficShares,
+              trafficShapeByName("front_heavy", 2));
+    EXPECT_EQ(low.points[1].cfg.trafficShares,
+              trafficShapeByName("front_heavy", 8));
+
+    // The scalar shape member re-resolves the same way.
+    s.sweepTrafficShape.clear();
+    s.trafficShape = TrafficShapeSpec{"back_heavy", {}};
+    low = s.lower();
+    ASSERT_EQ(low.points.size(), 2u);
+    EXPECT_EQ(low.points[0].cfg.trafficShares,
+              trafficShapeByName("back_heavy", 2));
+    EXPECT_EQ(low.points[1].cfg.trafficShares,
+              trafficShapeByName("back_heavy", 8));
+}
+
+TEST(ScenarioSpec, RejectsBadTrafficShapes)
+{
+    ScenarioSpec base;
+    base.name = "badshape";
+    base.workloads = {"W1"};
+    base.policies = {"No-limit"};
+
+    // Negative shares, sums off 1, and non-finite entries, on the
+    // scalar member and the axis alike.
+    for (auto bad : {std::vector<double>{1.5, -0.5, 0.0, 0.0},
+                     std::vector<double>{0.5, 0.2, 0.2, 0.2},
+                     std::vector<double>{0.25, 0.25, 0.25,
+                                         std::numeric_limits<
+                                             double>::quiet_NaN()}}) {
+        SCOPED_TRACE(bad[0]);
+        ScenarioSpec s = base;
+        s.trafficShape = TrafficShapeSpec{"", bad};
+        EXPECT_THROW(s.lower(), FatalError);
+        s = base;
+        s.sweepTrafficShape = {TrafficShapeSpec{"", bad}};
+        EXPECT_THROW(s.lower(), FatalError);
+    }
+    try {
+        ScenarioSpec s = base;
+        s.trafficShape = TrafficShapeSpec{"", {1.5, -0.5, 0.0, 0.0}};
+        s.lower();
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("must not be negative"),
+                  std::string::npos)
+            << e.what();
+    }
+    try {
+        ScenarioSpec s = base;
+        s.trafficShape = TrafficShapeSpec{"", {0.5, 0.2, 0.2, 0.2}};
+        s.lower();
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("must sum to 1"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    // Unknown catalog names list the valid keys.
+    ScenarioSpec s = base;
+    s.trafficShape = TrafficShapeSpec{"zigzag", {}};
+    try {
+        s.lower();
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("zigzag"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("linear_taper"), std::string::npos) << msg;
+    }
+
+    // An inline vector whose arity does not match the swept
+    // organization is rejected with both axes named.
+    s = base;
+    s.trafficShape = TrafficShapeSpec{"", {0.25, 0.25, 0.25, 0.25}};
+    s.sweepMemoryOrg = {MemoryOrgSpec{"4x2", std::nullopt}};
+    try {
+        s.lower();
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("config.traffic_shape"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("has 4 share(s)"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("sweep.memory_org organization '4x2'"),
+                  std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("2 DIMM(s) per channel"), std::string::npos)
+            << msg;
+    }
+    // Same for a swept inline vector against the scalar organization.
+    s = base;
+    s.memoryOrg = MemoryOrgSpec{"4x8", std::nullopt};
+    s.sweepTrafficShape = {TrafficShapeSpec{"", {0.5, 0.5}}};
+    try {
+        s.lower();
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("sweep.traffic_shape entry '0.5|0.5'"),
+                  std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("config.memory_org organization '4x8'"),
+                  std::string::npos)
+            << msg;
+    }
+    // And against the implicit base organization.
+    s = base;
+    s.trafficShape = TrafficShapeSpec{"", {0.5, 0.5}};
+    try {
+        s.lower();
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("the base organization (4x4)"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    // Duplicates compare by the *resolved* share vector: a repeated
+    // name, a name against an equal inline vector, and two distinct
+    // names that coincide at some swept chain depth all collide.
+    s = base;
+    s.sweepTrafficShape = {TrafficShapeSpec{"hot_dimm0", {}},
+                           TrafficShapeSpec{"hot_dimm0", {}}};
+    EXPECT_THROW(s.lower(), FatalError);
+    s = base;
+    s.sweepTrafficShape = {TrafficShapeSpec{"uniform", {}},
+                           TrafficShapeSpec{"", {0.25, 0.25, 0.25, 0.25}}};
+    try {
+        s.lower();
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("duplicate sweep.traffic_shape"),
+                  std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("same shares as 'uniform'"), std::string::npos)
+            << msg;
+    }
+    // front_heavy and linear_taper both resolve to {2/3, 1/3} on a
+    // two-DIMM chain, so the pair is fine on 4x4 but collides under a
+    // swept 4x2 organization.
+    s = base;
+    s.sweepTrafficShape = {TrafficShapeSpec{"front_heavy", {}},
+                           TrafficShapeSpec{"linear_taper", {}}};
+    EXPECT_NO_THROW(s.lower());
+    s.sweepMemoryOrg = {MemoryOrgSpec{"4x2", std::nullopt}};
+    try {
+        s.lower();
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("duplicate sweep.traffic_shape shape "
+                           "'linear_taper'"),
+                  std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("under sweep.memory_org organization '4x2'"),
+                  std::string::npos)
+            << msg;
+    }
+
+    // Platform scenarios measure their traffic; the knob is rejected.
+    s = base;
+    s.platform = "SR1500AL";
+    s.trafficShape = TrafficShapeSpec{"hot_dimm0", {}};
+    EXPECT_THROW(s.lower(), FatalError);
+    s.trafficShape = {};
+    s.sweepTrafficShape = {TrafficShapeSpec{"hot_dimm0", {}}};
+    EXPECT_THROW(s.lower(), FatalError);
+}
+
+TEST(ScenarioSpec, TrafficShapeParsesNamesAndInlineVectors)
+{
+    ScenarioSpec s = ScenarioSpec::fromJson(Json::parse(R"({
+        "name": "shapejson",
+        "config": {"traffic_shape": "hot_dimm0"},
+        "workloads": ["W1"],
+        "policies": ["No-limit"],
+        "sweep": {"traffic_shape": ["linear_taper", [0.7, 0.1, 0.1, 0.1]]}
+    })"));
+    EXPECT_EQ(s.trafficShape.name, "hot_dimm0");
+    ASSERT_EQ(s.sweepTrafficShape.size(), 2u);
+    EXPECT_EQ(s.sweepTrafficShape[0].name, "linear_taper");
+    EXPECT_EQ(s.sweepTrafficShape[1].shares,
+              (std::vector<double>{0.7, 0.1, 0.1, 0.1}));
+    EXPECT_EQ(s.sweepTrafficShape[1].label(), "0.7|0.1|0.1|0.1");
+
+    // Lossless round-trip, inline vectors included.
+    Json j = s.toJson();
+    ScenarioSpec back = ScenarioSpec::fromJson(Json::parse(j.dump()));
+    EXPECT_EQ(back, s);
+    EXPECT_EQ(back.toJson(), j);
+
+    // Malformed shapes fail loudly.
+    EXPECT_THROW(ScenarioSpec::fromJson(Json::parse(
+                     R"({"config": {"traffic_shape": 4}})")),
+                 FatalError);
+    EXPECT_THROW(ScenarioSpec::fromJson(Json::parse(
+                     R"({"config": {"traffic_shape": ""}})")),
+                 FatalError);
+    EXPECT_THROW(ScenarioSpec::fromJson(Json::parse(
+                     R"({"config": {"traffic_shape": []}})")),
+                 FatalError);
+    EXPECT_THROW(ScenarioSpec::fromJson(Json::parse(
+                     R"({"config": {"traffic_shape": [0.5, "x"]}})")),
+                 FatalError);
+    EXPECT_THROW(ScenarioSpec::fromJson(Json::parse(
+                     R"({"sweep": {"traffic_shape": "uniform"}})")),
+                 FatalError);
+
+    // A default-constructed (empty) sweep entry has no serialized form
+    // and no shares to resolve: both paths fail loudly.
+    ScenarioSpec empty_entry = s;
+    empty_entry.sweepTrafficShape.push_back(TrafficShapeSpec{});
+    EXPECT_THROW(empty_entry.toJson(), FatalError);
+    EXPECT_THROW(empty_entry.lower(), FatalError);
+}
+
+/**
+ * Acceptance pin: a run with the traffic_shape knob set to "uniform"
+ * (or the equivalent inline vector) is bit-identical to a run with the
+ * knob unset — the explicit share path feeds the traffic decomposition
+ * the exact 1/n fractions the empty-shares path uses.
+ */
+TEST(Scenario, UniformTrafficShapeIsBitIdenticalToUnset)
+{
+    ScenarioSpec spec;
+    spec.name = "uniform_pin";
+    spec.copiesPerApp = 1;
+    spec.maxSimTime = 200.0;
+    spec.workloads = {"swimx2"};
+    spec.policies = {"No-limit"};
+
+    ExperimentEngine engine(1);
+    ScenarioResults unset = runScenario(spec, engine);
+
+    spec.trafficShape = TrafficShapeSpec{"uniform", {}};
+    ScenarioResults named = runScenario(spec, engine);
+
+    spec.trafficShape = TrafficShapeSpec{"", {0.25, 0.25, 0.25, 0.25}};
+    ScenarioResults inline_uniform = runScenario(spec, engine);
+
+    const SimResult &a = unset.points[0].suite.at("swimx2").at("No-limit");
+    expectIdentical(a, named.points[0].suite.at("swimx2").at("No-limit"));
+    expectIdentical(
+        a, inline_uniform.points[0].suite.at("swimx2").at("No-limit"));
+}
+
+/**
+ * The traffic_shape axis lowers bit-identically as well: sweeping named
+ * and inline shapes across organizations equals hand-setting
+ * SimConfig::trafficShares for each point and handing the runs to the
+ * engine directly. Doubles as the per-DIMM average-power contract check
+ * and pins the gradient inversion a back-heavy skew produces.
+ */
+TEST(Scenario, TrafficShapeAxisMatchesHandCodedEngineBitExactly)
+{
+    ScenarioSpec spec;
+    spec.name = "shape_grid";
+    spec.copiesPerApp = 1;
+    spec.maxSimTime = 300.0;
+    spec.workloads = {"swimx2"};
+    spec.policies = {"No-limit"};
+    spec.sweepTrafficShape = {TrafficShapeSpec{"uniform", {}},
+                              TrafficShapeSpec{"back_heavy", {}},
+                              TrafficShapeSpec{"", {0.7, 0.1, 0.1, 0.1}}};
+
+    ExperimentEngine engine(2);
+    ScenarioResults got = runScenario(spec, engine);
+    ASSERT_EQ(got.points.size(), 3u);
+
+    // The hand-coded equivalent, built without the scenario layer.
+    std::vector<ExperimentEngine::Run> runs;
+    for (auto shares : {trafficShapeByName("uniform", 4),
+                        trafficShapeByName("back_heavy", 4),
+                        std::vector<double>{0.7, 0.1, 0.1, 0.1}}) {
+        SimConfig cfg = makeCh4Config(coolingAohs15(), false);
+        cfg.copiesPerApp = 1;
+        cfg.maxSimTime = 300.0;
+        cfg.trafficShares = shares;
+        runs.push_back({cfg, workloadByName("swimx2"), "No-limit", {}});
+    }
+    std::vector<SimResult> ref = engine.run(runs);
+    ASSERT_EQ(ref.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        SCOPED_TRACE(got.points[i].label);
+        expectIdentical(got.points[i].suite.at("swimx2").at("No-limit"),
+                        ref[i]);
+    }
+
+    // Per-DIMM average power: one entry per DIMM; summed over the
+    // representative channel and scaled by the channel count it
+    // recovers the run's mean memory power.
+    for (const auto &pt : got.points) {
+        SCOPED_TRACE(pt.label);
+        const SimResult &r = pt.suite.at("swimx2").at("No-limit");
+        ASSERT_EQ(r.avgPowerPerDimm.size(), 4u);
+        double channel = 0.0;
+        for (double p : r.avgPowerPerDimm) {
+            EXPECT_GT(p, 0.0);
+            channel += p;
+        }
+        EXPECT_NEAR(channel * 4, r.avgMemPower(),
+                    1e-9 * r.avgMemPower());
+    }
+
+    // The gradient inversion: under uniform interleave the AMB peaks
+    // fall monotonically down the chain; a back-heavy skew loads the
+    // chain's far end instead, so the profile turns non-monotone (and
+    // the hottest DRAM moves off DIMM 0 entirely).
+    const SimResult &uni = got.points[0].suite.at("swimx2").at("No-limit");
+    const SimResult &back = got.points[1].suite.at("swimx2").at("No-limit");
+    for (std::size_t d = 1; d < 4; ++d)
+        EXPECT_LE(uni.peakAmbPerDimm[d], uni.peakAmbPerDimm[d - 1]);
+    EXPECT_GT(back.peakAmbPerDimm[2], back.peakAmbPerDimm[0]);
+    EXPECT_GT(back.peakDramPerDimm[2], back.peakDramPerDimm[0]);
+    EXPECT_GT(back.avgPowerPerDimm[3], back.avgPowerPerDimm[0]);
 }
 
 } // namespace

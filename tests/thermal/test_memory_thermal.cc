@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/logging.hh"
 #include "core/thermal/memory_thermal.hh"
 
 namespace memtherm
@@ -115,6 +116,82 @@ TEST(MemoryThermal, ResetRestoresAllNodes)
         EXPECT_DOUBLE_EQ(t.amb, 50.0);
         EXPECT_DOUBLE_EQ(t.dram, 50.0);
     }
+}
+
+TEST(MemoryThermal, ExplicitUniformSharesMatchUnsetBitExactly)
+{
+    // The traffic_shape contract: an explicit uniform vector takes the
+    // same code path with the same per-DIMM fractions, so every query
+    // and every advance is bit-identical to leaving the shares empty.
+    auto plain = makeModel(coolingAohs15(), 50.0);
+    auto shaped = MemoryThermalModel(MemoryOrgConfig{4, 4}, coolingAohs15(),
+                                     DimmPowerModel{}, 50.0,
+                                     {0.25, 0.25, 0.25, 0.25});
+    EXPECT_EQ(plain.subsystemPower(9.0, 3.0),
+              shaped.subsystemPower(9.0, 3.0));
+    EXPECT_EQ(plain.stableHottestAmb(9.0, 3.0, 50.0),
+              shaped.stableHottestAmb(9.0, 3.0, 50.0));
+    for (int i = 0; i < 50; ++i) {
+        plain.advance(9.0, 3.0, 50.0, 10.0);
+        shaped.advance(9.0, 3.0, 50.0, 10.0);
+    }
+    auto a = plain.dimmTemps(), b = shaped.dimmTemps();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].amb, b[i].amb);
+        EXPECT_EQ(a[i].dram, b[i].dram);
+    }
+    EXPECT_EQ(plain.dimmAvgPower(), shaped.dimmAvgPower());
+}
+
+TEST(MemoryThermal, SkewedSharesMoveTheHotSpotDownTheChain)
+{
+    // All local traffic on the last DIMM: its DRAMs must run hottest
+    // even though the head AMBs still relay the bypass stream.
+    auto m = MemoryThermalModel(MemoryOrgConfig{4, 4}, coolingAohs15(),
+                                DimmPowerModel{}, 50.0,
+                                {0.0, 0.0, 0.0, 1.0});
+    m.advance(12.0, 4.0, 50.0, 500.0);
+    auto temps = m.dimmTemps();
+    ASSERT_EQ(temps.size(), 4u);
+    for (std::size_t i = 0; i + 1 < temps.size(); ++i)
+        EXPECT_GT(temps[3].dram, temps[i].dram);
+}
+
+TEST(MemoryThermal, DimmAvgPowerTracksSubsystemPower)
+{
+    auto m = makeModel(coolingAohs15(), 50.0);
+    // Before any advance the accumulators are empty: all zeros.
+    for (double p : m.dimmAvgPower())
+        EXPECT_EQ(p, 0.0);
+
+    // Constant operating point: the per-DIMM means, summed over the
+    // representative channel and scaled by the channel count, recover
+    // the subsystem power.
+    for (int i = 0; i < 10; ++i)
+        m.advance(8.0, 2.0, 50.0, 10.0);
+    auto avg = m.dimmAvgPower();
+    ASSERT_EQ(avg.size(), 4u);
+    double channel = 0.0;
+    for (double p : avg) {
+        EXPECT_GT(p, 0.0);
+        channel += p;
+    }
+    EXPECT_NEAR(channel * 4, m.subsystemPower(8.0, 2.0), 1e-9);
+
+    // Resets restart the accumulation window.
+    m.reset(50.0);
+    for (double p : m.dimmAvgPower())
+        EXPECT_EQ(p, 0.0);
+    m.resetToStable(8.0, 2.0, 50.0);
+    for (double p : m.dimmAvgPower())
+        EXPECT_EQ(p, 0.0);
+}
+
+TEST(MemoryThermal, ShareArityMismatchPanics)
+{
+    EXPECT_THROW(MemoryThermalModel(MemoryOrgConfig{4, 4}, coolingAohs15(),
+                                    DimmPowerModel{}, 50.0, {0.5, 0.5}),
+                 PanicError);
 }
 
 } // namespace

@@ -17,9 +17,10 @@
  * per-axis summary tables (and CSV) with running time, max AMB/DRAM
  * temperature, and a normalized-to-baseline column in the spirit of
  * Figures 4.5-4.8, with no custom binary anywhere. The CSV also carries
- * per-DIMM peak-temperature columns (sized to the widest organization
- * present), so a memory_org sweep exposes the per-DIMM thermal
- * gradient directly.
+ * per-DIMM peak-temperature and average-power columns (sized to the
+ * widest organization present), so a memory_org or traffic_shape sweep
+ * exposes the per-DIMM thermal gradient and heat-source distribution
+ * directly.
  */
 
 #include <algorithm>
@@ -65,7 +66,7 @@ usage(std::ostream &os, int rc)
           "      --quiet          suppress the summary tables\n"
           "  memtherm validate <scenario.json>...\n"
           "  memtherm list policies|workloads|coolings|ambients|platforms"
-          "|emergency_levels|dvfs|memory_orgs\n";
+          "|emergency_levels|dvfs|memory_orgs|traffic_shapes\n";
     return rc;
 }
 
@@ -92,10 +93,13 @@ cmdList(const std::vector<std::string> &args)
         names = DvfsRegistry::instance().names();
     else if (what == "memory_orgs")
         names = memoryOrgNames();
+    else if (what == "traffic_shapes")
+        names = trafficShapeNames();
     else {
         std::cerr << "memtherm list: unknown catalog '" << what
                   << "' (valid: policies, workloads, coolings, ambients, "
-                     "platforms, emergency_levels, dvfs, memory_orgs)\n";
+                     "platforms, emergency_levels, dvfs, memory_orgs, "
+                     "traffic_shapes)\n";
         return 1;
     }
     for (const auto &n : names)
@@ -105,6 +109,9 @@ cmdList(const std::vector<std::string> &args)
     if (what == "memory_orgs")
         std::cout << "{channels, dimms} (inline organization, e.g. "
                      "{\"channels\": 2, \"dimms\": 8})\n";
+    if (what == "traffic_shapes")
+        std::cout << "[s0, s1, ...] (inline per-DIMM share vector summing "
+                     "to 1, e.g. [0.5, 0.3, 0.1, 0.1])\n";
     return 0;
 }
 
@@ -237,10 +244,12 @@ struct ReportRow
     double maxAmb = 0.0;
     double maxDram = 0.0;
     double norm = NAN; ///< time / baseline time; NaN when no baseline
-    /// Per-DIMM peaks (index 0 nearest the controller); empty when the
-    /// results file predates per-DIMM reporting.
+    /// Per-DIMM peaks and average power (index 0 nearest the
+    /// controller); empty when the results file predates per-DIMM
+    /// reporting.
     std::vector<double> peakAmb;
     std::vector<double> peakDram;
+    std::vector<double> avgPower;
 };
 
 /** One sweep point of a results file. */
@@ -378,6 +387,7 @@ cmdReport(const std::vector<std::string> &args)
                 };
                 peakList("peak_amb_per_dimm_c", row.peakAmb);
                 peakList("peak_dram_per_dimm_c", row.peakDram);
+                peakList("avg_power_per_dimm_w", row.avgPower);
                 if (std::isfinite(base_time) && base_time > 0.0)
                     row.norm = row.time / base_time;
                 pd.rows.push_back(std::move(row));
@@ -478,15 +488,16 @@ cmdReport(const std::vector<std::string> &args)
         std::ofstream f(csv_path);
         if (!f)
             fatal("memtherm report: cannot write '" + csv_path + "'");
-        // Per-DIMM peak columns cover the widest organization in the
+        // Per-DIMM columns cover the widest organization in the
         // results (an org sweep mixes DIMM counts); runs with fewer
         // DIMMs leave their trailing cells empty.
         std::size_t max_dimms = 0;
         for (const auto &pd : points) {
             for (const auto &r : pd.rows) {
                 max_dimms = std::max(
-                    max_dimms, std::max(r.peakAmb.size(),
-                                        r.peakDram.size()));
+                    max_dimms, std::max(r.avgPower.size(),
+                                        std::max(r.peakAmb.size(),
+                                                 r.peakDram.size())));
             }
         }
         f << "scenario,point,workload,policy,completed,running_time_s,"
@@ -495,6 +506,8 @@ cmdReport(const std::vector<std::string> &args)
             f << ",peak_amb_dimm" << d << "_c";
         for (std::size_t d = 0; d < max_dimms; ++d)
             f << ",peak_dram_dimm" << d << "_c";
+        for (std::size_t d = 0; d < max_dimms; ++d)
+            f << ",avg_power_dimm" << d << "_w";
         f << '\n';
         auto peakCells = [&](const std::vector<double> &peaks) {
             for (std::size_t d = 0; d < max_dimms; ++d) {
@@ -513,6 +526,7 @@ cmdReport(const std::vector<std::string> &args)
                   << (std::isfinite(r.norm) ? numForDiag(r.norm) : "");
                 peakCells(r.peakAmb);
                 peakCells(r.peakDram);
+                peakCells(r.avgPower);
                 f << '\n';
             }
         }
