@@ -1,0 +1,36 @@
+#include "common/fs_util.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace memtherm
+{
+
+void
+atomicWriteFile(const std::string &path, const std::string &content)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            fatal("cannot open '" + tmp + "' for writing");
+        out << content;
+        out.flush();
+        if (!out) {
+            std::remove(tmp.c_str());
+            fatal("write to '" + tmp + "' failed");
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::remove(tmp.c_str());
+        fatal("cannot rename '" + tmp + "' to '" + path +
+              "': " + ec.message());
+    }
+}
+
+} // namespace memtherm

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <string_view>
 
+#include "common/fs_util.hh"
 #include "common/logging.hh"
 
 namespace memtherm
@@ -514,12 +515,10 @@ Json::load(const std::string &path)
 void
 Json::save(const std::string &path, int indent) const
 {
-    std::ofstream out(path, std::ios::binary);
-    if (!out)
-        fatal("json: cannot open '" + path + "' for writing");
-    out << dump(indent);
-    if (!out)
-        fatal("json: write to '" + path + "' failed");
+    // Crash-atomic: a killed process never leaves a truncated document
+    // behind (a half-written results file would silently corrupt golden
+    // comparisons downstream).
+    atomicWriteFile(path, dump(indent));
 }
 
 } // namespace memtherm

@@ -102,7 +102,11 @@ class Json
     /** Read and parse a file; FatalError on I/O or syntax errors. */
     static Json load(const std::string &path);
 
-    /** dump() to a file; FatalError on I/O errors. */
+    /**
+     * dump() to a file; FatalError on I/O errors. The write is
+     * crash-atomic (write to "<path>.tmp", then rename), so a killed
+     * process never leaves a truncated document at @p path.
+     */
     void save(const std::string &path, int indent = 2) const;
 
     /**

@@ -1,6 +1,7 @@
 #include "core/sim/engine.hh"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 
@@ -81,27 +82,53 @@ ExperimentEngine::execute(const Run &r, ThermalSimulator::Scratch &s)
     return sim.run(r.workload, *policy, s);
 }
 
-std::vector<SimResult>
-ExperimentEngine::run(const std::vector<Run> &runs)
+void
+ExperimentEngine::run(const std::vector<Run> &runs, RunSink &sink)
 {
-    std::vector<SimResult> results(runs.size());
-    std::exception_ptr first_error;
+    using clock = std::chrono::steady_clock;
+
+    // The first exception a *sink call* throws; run failures go through
+    // sink.onFailure and never abort the batch.
+    std::exception_ptr sink_error;
+
+    // Serializes sink invocations (the RunSink contract) and guards
+    // sink_error. In inline mode the calling thread is the only caller,
+    // but the lock is cheap and keeps one code path.
+    std::mutex sink_mtx;
+    auto deliver = [&](std::size_t i, SimResult &&r, double wall_s,
+                       std::exception_ptr err) {
+        std::lock_guard<std::mutex> lock(sink_mtx);
+        try {
+            if (err)
+                sink.onFailure(i, err);
+            else
+                sink.onResult(i, std::move(r), wall_s);
+        } catch (...) {
+            if (!sink_error)
+                sink_error = std::current_exception();
+        }
+    };
+    auto one = [&](std::size_t i, ThermalSimulator::Scratch &s) {
+        const auto t0 = clock::now();
+        SimResult r;
+        std::exception_ptr err;
+        try {
+            r = execute(runs[i], s);
+        } catch (...) {
+            err = std::current_exception();
+        }
+        const double wall_s =
+            std::chrono::duration<double>(clock::now() - t0).count();
+        deliver(i, std::move(r), wall_s, err);
+    };
 
     if (workers.empty()) {
-        // Same exception contract as the pooled path: finish every run,
-        // rethrow the first failure afterwards.
         ThermalSimulator::Scratch scratch;
-        for (std::size_t i = 0; i < runs.size(); ++i) {
-            try {
-                results[i] = execute(runs[i], scratch);
-            } catch (...) {
-                if (!first_error)
-                    first_error = std::current_exception();
-            }
-        }
-        if (first_error)
-            std::rethrow_exception(first_error);
-        return results;
+        for (std::size_t i = 0; i < runs.size(); ++i)
+            one(i, scratch);
+        if (sink_error)
+            std::rethrow_exception(sink_error);
+        return;
     }
 
     // Completion state lives on this frame; `done` is guarded by
@@ -113,19 +140,12 @@ ExperimentEngine::run(const std::vector<Run> &runs)
     std::size_t done = 0;
     std::mutex done_mtx;
     std::condition_variable done_cv;
-    std::mutex error_mtx;
 
     {
         std::lock_guard<std::mutex> lock(mtx);
         for (std::size_t i = 0; i < runs.size(); ++i) {
             queue.emplace_back([&, i](ThermalSimulator::Scratch &s) {
-                try {
-                    results[i] = execute(runs[i], s);
-                } catch (...) {
-                    std::lock_guard<std::mutex> elock(error_mtx);
-                    if (!first_error)
-                        first_error = std::current_exception();
-                }
+                one(i, s);
                 std::lock_guard<std::mutex> dlock(done_mtx);
                 if (++done == runs.size())
                     done_cv.notify_all();
@@ -138,9 +158,70 @@ ExperimentEngine::run(const std::vector<Run> &runs)
         std::unique_lock<std::mutex> lock(done_mtx);
         done_cv.wait(lock, [&] { return done == runs.size(); });
     }
-    if (first_error)
-        std::rethrow_exception(first_error);
-    return results;
+    if (sink_error)
+        std::rethrow_exception(sink_error);
+}
+
+namespace
+{
+
+/**
+ * Sink behind the collecting run() overload: positional results plus
+ * the first failure (kept as exception_ptr so the original type
+ * survives the labeled rethrow).
+ */
+class CollectingSink : public RunSink
+{
+  public:
+    explicit CollectingSink(std::size_t n) : results(n) {}
+
+    void onResult(std::size_t i, SimResult &&r, double) override
+    {
+        results[i] = std::move(r);
+        ++completed;
+    }
+
+    void onFailure(std::size_t i, std::exception_ptr err) override
+    {
+        if (!firstError) {
+            firstError = err;
+            firstIndex = i;
+        }
+    }
+
+    std::vector<SimResult> results;
+    std::size_t completed = 0;
+    std::exception_ptr firstError;
+    std::size_t firstIndex = 0;
+};
+
+} // namespace
+
+std::vector<SimResult>
+ExperimentEngine::run(const std::vector<Run> &runs)
+{
+    CollectingSink sink(runs.size());
+    run(runs, sink);
+    if (sink.firstError) {
+        const Run &r = runs[sink.firstIndex];
+        const std::string label =
+            " [in run #" + std::to_string(sink.firstIndex) +
+            ": workload '" + r.workload.name + "', policy '" + r.policy +
+            "'; " + std::to_string(sink.completed) + " of " +
+            std::to_string(runs.size()) + " runs completed]";
+        // Re-throw as the original diagnostic type where known, so
+        // callers' FatalError/PanicError handling still applies.
+        try {
+            std::rethrow_exception(sink.firstError);
+        } catch (const FatalError &e) {
+            throw FatalError(e.what() + label);
+        } catch (const PanicError &e) {
+            throw PanicError(e.what() + label);
+        } catch (const std::exception &e) {
+            throw std::runtime_error(e.what() + label);
+        }
+    }
+    return std::move(sink.results);
 }
 
 std::vector<ExperimentEngine::Run>

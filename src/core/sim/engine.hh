@@ -22,7 +22,9 @@
 #define MEMTHERM_CORE_SIM_ENGINE_HH
 
 #include <condition_variable>
+#include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -50,6 +52,38 @@ using PolicyFactory = std::function<std::unique_ptr<DtmPolicy>(
  * in the order the configurations were given.
  */
 using GridResults = std::vector<SuiteResults>;
+
+/**
+ * Per-run result consumer — the engine's primary output channel.
+ *
+ * The engine invokes exactly one of onResult()/onFailure() per run, in
+ * completion order (nondeterministic under threads; @p index identifies
+ * the run). Invocations are serialized by the engine — a sink never
+ * sees two calls concurrently — so implementations need no locking of
+ * their own. Results are *moved* into the sink as each run finishes:
+ * nothing accumulates inside the engine, which is what lets a
+ * million-point grid stream to disk in bounded memory and survive a
+ * mid-grid crash with every completed run already persisted.
+ *
+ * A sink that throws does not abort the batch: the remaining runs still
+ * execute, and the first sink exception is rethrown from run() after
+ * the batch drains (a full disk should not discard in-flight work).
+ */
+class RunSink
+{
+  public:
+    virtual ~RunSink() = default;
+
+    /** Run @p index finished; @p wall_s is its wall-clock duration. */
+    virtual void onResult(std::size_t index, SimResult &&result,
+                          double wall_s) = 0;
+
+    /**
+     * Run @p index threw; @p error is the in-flight exception. The
+     * batch continues — one bad run must not sink a 10-hour grid.
+     */
+    virtual void onFailure(std::size_t index, std::exception_ptr error) = 0;
+};
 
 /**
  * Fixed-size thread pool over independent simulation runs.
@@ -86,9 +120,22 @@ class ExperimentEngine
     static int defaultThreads();
 
     /**
-     * Execute all runs; results are positional (result[i] belongs to
-     * runs[i]) regardless of completion order. The first exception
-     * thrown by any run is rethrown here after all runs finish.
+     * Streaming primitive: execute all runs, handing each result (or
+     * failure) to @p sink as it completes. Sink invocations are
+     * serialized; see RunSink. This is the form every other entry point
+     * is built on — the engine itself never owns a result vector.
+     */
+    void run(const std::vector<Run> &runs, RunSink &sink);
+
+    /**
+     * Collecting convenience wrapper: execute all runs; results are
+     * positional (result[i] belongs to runs[i]) regardless of
+     * completion order. The first failure is rethrown after all runs
+     * finish, with the failing run's workload/policy identity appended
+     * to the message (a bare what() from a 10^5-point grid is
+     * undebuggable). Completed results are discarded on failure by
+     * construction of this API — callers that must keep them (the
+     * streaming CLI path) use the RunSink overload instead.
      */
     std::vector<SimResult> run(const std::vector<Run> &runs);
 

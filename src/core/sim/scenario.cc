@@ -1,8 +1,11 @@
 #include "core/sim/scenario.hh"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
+#include <utility>
 
 #include "common/logging.hh"
 #include "core/sim/registry.hh"
@@ -995,6 +998,67 @@ ScenarioSpec::save(const std::string &path) const
     toJson().save(path);
 }
 
+void
+applyFaultInjection(std::vector<ExperimentEngine::Run> &runs)
+{
+    const char *env = std::getenv("MEMTHERM_FAULT_FAIL_RUN");
+    if (!env)
+        return;
+    char *end = nullptr;
+    unsigned long k = std::strtoul(env, &end, 10);
+    if (end == env || *end != '\0') {
+        warn("MEMTHERM_FAULT_FAIL_RUN='" + std::string(env) +
+             "' is not a run index; ignoring");
+        return;
+    }
+    if (k >= runs.size())
+        return;
+    runs[k].factory = [k](const SimConfig &,
+                          const std::string &) -> std::unique_ptr<DtmPolicy> {
+        fatal("injected failure (MEMTHERM_FAULT_FAIL_RUN=" +
+              std::to_string(k) + ")");
+    };
+}
+
+namespace
+{
+
+/**
+ * Sink behind runScenario(): positional results plus per-run failure
+ * records, so one throwing run cannot discard the rest of the grid.
+ */
+class ScenarioCollectSink : public RunSink
+{
+  public:
+    explicit ScenarioCollectSink(std::size_t n) : results(n), ok(n, false)
+    {
+    }
+
+    void onResult(std::size_t i, SimResult &&r, double) override
+    {
+        results[i] = std::move(r);
+        ok[i] = true;
+    }
+
+    void onFailure(std::size_t i, std::exception_ptr err) override
+    {
+        std::string what = "unknown error";
+        try {
+            std::rethrow_exception(err);
+        } catch (const std::exception &e) {
+            what = e.what();
+        } catch (...) {
+        }
+        failures.emplace_back(i, what);
+    }
+
+    std::vector<SimResult> results;
+    std::vector<bool> ok;
+    std::vector<std::pair<std::size_t, std::string>> failures;
+};
+
+} // namespace
+
 ScenarioResults
 runScenario(const ScenarioSpec &spec, ExperimentEngine &engine)
 {
@@ -1005,8 +1069,10 @@ runScenario(const ScenarioSpec &spec, ExperimentEngine &engine)
     for (const auto &pt : low.points)
         for (const auto &r : pt.runs)
             all.push_back(r);
+    applyFaultInjection(all);
 
-    std::vector<SimResult> results = engine.run(all);
+    ScenarioCollectSink sink(all.size());
+    engine.run(all, sink);
 
     ScenarioResults out;
     out.scenario = spec.name;
@@ -1015,9 +1081,26 @@ runScenario(const ScenarioSpec &spec, ExperimentEngine &engine)
         ScenarioResults::Point rp;
         rp.label = pt.label;
         for (const auto &w : low.workloads)
-            for (const auto &p : low.policies)
-                rp.suite[w][p] = std::move(results[k++]);
+            for (const auto &p : low.policies) {
+                if (sink.ok[k])
+                    rp.suite[w][p] = std::move(sink.results[k]);
+                ++k;
+            }
         out.points.push_back(std::move(rp));
+    }
+    // Failure records carry the full grid coordinate; completion order
+    // is nondeterministic, so sort by index for stable output.
+    std::sort(sink.failures.begin(), sink.failures.end());
+    for (const auto &[i, what] : sink.failures) {
+        const std::size_t per_point = low.workloads.size() *
+                                      low.policies.size();
+        RunError e;
+        e.index = i;
+        e.point = low.points[i / per_point].label;
+        e.workload = low.workloads[(i % per_point) / low.policies.size()];
+        e.policy = low.policies[i % low.policies.size()];
+        e.error = what;
+        out.errors.push_back(std::move(e));
     }
     return out;
 }
@@ -1088,6 +1171,21 @@ toJson(const ScenarioResults &r, bool traces)
         pts.push(std::move(p));
     }
     j.set("points", std::move(pts));
+    // Emitted only when runs failed, so clean results (and the
+    // committed goldens) keep their exact historical shape.
+    if (!r.errors.empty()) {
+        Json errs = Json::array();
+        for (const auto &e : r.errors) {
+            Json o = Json::object();
+            o.set("index", static_cast<std::uint64_t>(e.index));
+            o.set("point", e.point);
+            o.set("workload", e.workload);
+            o.set("policy", e.policy);
+            o.set("error", e.error);
+            errs.push(std::move(o));
+        }
+        j.set("errors", std::move(errs));
+    }
     return j;
 }
 

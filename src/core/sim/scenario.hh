@@ -206,8 +206,25 @@ struct ScenarioSpec
 };
 
 /**
+ * One failed run of a scenario grid, identified well enough to debug
+ * (the grid coordinate and the run's identity, not just a bare what()).
+ */
+struct RunError
+{
+    std::size_t index = 0; ///< global run index in spec grid order
+    std::string point;     ///< sweep-point label
+    std::string workload;
+    std::string policy;
+    std::string error; ///< the exception's what()
+
+    bool operator==(const RunError &) const = default;
+};
+
+/**
  * Results of a scenario: one SuiteResults per sweep point, in grid
- * order, keyed [workload][policy] exactly like runSuite().
+ * order, keyed [workload][policy] exactly like runSuite(). A failed run
+ * contributes a RunError instead of a suite entry — the rest of the
+ * grid's results survive one bad run.
  */
 struct ScenarioResults
 {
@@ -219,12 +236,25 @@ struct ScenarioResults
 
     std::string scenario; ///< the spec's name
     std::vector<Point> points;
+    std::vector<RunError> errors; ///< failed runs, in grid-index order
 };
+
+/**
+ * Fault-injection hook for crash/failure testing: when the
+ * MEMTHERM_FAULT_FAIL_RUN environment variable holds a global run
+ * index, that run's policy factory is replaced with one that throws.
+ * Applied to the *full* lowered run list (before any shard/resume
+ * filtering), so the injected index means the same run everywhere.
+ * No-op when the variable is unset or malformed.
+ */
+void applyFaultInjection(std::vector<ExperimentEngine::Run> &runs);
 
 /**
  * Execute a scenario on an engine. Results are bit-identical to hand
  * the same runs to ExperimentEngine directly (the spec only *describes*
- * the runs; the engine's determinism guarantees do the rest).
+ * the runs; the engine's determinism guarantees do the rest). A run
+ * that throws becomes a RunError in the returned results; every other
+ * run's result is still delivered.
  */
 ScenarioResults runScenario(const ScenarioSpec &spec,
                             ExperimentEngine &engine);

@@ -93,7 +93,8 @@ TEST(DocsReference, CliManualCoversEverySubcommandAndListCatalog)
     const std::string doc = readFile("docs/cli.md");
     ASSERT_FALSE(doc.empty());
     for (const char *cmd : {"memtherm run", "memtherm report",
-                            "memtherm validate", "memtherm list"}) {
+                            "memtherm merge", "memtherm validate",
+                            "memtherm list"}) {
         EXPECT_NE(doc.find(cmd), std::string::npos)
             << "docs/cli.md does not document '" << cmd << "'";
     }
@@ -106,9 +107,19 @@ TEST(DocsReference, CliManualCoversEverySubcommandAndListCatalog)
     }
     for (const char *flag : {"--golden", "--tol", "--baseline", "--csv",
                              "--threads", "--copies", "--traces",
-                             "--quiet", "-o"}) {
+                             "--quiet", "-o", "--stream", "--resume",
+                             "--shard"}) {
         EXPECT_NE(doc.find(flag), std::string::npos)
             << "docs/cli.md does not document flag '" << flag << "'";
+    }
+    // The fault-injection env knobs exist solely for the crash tests;
+    // the manual must say so (and name them) so nobody sets them in a
+    // real run.
+    for (const char *env :
+         {"MEMTHERM_THREADS", "MEMTHERM_FAULT_AFTER_RUN",
+          "MEMTHERM_FAULT_FAIL_RUN"}) {
+        EXPECT_NE(doc.find(env), std::string::npos)
+            << "docs/cli.md does not document env var '" << env << "'";
     }
 }
 

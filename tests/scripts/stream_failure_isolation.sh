@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# End-to-end failure-isolation check against the real CLI binary: one
+# injected run failure must yield an error record and a non-zero exit
+# with a failure summary naming the run — while every other run's
+# result survives — and a resume retry must heal the stream to results
+# bit-identical to a never-failed run.
+#
+# Usage: stream_failure_isolation.sh <memtherm-binary> <source-dir> <workdir>
+set -euo pipefail
+
+CLI=$1
+SRC=$2
+WORK=$3
+SCENARIO="$SRC/examples/scenarios/dtm_sensitivity.json"
+
+mkdir -p "$WORK"
+cd "$WORK"
+rm -f full.json fail.jsonl err.txt err2.txt resumed.json
+
+rc=0
+MEMTHERM_FAULT_FAIL_RUN=2 "$CLI" run "$SCENARIO" --copies 1 --threads 2 \
+    --stream fail.jsonl --quiet 2> err.txt || rc=$?
+if [ "$rc" -ne 1 ]; then
+    echo "FAIL: a failed run should exit 1, got $rc" >&2
+    exit 1
+fi
+if ! grep -q "run #2" err.txt || ! grep -q "1 run(s) failed" err.txt; then
+    echo "FAIL: failure summary should name run #2:" >&2
+    cat err.txt >&2
+    exit 1
+fi
+if [ "$(grep -c '"type": "result"' fail.jsonl)" -ne 15 ] ||
+    [ "$(grep -c '"type": "error"' fail.jsonl)" -ne 1 ]; then
+    echo "FAIL: stream should hold 15 results + 1 error record" >&2
+    exit 1
+fi
+
+# The non-streaming path isolates too: full results plus an errors
+# array, not an aborted grid.
+rc=0
+MEMTHERM_FAULT_FAIL_RUN=2 "$CLI" run "$SCENARIO" --copies 1 --threads 2 \
+    -o fail.json --quiet 2> err2.txt || rc=$?
+if [ "$rc" -ne 1 ]; then
+    echo "FAIL: non-streaming failed run should exit 1, got $rc" >&2
+    exit 1
+fi
+if ! grep -q "run #2" err2.txt; then
+    echo "FAIL: non-streaming failure summary should name run #2" >&2
+    exit 1
+fi
+if ! grep -q '"errors"' fail.json; then
+    echo "FAIL: results JSON should record the failure" >&2
+    exit 1
+fi
+
+# Resume (without the fault) retries the failed index and heals the
+# stream bit-identically to a clean run.
+"$CLI" run "$SCENARIO" --copies 1 --threads 2 -o full.json --quiet
+"$CLI" run "$SCENARIO" --copies 1 --threads 2 \
+    --stream fail.jsonl --resume -o resumed.json --quiet
+cmp full.json resumed.json
+
+echo "PASS: one failed run isolated, reported, and healed on resume"

@@ -192,6 +192,100 @@ TEST(ExperimentEngine, PolicyErrorsPropagate)
     EXPECT_THROW(engine.run(runs), FatalError);
 }
 
+TEST(ExperimentEngine, ErrorsCarryTheFailingRunsIdentity)
+{
+    SimConfig cfg = smallConfig();
+    Workload w1 = workloadMix("W1");
+    ExperimentEngine engine(2);
+    std::vector<ExperimentEngine::Run> runs{
+        {cfg, w1, "No-limit", {}},
+        {cfg, w1, "not-a-policy", {}},
+    };
+    try {
+        engine.run(runs);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        // A bare what() from a large grid is undebuggable; the label
+        // must name the run, not just the symptom.
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("run #1"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("workload 'W1'"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("policy 'not-a-policy'"), std::string::npos)
+            << msg;
+    }
+}
+
+/** Records everything the engine hands it, for the sink-contract tests. */
+class RecordingSink : public RunSink
+{
+  public:
+    void onResult(std::size_t i, SimResult &&r, double wall_s) override
+    {
+        results.emplace_back(i, std::move(r));
+        wall.push_back(wall_s);
+    }
+
+    void onFailure(std::size_t i, std::exception_ptr err) override
+    {
+        failures.emplace_back(i, err);
+    }
+
+    std::vector<std::pair<std::size_t, SimResult>> results;
+    std::vector<double> wall;
+    std::vector<std::pair<std::size_t, std::exception_ptr>> failures;
+};
+
+TEST(ExperimentEngine, SinkReceivesEveryRunExactlyOnce)
+{
+    SimConfig cfg = smallConfig();
+    Workload w1 = workloadMix("W1");
+    std::vector<ExperimentEngine::Run> runs{
+        {cfg, w1, "No-limit", {}},
+        {cfg, w1, "DTM-BW", {}},
+        {cfg, w1, "DTM-TS", {}},
+    };
+
+    ExperimentEngine engine(4);
+    std::vector<SimResult> reference = engine.run(runs);
+
+    RecordingSink sink;
+    engine.run(runs, sink);
+    ASSERT_EQ(sink.results.size(), runs.size());
+    EXPECT_TRUE(sink.failures.empty());
+
+    std::vector<bool> seen(runs.size(), false);
+    for (const auto &[i, r] : sink.results) {
+        ASSERT_LT(i, runs.size());
+        EXPECT_FALSE(seen[i]) << "index " << i << " delivered twice";
+        seen[i] = true;
+        SCOPED_TRACE("run " + std::to_string(i));
+        expectIdentical(r, reference[i]);
+    }
+    for (double w : sink.wall)
+        EXPECT_GE(w, 0.0);
+}
+
+TEST(ExperimentEngine, SinkIsolatesPerRunFailures)
+{
+    SimConfig cfg = smallConfig();
+    Workload w1 = workloadMix("W1");
+    // Run 1 fails at policy construction; the rest must still deliver.
+    std::vector<ExperimentEngine::Run> runs{
+        {cfg, w1, "No-limit", {}},
+        {cfg, w1, "not-a-policy", {}},
+        {cfg, w1, "DTM-BW", {}},
+    };
+
+    ExperimentEngine engine(2);
+    RecordingSink sink;
+    engine.run(runs, sink); // must not throw
+    ASSERT_EQ(sink.failures.size(), 1u);
+    EXPECT_EQ(sink.failures[0].first, 1u);
+    EXPECT_THROW(std::rethrow_exception(sink.failures[0].second),
+                 FatalError);
+    ASSERT_EQ(sink.results.size(), 2u);
+}
+
 /**
  * Golden regression: single-run results must stay bit-compatible with
  * the seed model (values captured from the pre-engine serial simulator

@@ -1,0 +1,436 @@
+/**
+ * @file
+ * Tests for the crash-safe streaming layer: spec hashing, shard
+ * arithmetic, JSONL write/scan round-trips, checkpoint/resume (including
+ * torn-tail recovery and spec-drift rejection), shard merging
+ * bit-identity, per-run fault injection, and the bounded-memory report
+ * aggregator's order invariance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/sim/result_sink.hh"
+#include "core/sim/scenario.hh"
+
+namespace memtherm
+{
+namespace
+{
+
+/** Tiny but real scenario: 2 inlet points x 1 workload x 2 policies. */
+ScenarioSpec
+tinySpec()
+{
+    ScenarioSpec spec;
+    spec.name = "sink_test";
+    spec.copiesPerApp = 1;
+    spec.maxSimTime = 500.0;
+    spec.workloads = {"W1"};
+    spec.policies = {"No-limit", "DTM-TS"};
+    spec.sweepTInlet = {46.0, 50.0};
+    return spec;
+}
+
+/** Fresh path under the test temp dir (removes any leftover file). */
+std::string
+tmpPath(const std::string &name)
+{
+    std::string path = ::testing::TempDir() + "memtherm_" + name;
+    std::remove(path.c_str());
+    return path;
+}
+
+TEST(SpecHash, StableAndSensitive)
+{
+    ScenarioSpec spec = tinySpec();
+    const std::string h = scenarioSpecHash(spec);
+    ASSERT_EQ(h.size(), 16u);
+    for (char c : h)
+        EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+            << h;
+
+    // Same spec, same hash — including through a JSON round-trip.
+    EXPECT_EQ(scenarioSpecHash(tinySpec()), h);
+    EXPECT_EQ(scenarioSpecHash(ScenarioSpec::fromJson(spec.toJson())), h);
+
+    // Any edit an operator could make must change the fingerprint.
+    ScenarioSpec edited = tinySpec();
+    edited.maxSimTime = 501.0;
+    EXPECT_NE(scenarioSpecHash(edited), h);
+    edited = tinySpec();
+    edited.policies.pop_back();
+    EXPECT_NE(scenarioSpecHash(edited), h);
+}
+
+TEST(ShardSpec, ParseAcceptsWellFormedSlices)
+{
+    ShardSpec s = ShardSpec::parse("2/3");
+    EXPECT_EQ(s.index, 2);
+    EXPECT_EQ(s.count, 3);
+    EXPECT_TRUE(s.sharded());
+    EXPECT_EQ(s.label(), "2/3");
+    EXPECT_FALSE(ShardSpec::parse("1/1").sharded());
+}
+
+TEST(ShardSpec, ParseRejectsMalformedSlices)
+{
+    for (const char *bad :
+         {"", "3", "0/3", "4/3", "x/3", "1/0", "1/x", "-1/3", "1/3/5"}) {
+        EXPECT_THROW(ShardSpec::parse(bad), FatalError) << bad;
+    }
+}
+
+TEST(ShardSpec, RoundRobinPartitionCoversEveryIndexOnce)
+{
+    const int N = 3;
+    for (std::size_t k = 0; k < 20; ++k) {
+        int owners = 0;
+        for (int i = 1; i <= N; ++i)
+            owners += ShardSpec{i, N}.owns(k) ? 1 : 0;
+        EXPECT_EQ(owners, 1) << "index " << k;
+    }
+}
+
+TEST(ResultStream, WriteScanRoundTrip)
+{
+    ScenarioSpec spec = tinySpec();
+    ExperimentEngine engine(2);
+    StreamRunOptions opts;
+    opts.path = tmpPath("roundtrip.jsonl");
+
+    StreamRunStats stats = runScenarioStream(spec, engine, opts);
+    EXPECT_EQ(stats.totalRuns, 4u);
+    EXPECT_EQ(stats.executed, 4u);
+    EXPECT_EQ(stats.failed, 0u);
+
+    StreamScan scan = scanStream(opts.path);
+    EXPECT_TRUE(scan.spec == spec);
+    EXPECT_EQ(scan.specHash, scenarioSpecHash(spec));
+    EXPECT_EQ(scan.totalRuns, 4u);
+    EXPECT_FALSE(scan.droppedPartialTail);
+    ASSERT_EQ(scan.records.size(), 4u);
+
+    std::vector<bool> seen(4, false);
+    for (const StreamRecord &r : scan.records) {
+        EXPECT_FALSE(r.failed);
+        ASSERT_LT(r.index, 4u);
+        EXPECT_FALSE(seen[r.index]);
+        seen[r.index] = true;
+        EXPECT_EQ(r.workload, "W1");
+    }
+}
+
+TEST(ResultStream, MergeMatchesDirectScenarioRun)
+{
+    ScenarioSpec spec = tinySpec();
+    ExperimentEngine engine(2);
+    StreamRunOptions opts;
+    opts.path = tmpPath("merge_direct.jsonl");
+    runScenarioStream(spec, engine, opts);
+
+    MergedStream merged = mergeStreams({opts.path});
+    EXPECT_TRUE(merged.errors.empty());
+    EXPECT_TRUE(merged.missingRuns.empty());
+    EXPECT_TRUE(merged.results == toJson(runScenario(spec, engine)));
+}
+
+TEST(ResultStream, ResumeSkipsCompletedAndDropsTornTail)
+{
+    ScenarioSpec spec = tinySpec();
+    ExperimentEngine engine(2);
+
+    StreamRunOptions full;
+    full.path = tmpPath("resume_full.jsonl");
+    runScenarioStream(spec, engine, full);
+    const Json reference = mergeStreams({full.path}).results;
+
+    // Reconstruct a crashed stream: header + first two intact records,
+    // then the torn tail a kill mid-append would leave.
+    std::vector<std::string> lines;
+    {
+        std::ifstream in(full.path);
+        std::string line;
+        while (std::getline(in, line))
+            lines.push_back(line);
+    }
+    ASSERT_EQ(lines.size(), 5u);
+    StreamRunOptions part;
+    part.path = tmpPath("resume_part.jsonl");
+    {
+        std::ofstream out(part.path, std::ios::binary);
+        out << lines[0] << '\n' << lines[1] << '\n' << lines[2] << '\n';
+        out << "{\"type\": \"result\", \"index\": 9"; // no newline
+    }
+
+    part.resume = true;
+    StreamRunStats stats = runScenarioStream(spec, engine, part);
+    EXPECT_EQ(stats.skipped, 2u);
+    EXPECT_EQ(stats.executed, 2u);
+    EXPECT_TRUE(mergeStreams({part.path}).results == reference);
+
+    // Nothing left: a second resume is a no-op.
+    stats = runScenarioStream(spec, engine, part);
+    EXPECT_EQ(stats.skipped, 4u);
+    EXPECT_EQ(stats.executed, 0u);
+}
+
+TEST(ResultStream, ResumeRejectsEditedSpec)
+{
+    ScenarioSpec spec = tinySpec();
+    ExperimentEngine engine(2);
+    StreamRunOptions opts;
+    opts.path = tmpPath("resume_drift.jsonl");
+    runScenarioStream(spec, engine, opts);
+
+    ScenarioSpec edited = tinySpec();
+    edited.maxSimTime = 600.0;
+    opts.resume = true;
+    EXPECT_THROW(runScenarioStream(edited, engine, opts), FatalError);
+}
+
+TEST(ResultStream, FreshRunRefusesToClobberAnExistingStream)
+{
+    ScenarioSpec spec = tinySpec();
+    ExperimentEngine engine(2);
+    StreamRunOptions opts;
+    opts.path = tmpPath("no_clobber.jsonl");
+    runScenarioStream(spec, engine, opts);
+    EXPECT_THROW(runScenarioStream(spec, engine, opts), FatalError);
+}
+
+TEST(ResultStream, ResumeOfMissingFileStartsFresh)
+{
+    // Unattended restart loops always pass --resume; the first launch
+    // must not need a special case.
+    ScenarioSpec spec = tinySpec();
+    ExperimentEngine engine(2);
+    StreamRunOptions opts;
+    opts.path = tmpPath("resume_fresh.jsonl");
+    opts.resume = true;
+    StreamRunStats stats = runScenarioStream(spec, engine, opts);
+    EXPECT_EQ(stats.skipped, 0u);
+    EXPECT_EQ(stats.executed, 4u);
+}
+
+TEST(ResultStream, ThreeShardsMergeBitIdenticalToUnsharded)
+{
+    ScenarioSpec spec = tinySpec();
+    ExperimentEngine engine(2);
+
+    StreamRunOptions full;
+    full.path = tmpPath("shard_full.jsonl");
+    runScenarioStream(spec, engine, full);
+    MergedStream reference = mergeStreams({full.path});
+
+    std::vector<std::string> shardPaths;
+    std::size_t shardTotal = 0;
+    for (int i = 1; i <= 3; ++i) {
+        StreamRunOptions opts;
+        opts.path = tmpPath("shard" + std::to_string(i) + ".jsonl");
+        opts.shard = {i, 3};
+        StreamRunStats stats = runScenarioStream(spec, engine, opts);
+        shardTotal += stats.executed;
+        shardPaths.push_back(opts.path);
+    }
+    EXPECT_EQ(shardTotal, 4u);
+
+    MergedStream merged = mergeStreams(shardPaths);
+    EXPECT_TRUE(merged.missingRuns.empty());
+    EXPECT_TRUE(merged.results == reference.results);
+
+    // A strict subset reports exactly the absent shard's indices.
+    MergedStream partial = mergeStreams({shardPaths[0], shardPaths[2]});
+    EXPECT_EQ(partial.missingRuns, (std::vector<std::size_t>{1}));
+}
+
+TEST(ResultStream, InjectedRunFailureIsIsolatedAndRetriable)
+{
+    ScenarioSpec spec = tinySpec();
+    ExperimentEngine engine(2);
+
+    setenv("MEMTHERM_FAULT_FAIL_RUN", "1", 1);
+    ScenarioResults direct = runScenario(spec, engine);
+    ASSERT_EQ(direct.errors.size(), 1u);
+    EXPECT_EQ(direct.errors[0].index, 1u);
+    EXPECT_EQ(direct.errors[0].workload, "W1");
+    EXPECT_FALSE(direct.errors[0].error.empty());
+
+    StreamRunOptions opts;
+    opts.path = tmpPath("fault.jsonl");
+    StreamRunStats stats = runScenarioStream(spec, engine, opts);
+    unsetenv("MEMTHERM_FAULT_FAIL_RUN");
+    EXPECT_EQ(stats.executed, 4u);
+    EXPECT_EQ(stats.failed, 1u);
+    ASSERT_EQ(stats.failures.size(), 1u);
+    EXPECT_EQ(stats.failures[0].index, 1u);
+
+    MergedStream broken = mergeStreams({opts.path});
+    ASSERT_EQ(broken.errors.size(), 1u);
+    EXPECT_EQ(broken.errors[0].index, 1u);
+    EXPECT_TRUE(broken.missingRuns.empty()); // error records count
+
+    // The retry on resume replaces the error with a result,
+    // bit-identical to a never-failed run.
+    opts.resume = true;
+    stats = runScenarioStream(spec, engine, opts);
+    EXPECT_EQ(stats.skipped, 3u);
+    EXPECT_EQ(stats.executed, 1u);
+    EXPECT_EQ(stats.failed, 0u);
+
+    StreamRunOptions clean;
+    clean.path = tmpPath("fault_clean.jsonl");
+    runScenarioStream(spec, engine, clean);
+    MergedStream healed = mergeStreams({opts.path});
+    EXPECT_TRUE(healed.errors.empty());
+    EXPECT_TRUE(healed.results == mergeStreams({clean.path}).results);
+}
+
+TEST(ResultStream, MergeRejectsStreamsOfDifferentScenarios)
+{
+    ScenarioSpec spec = tinySpec();
+    ExperimentEngine engine(2);
+    StreamRunOptions a;
+    a.path = tmpPath("mix_a.jsonl");
+    runScenarioStream(spec, engine, a);
+
+    ScenarioSpec other = tinySpec();
+    other.maxSimTime = 600.0;
+    StreamRunOptions b;
+    b.path = tmpPath("mix_b.jsonl");
+    runScenarioStream(other, engine, b);
+
+    EXPECT_THROW(mergeStreams({a.path, b.path}), FatalError);
+}
+
+TEST(ResultStream, StreamBytesAreIndependentOfThreadCount)
+{
+    ScenarioSpec spec = tinySpec();
+    StreamRunOptions serial;
+    serial.path = tmpPath("det_serial.jsonl");
+    StreamRunOptions parallel4;
+    parallel4.path = tmpPath("det_parallel.jsonl");
+
+    ExperimentEngine one(1);
+    ExperimentEngine four(4);
+    runScenarioStream(spec, one, serial);
+    runScenarioStream(spec, four, parallel4);
+
+    // Line *order* may differ with threads; the merged canonical
+    // document may not.
+    EXPECT_TRUE(mergeStreams({serial.path}).results ==
+                mergeStreams({parallel4.path}).results);
+}
+
+TEST(OnlineAggregator, MatchesAnyFeedOrder)
+{
+    struct Row
+    {
+        const char *point, *workload, *policy;
+        bool completed;
+        double t, amb, dram;
+    };
+    const std::vector<Row> rows{
+        {"p1", "W1", "No-limit", true, 100.0, 80.0, 85.0},
+        {"p1", "W1", "DTM-TS", true, 120.0, 78.0, 83.0},
+        {"p1", "W4", "No-limit", true, 200.0, 81.0, 86.0},
+        {"p1", "W4", "DTM-TS", false, 260.0, 79.0, 84.0},
+        {"p2", "W1", "No-limit", true, 90.0, 70.0, 75.0},
+        {"p2", "W1", "DTM-TS", true, 99.0, 69.0, 74.0},
+    };
+
+    auto feed = [&](const std::vector<std::size_t> &order) {
+        OnlineAxisAggregator agg("No-limit");
+        for (std::size_t i : order) {
+            const Row &r = rows[i];
+            agg.add(r.point, r.workload, r.policy, r.completed, r.t,
+                    r.amb, r.dram);
+        }
+        return agg.summaries();
+    };
+
+    std::vector<std::size_t> inOrder{0, 1, 2, 3, 4, 5};
+    // Every non-baseline run arrives before its baseline.
+    std::vector<std::size_t> reversed{5, 4, 3, 2, 1, 0};
+
+    auto a = feed(inOrder);
+    auto b = feed(reversed);
+    ASSERT_EQ(a.size(), 2u);
+    ASSERT_EQ(b.size(), a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        // Order changes first-appearance labels; compare by content.
+        const auto &x = a[i];
+        const auto &y = b[a.size() - 1 - i];
+        EXPECT_EQ(x.label, y.label);
+        EXPECT_EQ(x.runs, y.runs);
+        EXPECT_EQ(x.incomplete, y.incomplete);
+        EXPECT_EQ(x.maxAmb, y.maxAmb);
+        EXPECT_EQ(x.maxDram, y.maxDram);
+        EXPECT_DOUBLE_EQ(x.normSum, y.normSum);
+        EXPECT_EQ(x.normN, y.normN);
+    }
+
+    // Spot-check p1: 4 runs, one incomplete; normalization includes the
+    // incomplete DTM-TS run (the baseline gates, not the run itself):
+    // 1.0 + 1.2 + 1.0 + 1.3 = 4.5 over 4 runs.
+    const auto &p1 = a[0];
+    EXPECT_EQ(p1.label, "p1");
+    EXPECT_EQ(p1.runs, 4u);
+    EXPECT_EQ(p1.incomplete, 1u);
+    EXPECT_EQ(p1.maxAmb, 81.0);
+    EXPECT_EQ(p1.maxDram, 86.0);
+    EXPECT_DOUBLE_EQ(p1.normSum, 4.5);
+    EXPECT_EQ(p1.normN, 4u);
+}
+
+TEST(OnlineAggregator, UnusableBaselineYieldsNoNormalization)
+{
+    OnlineAxisAggregator agg("No-limit");
+    // The baseline never completed: nothing in the group normalizes.
+    agg.add("p1", "W1", "DTM-TS", true, 120.0, 78.0, 83.0);
+    agg.add("p1", "W1", "No-limit", false, 100.0, 80.0, 85.0);
+    auto s = agg.summaries();
+    ASSERT_EQ(s.size(), 1u);
+    EXPECT_EQ(s[0].runs, 2u);
+    EXPECT_EQ(s[0].incomplete, 1u);
+    EXPECT_EQ(s[0].normN, 0u);
+    EXPECT_DOUBLE_EQ(s[0].normSum, 0.0);
+}
+
+TEST(ResultStream, ScanRejectsMidFileCorruption)
+{
+    ScenarioSpec spec = tinySpec();
+    ExperimentEngine engine(2);
+    StreamRunOptions opts;
+    opts.path = tmpPath("corrupt.jsonl");
+    runScenarioStream(spec, engine, opts);
+
+    // Corrupt a *middle* line: that cannot come from a crash of the
+    // append-and-flush writer, so it must be an error, not a skip.
+    std::vector<std::string> lines;
+    {
+        std::ifstream in(opts.path);
+        std::string line;
+        while (std::getline(in, line))
+            lines.push_back(line);
+    }
+    ASSERT_GE(lines.size(), 3u);
+    std::string corrupted = tmpPath("corrupt_mid.jsonl");
+    {
+        std::ofstream out(corrupted, std::ios::binary);
+        out << lines[0] << '\n';
+        out << "{\"type\": \"result\", \"index\"\n"; // terminated garbage
+        for (std::size_t i = 2; i < lines.size(); ++i)
+            out << lines[i] << '\n';
+    }
+    EXPECT_THROW(scanStream(corrupted), FatalError);
+}
+
+} // namespace
+} // namespace memtherm

@@ -3,7 +3,8 @@
  * `memtherm` — the scenario-driven command-line front end.
  *
  *   memtherm run <scenario.json> [options]   execute a scenario file
- *   memtherm report <results.json> [options] summarize a results file
+ *   memtherm merge <stream.jsonl>...         combine result streams
+ *   memtherm report <results|stream>...      summarize results
  *   memtherm validate <scenario.json>...     parse + resolve, no runs
  *   memtherm list <catalog>                  print valid names
  *
@@ -21,6 +22,16 @@
  * widest organization present), so a memory_org or traffic_shape sweep
  * exposes the per-DIMM thermal gradient and heat-source distribution
  * directly.
+ *
+ * Long grids run crash-safe: `run --stream` appends one JSONL record
+ * per finished run (core/sim/result_sink.hh), `--resume` continues an
+ * interrupted stream, `--shard i/N` splits one grid across machines,
+ * and `merge` folds the streams back into the canonical results JSON —
+ * bit-identical to an uninterrupted `run -o`. A failed run becomes an
+ * error record (named in the failure summary, nonzero exit) while the
+ * rest of the grid streams on. Every file this tool writes (`run -o`,
+ * `report --csv`, merged results) lands via write-to-temp-then-rename,
+ * so a kill mid-write never leaves a truncated document behind.
  */
 
 #include <algorithm>
@@ -28,13 +39,17 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/fs_util.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "core/sim/registry.hh"
+#include "core/sim/result_sink.hh"
 #include "core/sim/scenario.hh"
 
 using namespace memtherm;
@@ -48,6 +63,15 @@ usage(std::ostream &os, int rc)
     os << "usage:\n"
           "  memtherm run <scenario.json> [options]\n"
           "      -o <file>        write results as JSON\n"
+          "      --stream <file>  append results to a JSONL stream as\n"
+          "                       each run finishes (crash-safe)\n"
+          "      --resume         continue an interrupted --stream file:\n"
+          "                       completed runs are skipped, failed\n"
+          "                       runs are retried\n"
+          "      --shard <i/N>    execute only shard i of N (1-based,\n"
+          "                       deterministic round-robin over the\n"
+          "                       grid; requires --stream; combine the\n"
+          "                       shard streams with `memtherm merge`)\n"
           "      --traces         include full traces in the JSON output\n"
           "      --threads <n>    engine thread count (default:\n"
           "                       MEMTHERM_THREADS or hardware)\n"
@@ -58,7 +82,16 @@ usage(std::ostream &os, int rc)
           "      --tol <x>        relative tolerance for --golden\n"
           "                       (default 1e-9)\n"
           "      --quiet          suppress the summary table\n"
-          "  memtherm report <results.json> [options]\n"
+          "  memtherm merge <stream.jsonl>... [options]\n"
+          "      -o <file>        write the combined results as JSON\n"
+          "                       (bit-identical to an uninterrupted\n"
+          "                       unsharded `memtherm run -o`)\n"
+          "      --golden <file>  compare combined results against a\n"
+          "                       reference results JSON\n"
+          "      --tol <x>        relative tolerance for --golden\n"
+          "                       (default 1e-9)\n"
+          "      --quiet          suppress the merge summary\n"
+          "  memtherm report <results.json|stream.jsonl>... [options]\n"
           "      --baseline <p>   normalization baseline policy (default:\n"
           "                       No-limit when present, else the first\n"
           "                       policy of each workload)\n"
@@ -123,9 +156,13 @@ cmdValidate(const std::vector<std::string> &args)
     for (const auto &path : args) {
         ScenarioSpec spec = ScenarioSpec::load(path);
         LoweredScenario low = spec.lower();
+        // The full grid arithmetic, so --shard counts can be sized
+        // without running anything.
         std::cout << path << ": ok — scenario '" << spec.name << "', "
-                  << low.points.size() << " point(s), " << low.totalRuns()
-                  << " run(s)\n";
+                  << low.points.size() << " point(s) x "
+                  << low.workloads.size() << " workload(s) x "
+                  << low.policies.size() << " policy(ies) = "
+                  << low.totalRuns() << " run(s)\n";
     }
     return 0;
 }
@@ -234,6 +271,38 @@ printSummary(const ScenarioResults &results)
     t.print(std::cout);
 }
 
+/**
+ * The failure summary: every failed run, named by grid coordinate.
+ * Printed to stderr after all regular output, so the (intact) results
+ * of the rest of the grid are never hidden behind the failures.
+ */
+void
+printFailures(const std::string &cmd, const std::vector<RunError> &errors)
+{
+    std::cerr << cmd << ": " << errors.size() << " run(s) failed:\n";
+    for (const auto &e : errors) {
+        std::cerr << "  run #" << e.index << " [point '" << e.point
+                  << "', workload '" << e.workload << "', policy '"
+                  << e.policy << "']: " << e.error << '\n';
+    }
+}
+
+/**
+ * Does @p path hold a JSONL result stream rather than a results JSON?
+ * The stream header is always the compact first line, so sniffing it
+ * beats trusting file extensions.
+ */
+bool
+looksLikeStream(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::string line;
+    if (!in || !std::getline(in, line))
+        return false;
+    return line.find("\"type\": \"header\"") != std::string::npos ||
+           line.find("\"type\":\"header\"") != std::string::npos;
+}
+
 /** One run row extracted from a results JSON. */
 struct ReportRow
 {
@@ -304,7 +373,8 @@ csvField(const std::string &s)
 int
 cmdReport(const std::vector<std::string> &args)
 {
-    std::string results_path, csv_path, baseline;
+    std::vector<std::string> inputs;
+    std::string csv_path, baseline;
     bool quiet = false;
     for (std::size_t i = 0; i < args.size(); ++i) {
         const std::string &a = args[i];
@@ -322,15 +392,37 @@ cmdReport(const std::vector<std::string> &args)
             quiet = true;
         else if (!a.empty() && a[0] == '-')
             fatal("memtherm report: unknown option '" + a + "'");
-        else if (results_path.empty())
-            results_path = a;
         else
-            fatal("memtherm report: more than one results file given");
+            inputs.push_back(a);
     }
-    if (results_path.empty())
+    if (inputs.empty())
         return usage(std::cerr, 1);
+    const std::string &results_path = inputs.front();
 
-    Json doc = Json::load(results_path);
+    // JSONL streams (from `run --stream`) canonicalize through the
+    // merge path, so a report over shards or a resumed stream shows
+    // exactly what the merged results JSON would. Plain results files
+    // come one at a time; streams may come in any number.
+    Json doc;
+    bool anyStream = false;
+    for (const auto &p : inputs)
+        anyStream |= looksLikeStream(p);
+    if (anyStream) {
+        for (const auto &p : inputs) {
+            if (!looksLikeStream(p)) {
+                fatal("memtherm report: cannot mix results JSON ('" + p +
+                      "') with JSONL streams in one report");
+            }
+        }
+        doc = mergeStreams(inputs).results;
+    } else {
+        if (inputs.size() > 1) {
+            fatal("memtherm report: more than one results file given "
+                  "(multiple inputs are only supported for JSONL "
+                  "streams)");
+        }
+        doc = Json::load(results_path);
+    }
     if (!doc.isObject() || !doc.find("points")) {
         fatal("memtherm report: '" + results_path +
               "' does not look like memtherm results (expected an object "
@@ -396,6 +488,18 @@ cmdReport(const std::vector<std::string> &args)
         points.push_back(std::move(pd));
     }
 
+    // Failed runs travel with the results ('errors', emitted by run and
+    // merge); a summary that silently ignored them would read as a
+    // clean grid.
+    if (const Json *errs = doc.find("errors")) {
+        if (errs->isArray() && !errs->asArray().empty()) {
+            std::cerr << "memtherm report: note: "
+                      << errs->asArray().size()
+                      << " failed run(s) recorded in these results (their "
+                         "cells are absent from the tables)\n";
+        }
+    }
+
     // A --baseline typo would otherwise just blank every normalization
     // column; report it like any other bad name lookup.
     if (!baseline.empty()) {
@@ -436,7 +540,30 @@ cmdReport(const std::vector<std::string> &args)
         }
 
         // Per-axis sweep summary: one row per point, the label split
-        // into one column per sweep axis.
+        // into one column per sweep axis. Aggregation goes through the
+        // bounded-memory online accumulator (one state per point, fed
+        // one run at a time) — the same machinery that can summarize a
+        // grid far too large to hold as a result vector.
+        std::string agg_base = baseline;
+        if (agg_base.empty()) {
+            bool hasNoLimit = false;
+            for (const auto &pd : points)
+                for (const auto &r : pd.rows)
+                    hasNoLimit |= (r.policy == "No-limit");
+            if (hasNoLimit)
+                agg_base = "No-limit";
+            else if (!points.empty() && !points.front().rows.empty())
+                agg_base = points.front().rows.front().policy;
+        }
+        OnlineAxisAggregator agg(agg_base);
+        for (const auto &pd : points)
+            for (const auto &r : pd.rows)
+                agg.add(pd.label, r.workload, r.policy, r.completed,
+                        r.time, r.maxAmb, r.maxDram);
+        std::map<std::string, OnlineAxisAggregator::PointSummary> byLabel;
+        for (const auto &ps : agg.summaries())
+            byLabel.emplace(ps.label, ps);
+
         std::vector<std::string> keys;
         for (const auto &pd : points)
             for (const auto &[k, v] : labelCoords(pd.label))
@@ -462,32 +589,29 @@ cmdReport(const std::vector<std::string> &args)
                     row.push_back(v);
                 }
             }
-            std::size_t incomplete = 0, norm_n = 0;
-            double max_amb = -HUGE_VAL, max_dram = -HUGE_VAL;
-            double norm_sum = 0.0;
-            for (const auto &r : pd.rows) {
-                incomplete += r.completed ? 0 : 1;
-                max_amb = std::max(max_amb, r.maxAmb);
-                max_dram = std::max(max_dram, r.maxDram);
-                if (std::isfinite(r.norm)) {
-                    norm_sum += r.norm;
-                    ++norm_n;
-                }
+            const auto it = byLabel.find(pd.label);
+            if (it == byLabel.end()) {
+                // A point with no rows never reached the aggregator.
+                row.insert(row.end(), {"0", "0", "-", "-", "-"});
+            } else {
+                const auto &ps = it->second;
+                row.push_back(std::to_string(ps.runs));
+                row.push_back(std::to_string(ps.incomplete));
+                row.push_back(Table::num(ps.maxAmb, 2));
+                row.push_back(Table::num(ps.maxDram, 2));
+                row.push_back(ps.normN
+                                  ? Table::num(ps.normSum / ps.normN, 3)
+                                  : "-");
             }
-            row.push_back(std::to_string(pd.rows.size()));
-            row.push_back(std::to_string(incomplete));
-            row.push_back(pd.rows.empty() ? "-" : Table::num(max_amb, 2));
-            row.push_back(pd.rows.empty() ? "-" : Table::num(max_dram, 2));
-            row.push_back(norm_n ? Table::num(norm_sum / norm_n, 3) : "-");
             s.addRow(std::move(row));
         }
         s.print(std::cout);
     }
 
     if (!csv_path.empty()) {
-        std::ofstream f(csv_path);
-        if (!f)
-            fatal("memtherm report: cannot write '" + csv_path + "'");
+        // Rendered in memory and written via atomicWriteFile, so a kill
+        // mid-report never leaves a truncated CSV behind.
+        std::ostringstream f;
         // Per-DIMM columns cover the widest organization in the
         // results (an org sweep mixes DIMM counts); runs with fewer
         // DIMMs leave their trailing cells empty.
@@ -530,8 +654,7 @@ cmdReport(const std::vector<std::string> &args)
                 f << '\n';
             }
         }
-        if (!f.good())
-            fatal("memtherm report: error writing '" + csv_path + "'");
+        atomicWriteFile(csv_path, f.str());
         if (!quiet)
             std::cout << "wrote " << csv_path << '\n';
     }
@@ -539,13 +662,120 @@ cmdReport(const std::vector<std::string> &args)
 }
 
 int
+cmdMerge(const std::vector<std::string> &args)
+{
+    std::vector<std::string> paths;
+    std::string out_path, golden_path;
+    double tol = 1e-9;
+    bool quiet = false;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        auto next = [&](const char *opt) -> std::string {
+            if (i + 1 >= args.size())
+                fatal(std::string("memtherm merge: ") + opt +
+                      " needs an argument");
+            return args[++i];
+        };
+        if (a == "-o")
+            out_path = next("-o");
+        else if (a == "--golden")
+            golden_path = next("--golden");
+        else if (a == "--tol") {
+            std::string v = next("--tol");
+            std::size_t used = 0;
+            try {
+                tol = std::stod(v, &used);
+            } catch (const std::exception &) {
+                used = 0;
+            }
+            if (used != v.size())
+                fatal("memtherm merge: --tol needs a number, got '" + v +
+                      "'");
+        } else if (a == "--quiet")
+            quiet = true;
+        else if (!a.empty() && a[0] == '-')
+            fatal("memtherm merge: unknown option '" + a + "'");
+        else
+            paths.push_back(a);
+    }
+    if (paths.empty())
+        return usage(std::cerr, 1);
+
+    MergedStream merged = mergeStreams(paths);
+
+    // An incomplete merge would masquerade as a (smaller) clean result;
+    // name what is missing instead of emitting it.
+    if (!merged.missingRuns.empty()) {
+        std::string ix;
+        const std::size_t show =
+            std::min<std::size_t>(merged.missingRuns.size(), 10);
+        for (std::size_t i = 0; i < show; ++i) {
+            if (!ix.empty())
+                ix += ", ";
+            ix += std::to_string(merged.missingRuns[i]);
+        }
+        if (merged.missingRuns.size() > show)
+            ix += ", ...";
+        fatal("memtherm merge: " +
+              std::to_string(merged.missingRuns.size()) + " of " +
+              std::to_string(merged.totalRuns) +
+              " run(s) have no record in the given stream(s) (indices " +
+              ix + "); run the missing shards or resume the interrupted "
+              "stream");
+    }
+
+    if (!quiet) {
+        std::cout << "merged " << paths.size() << " stream(s): scenario '"
+                  << merged.spec.name << "', " << merged.totalRuns
+                  << " run(s), " << merged.errors.size()
+                  << " failure record(s)\n";
+    }
+    if (!out_path.empty()) {
+        merged.results.save(out_path);
+        if (!quiet)
+            std::cout << "wrote " << out_path << '\n';
+    }
+
+    int rc = 0;
+    if (!golden_path.empty()) {
+        Json golden = Json::load(golden_path);
+        std::string where, detail;
+        if (!jsonNear(merged.results, golden, tol, "", where, detail)) {
+            std::cerr << "memtherm merge: results diverge from '"
+                      << golden_path << "' at " << where << ": " << detail
+                      << " (tol " << tol << ")\n";
+            rc = 1;
+        } else if (!quiet) {
+            std::cout << "results match " << golden_path << " (tol " << tol
+                      << ")\n";
+        }
+    }
+    if (!merged.errors.empty()) {
+        std::vector<RunError> errors;
+        for (const auto &rec : merged.errors) {
+            RunError e;
+            e.index = rec.index;
+            e.point = rec.point;
+            e.workload = rec.workload;
+            e.policy = rec.policy;
+            e.error = rec.error;
+            errors.push_back(std::move(e));
+        }
+        printFailures("memtherm merge", errors);
+        rc = 1;
+    }
+    return rc;
+}
+
+int
 cmdRun(const std::vector<std::string> &args)
 {
     std::string scenario_path, out_path, golden_path;
+    std::string stream_path, shard_text;
     double tol = 1e-9;
     int threads = 0;
     std::optional<int> copies;
-    bool traces = false, quiet = false;
+    bool traces = false, quiet = false, resume = false;
 
     for (std::size_t i = 0; i < args.size(); ++i) {
         const std::string &a = args[i];
@@ -587,6 +817,12 @@ cmdRun(const std::vector<std::string> &args)
         };
         if (a == "-o")
             out_path = next("-o");
+        else if (a == "--stream")
+            stream_path = next("--stream");
+        else if (a == "--resume")
+            resume = true;
+        else if (a == "--shard")
+            shard_text = next("--shard");
         else if (a == "--golden")
             golden_path = next("--golden");
         else if (a == "--tol")
@@ -608,6 +844,18 @@ cmdRun(const std::vector<std::string> &args)
     }
     if (scenario_path.empty())
         return usage(std::cerr, 1);
+    if (stream_path.empty() && (resume || !shard_text.empty())) {
+        fatal("memtherm run: --resume and --shard only make sense with "
+              "--stream");
+    }
+    ShardSpec shard;
+    if (!shard_text.empty())
+        shard = ShardSpec::parse(shard_text);
+    if (shard.sharded() && (!out_path.empty() || !golden_path.empty())) {
+        fatal("memtherm run: -o/--golden describe the full grid but a "
+              "shard executes only part of it; combine the shard streams "
+              "with `memtherm merge` instead");
+    }
 
     ScenarioSpec spec = ScenarioSpec::load(scenario_path);
     if (copies) {
@@ -616,11 +864,66 @@ cmdRun(const std::vector<std::string> &args)
     }
 
     ExperimentEngine engine(threads);
+
+    if (!stream_path.empty()) {
+        StreamRunOptions sopts;
+        sopts.path = stream_path;
+        sopts.resume = resume;
+        sopts.shard = shard;
+        sopts.traces = traces;
+        StreamRunStats stats = runScenarioStream(spec, engine, sopts);
+
+        if (!quiet) {
+            std::cout << "stream " << stream_path << ": "
+                      << stats.totalRuns << " run(s) in grid";
+            if (shard.sharded()) {
+                std::cout << ", " << stats.shardRuns << " in shard "
+                          << shard.label();
+            }
+            std::cout << ", " << stats.skipped << " already complete, "
+                      << stats.executed << " executed, " << stats.failed
+                      << " failed\n";
+        }
+        // -o/--golden view the stream through the canonical merge, so
+        // their bytes cannot differ from `memtherm merge` output.
+        if (!out_path.empty() || !golden_path.empty()) {
+            MergedStream merged = mergeStreams({stream_path});
+            if (!out_path.empty()) {
+                merged.results.save(out_path);
+                if (!quiet)
+                    std::cout << "wrote " << out_path << '\n';
+            }
+            if (!golden_path.empty()) {
+                Json golden = Json::load(golden_path);
+                std::string where, detail;
+                if (!jsonNear(merged.results, golden, tol, "", where,
+                              detail)) {
+                    std::cerr << "memtherm run: results diverge from '"
+                              << golden_path << "' at " << where << ": "
+                              << detail << " (tol " << tol << ")\n";
+                    if (stats.failed)
+                        printFailures("memtherm run", stats.failures);
+                    return 1;
+                }
+                if (!quiet) {
+                    std::cout << "results match " << golden_path
+                              << " (tol " << tol << ")\n";
+                }
+            }
+        }
+        if (stats.failed) {
+            printFailures("memtherm run", stats.failures);
+            return 1;
+        }
+        return 0;
+    }
+
     ScenarioResults results = runScenario(spec, engine);
 
     if (!quiet)
         printSummary(results);
 
+    int rc = 0;
     Json out = toJson(results, traces);
     if (!out_path.empty()) {
         out.save(out_path);
@@ -635,13 +938,19 @@ cmdRun(const std::vector<std::string> &args)
             std::cerr << "memtherm run: results diverge from '"
                       << golden_path << "' at " << where << ": " << detail
                       << " (tol " << tol << ")\n";
-            return 1;
-        }
-        if (!quiet)
+            rc = 1;
+        } else if (!quiet) {
             std::cout << "results match " << golden_path << " (tol " << tol
                       << ")\n";
+        }
     }
-    return 0;
+    // Failures never hide completed work (everything above still ran and
+    // wrote), but they must not exit 0 either.
+    if (!results.errors.empty()) {
+        printFailures("memtherm run", results.errors);
+        rc = 1;
+    }
+    return rc;
 }
 
 } // namespace
@@ -659,6 +968,8 @@ main(int argc, char **argv)
     try {
         if (cmd == "run")
             return cmdRun(rest);
+        if (cmd == "merge")
+            return cmdMerge(rest);
         if (cmd == "report")
             return cmdReport(rest);
         if (cmd == "validate")
