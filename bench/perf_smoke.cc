@@ -19,6 +19,7 @@
  * are equal by construction.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -159,26 +160,62 @@ main()
     std::printf("results bit-identical: %s\n",
                 bit_identical ? "yes" : "NO");
 
+    // Cores the parallel pass can actually use: the engine spawns
+    // par_threads workers but the host pins throughput at its core
+    // count. Normalizing by this makes the number comparable across
+    // machines — on a 1-core container the raw "speedup" reads as a
+    // meaningless ~1x while per-core throughput stays honest.
+    unsigned cores_used = hw > 0
+                              ? std::min(static_cast<unsigned>(par_threads),
+                                         hw)
+                              : static_cast<unsigned>(par_threads);
+    if (cores_used < 1)
+        cores_used = 1;
+    double per_core = windows / parallel_s / cores_used;
+    std::printf("per-core %.0f windows/s over %u core(s)\n", per_core,
+                cores_used);
+
+    Json entry = Json::object();
+    entry.set("runs", static_cast<double>(n_runs));
+    entry.set("copies_per_app", *spec.copiesPerApp);
+    entry.set("threads", par_threads);
+    entry.set("hardware_threads", static_cast<double>(hw));
+    entry.set("cores_used", static_cast<double>(cores_used));
+    entry.set("windows", std::round(windows));
+    entry.set("serial_seconds", serial_s);
+    entry.set("parallel_seconds", parallel_s);
+    entry.set("windows_per_sec_serial", windows / serial_s);
+    entry.set("windows_per_sec_parallel", windows / parallel_s);
+    entry.set("windows_per_sec_per_core", per_core);
+    entry.set("speedup", speedup);
+    entry.set("bit_identical", bit_identical);
+
+    // Append to the trajectory so successive PRs accumulate a history
+    // instead of overwriting a single snapshot. A pre-trajectory (flat)
+    // or unreadable file restarts the array.
     Json out = Json::object();
     out.set("suite", spec.name);
-    out.set("runs", static_cast<double>(n_runs));
-    out.set("copies_per_app", *spec.copiesPerApp);
-    out.set("threads", par_threads);
-    out.set("hardware_threads", static_cast<double>(hw));
-    out.set("windows", std::round(windows));
-    out.set("serial_seconds", serial_s);
-    out.set("parallel_seconds", parallel_s);
-    out.set("windows_per_sec_serial", windows / serial_s);
-    out.set("windows_per_sec_parallel", windows / parallel_s);
-    out.set("speedup", speedup);
-    out.set("bit_identical", bit_identical);
+    Json traj = Json::array();
+    try {
+        Json prev = Json::load("BENCH_perf.json");
+        if (const Json *arr = prev.find("trajectory")) {
+            if (arr->isArray())
+                for (const Json &e : arr->asArray())
+                    traj.push(e);
+        }
+    } catch (const FatalError &) {
+        // no previous file (or an unparsable one): start fresh
+    }
+    traj.push(std::move(entry));
+    out.set("trajectory", std::move(traj));
     try {
         out.save("BENCH_perf.json");
     } catch (const FatalError &e) {
         std::fprintf(stderr, "%s\n", e.what());
         return 1;
     }
-    std::printf("wrote BENCH_perf.json\n");
+    std::printf("wrote BENCH_perf.json (%zu trajectory entries)\n",
+                out.at("trajectory").asArray().size());
 
     return bit_identical ? 0 : 1;
 }

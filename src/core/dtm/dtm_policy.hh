@@ -9,6 +9,7 @@
 
 #include <limits>
 #include <string>
+#include <vector>
 
 #include "common/units.hh"
 
@@ -21,6 +22,19 @@ struct ThermalReading
     Celsius amb = 0.0;   ///< hottest AMB temperature
     Celsius dram = 0.0;  ///< hottest DRAM-device temperature
     Celsius inlet = 0.0; ///< memory inlet (ambient) temperature
+
+    /**
+     * Per-DIMM temperatures on the representative channel (index 0
+     * nearest the memory controller), for policies that act on the
+     * thermal *gradient* rather than the hottest spot. These are the
+     * exact model temperatures — ideal per-DIMM sensors: routing them
+     * through the noisy scalar sensor would consume extra RNG draws and
+     * perturb every pinned golden. Empty when the caller has no
+     * per-DIMM sensor path (e.g. policy unit tests that only exercise
+     * the scalar readings).
+     */
+    std::vector<Celsius> ambPerDimm;
+    std::vector<Celsius> dramPerDimm;
 };
 
 /** The running state a policy selects. */
@@ -34,6 +48,15 @@ struct DtmAction
     int activeCores = std::numeric_limits<int>::max();
     /** DVFS level index, 0 = fastest. */
     std::size_t dvfsLevel = 0;
+    /**
+     * New per-DIMM traffic shares to apply this window (the remap
+     * actuator). Empty = keep the current distribution. When set, the
+     * vector must satisfy the MemoryThermalModel share contract
+     * (one entry per DIMM, finite, non-negative, summing to 1); the
+     * simulator charges a migration-cost traffic burst proportional to
+     * the share fraction actually moved.
+     */
+    std::vector<double> trafficShares;
 };
 
 /**

@@ -1,0 +1,130 @@
+#include "core/dtm/remap_policy.hh"
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace memtherm
+{
+
+RemapPolicy::RemapPolicy(Band b, RemapConfig c) : band(b), cfg(std::move(c))
+{
+    panicIfNot(cfg.interval > 0.0, "RemapPolicy: interval must be > 0");
+    panicIfNot(cfg.hysteresis >= 0.0,
+               "RemapPolicy: hysteresis must be >= 0");
+    panicIfNot(cfg.step > 0.0 && cfg.step <= 1.0,
+               "RemapPolicy: step must be in (0, 1]");
+}
+
+std::string
+RemapPolicy::name() const
+{
+    return band == Band::Greedy ? "DTM-remap" : "DTM-remap-hyst";
+}
+
+void
+RemapPolicy::reset()
+{
+    current.clear();
+    nextRemap = 0.0;
+    latched = false;
+}
+
+bool
+RemapPolicy::triggered(const ThermalReading &r)
+{
+    bool hot = r.amb >= cfg.limits.ambTdp || r.dram >= cfg.limits.dramTdp;
+    if (band == Band::Greedy)
+        return hot;
+    // Hysteresis band: latch on at a TDP crossing, release only when
+    // both sensors are a full band below their TDPs.
+    if (hot)
+        latched = true;
+    else if (r.amb < cfg.limits.ambTdp - cfg.hysteresis &&
+             r.dram < cfg.limits.dramTdp - cfg.hysteresis)
+        latched = false;
+    return latched;
+}
+
+DtmAction
+RemapPolicy::decide(const ThermalReading &r, Seconds now)
+{
+    DtmAction a;
+    // The latch samples every sensor reading; migration happens only at
+    // remap boundaries, so a short spike between boundaries still arms
+    // the hysteresis variant.
+    bool hot = triggered(r);
+    if (r.ambPerDimm.empty())
+        return a; // no per-DIMM sensor path — nothing to migrate
+    if (now + cfg.interval * 1e-6 < nextRemap)
+        return a;
+    nextRemap = now + cfg.interval;
+
+    // Adopt the chain arity from the reading; the configured initial
+    // distribution applies only if it fits this chain.
+    const std::size_t n = r.ambPerDimm.size();
+    if (current.size() != n) {
+        if (cfg.initialShares.size() == n)
+            current = cfg.initialShares;
+        else
+            current.assign(n, 1.0 / n);
+    }
+    if (!hot || n < 2)
+        return a;
+
+    // Worst thermal margin across both node types; source additionally
+    // needs share to give up (a DIMM can be hot purely from bypass
+    // traffic, in which case the hottest *contributing* DIMM moves).
+    // Severity can tie exactly when the DRAM margin clips several cold
+    // DIMMs to one value; the AMB temperature breaks the tie (hotter
+    // wins as source, colder as destination), first index after that.
+    auto severity = [&](std::size_t i) {
+        Celsius dram_t = i < r.dramPerDimm.size() ? r.dramPerDimm[i] : 0.0;
+        return std::max(r.ambPerDimm[i] - cfg.limits.ambTdp,
+                        dram_t - cfg.limits.dramTdp);
+    };
+    auto hotterThan = [&](std::size_t i, std::size_t j) {
+        double si = severity(i), sj = severity(j);
+        return si > sj || (si == sj && r.ambPerDimm[i] > r.ambPerDimm[j]);
+    };
+    std::size_t src = n, dst = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (current[i] > 0.0 && (src == n || hotterThan(i, src)))
+            src = i;
+        if (hotterThan(dst, i))
+            dst = i;
+    }
+    if (src == n || src == dst)
+        return a;
+    double d = std::min(cfg.step, current[src]);
+    current[src] -= d;
+    current[dst] += d;
+    a.trafficShares = current;
+    return a;
+}
+
+TsRemapPolicy::TsRemapPolicy(TsPolicy ts_policy, RemapConfig remap_cfg)
+    : tsPart(std::move(ts_policy)),
+      remapPart(RemapPolicy::Band::Hysteresis, std::move(remap_cfg))
+{
+}
+
+DtmAction
+TsRemapPolicy::decide(const ThermalReading &r, Seconds now)
+{
+    DtmAction a = tsPart.decide(r, now);
+    DtmAction m = remapPart.decide(r, now);
+    a.trafficShares = std::move(m.trafficShares);
+    return a;
+}
+
+void
+TsRemapPolicy::reset()
+{
+    tsPart.reset();
+    remapPart.reset();
+}
+
+} // namespace memtherm

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Traffic-remapping DTM policies: migrate per-DIMM traffic share away
+ * from the hottest DIMM instead of throttling the whole subsystem.
+ *
+ * The Section 4.2 schemes all scale memory activity (shutdown, caps,
+ * gating, DVFS); these policies change its *distribution*. At each
+ * remap boundary (every `remap_interval` seconds) a triggered policy
+ * moves a fixed step of a channel's local-traffic share from the DIMM
+ * with the worst thermal margin to the one with the best, and the
+ * simulator charges a page-copy traffic burst proportional to the share
+ * moved — so remapping is never free. Physics makes it effective: a
+ * DIMM's AMB burns ~0.75 W per GB/s of local traffic but only ~0.19 W
+ * per GB/s of bypass traffic, so share moved off a hot DIMM cools it
+ * even though the traffic still flows through its AMB.
+ *
+ * Three registry entries:
+ *  - "DTM-remap"       greedy migrator: one step per boundary while a
+ *                      sensor is at/above its TDP;
+ *  - "DTM-remap-hyst"  hysteresis-banded: latches on at a TDP crossing
+ *                      and keeps migrating until both sensors fall
+ *                      `remap_hysteresis` C below their TDPs;
+ *  - "DTM-TS+remap"    composition: DTM-TS shutdown protection plus the
+ *                      greedy migrator. With uniform traffic and no
+ *                      emergency it is bit-identical to plain DTM-TS.
+ */
+
+#ifndef MEMTHERM_CORE_DTM_REMAP_POLICY_HH
+#define MEMTHERM_CORE_DTM_REMAP_POLICY_HH
+
+#include <vector>
+
+#include "core/dtm/basic_policies.hh"
+#include "core/thermal/thermal_params.hh"
+
+namespace memtherm
+{
+
+/** Construction parameters shared by the remap policy family. */
+struct RemapConfig
+{
+    /// Seconds between remap decisions (the `remap_interval` knob).
+    Seconds interval = 1.0;
+    /// Release band (C) below the TDPs for the hysteresis variant
+    /// (the `remap_hysteresis` knob).
+    Celsius hysteresis = 2.0;
+    /// Share fraction moved per remap step.
+    double step = 0.05;
+    /// TDPs the trigger compares the sensed temperatures against.
+    ThermalLimits limits{};
+    /// The run's starting distribution (SimConfig::trafficShares);
+    /// empty = uniform. reset() returns the policy here.
+    std::vector<double> initialShares;
+};
+
+/**
+ * Greedy or hysteresis-banded hottest-to-coldest traffic migrator.
+ *
+ * Emits DtmAction::trafficShares only in the window a migration step
+ * actually happens; all scalar actuators stay at full speed (compose
+ * with a scaling policy, e.g. TsRemapPolicy, for shutdown protection).
+ */
+class RemapPolicy : public DtmPolicy
+{
+  public:
+    enum class Band
+    {
+        Greedy,     ///< migrate only while a sensor is at/above its TDP
+        Hysteresis, ///< latch at TDP, release `hysteresis` C below it
+    };
+
+    RemapPolicy(Band band, RemapConfig cfg);
+
+    DtmAction decide(const ThermalReading &r, Seconds now) override;
+    std::string name() const override;
+    void reset() override;
+
+    /** Current working distribution (empty before the first reading). */
+    const std::vector<double> &shares() const { return current; }
+    /** True while the hysteresis band is latched on. */
+    bool isLatched() const { return latched; }
+
+  private:
+    bool triggered(const ThermalReading &r);
+
+    Band band;
+    RemapConfig cfg;
+    std::vector<double> current;
+    Seconds nextRemap = 0.0;
+    bool latched = false;
+};
+
+/**
+ * "DTM-TS+remap": DTM-TS thermal shutdown with the hysteresis-banded
+ * migrator riding along. The TS half decides the scalar running state;
+ * the remap half contributes the share vector. The banded (not greedy)
+ * migrator is essential here: TS's own shutdown keeps the sensor below
+ * TDP at almost every remap boundary, so an at-TDP trigger would
+ * practically never fire — the latch instead keeps migrating through
+ * the whole duty-cycling episode until the emergency is truly over.
+ * Under uniform traffic with no thermal emergency neither half ever
+ * acts, so the composition is bit-identical to plain DTM-TS.
+ */
+class TsRemapPolicy : public DtmPolicy
+{
+  public:
+    TsRemapPolicy(TsPolicy ts_policy, RemapConfig remap_cfg);
+
+    DtmAction decide(const ThermalReading &r, Seconds now) override;
+    std::string name() const override { return "DTM-TS+remap"; }
+    void reset() override;
+
+    const TsPolicy &ts() const { return tsPart; }
+    const RemapPolicy &remap() const { return remapPart; }
+
+  private:
+    TsPolicy tsPart;
+    RemapPolicy remapPart;
+};
+
+} // namespace memtherm
+
+#endif // MEMTHERM_CORE_DTM_REMAP_POLICY_HH

@@ -77,7 +77,10 @@ ExperimentEngine::execute(const Run &r, ThermalSimulator::Scratch &s)
                       : PolicyRegistry::instance().make(
                             r.policy, PolicyBuildContext{
                                           r.cfg.dtmInterval,
-                                          r.cfg.emergencyLevels});
+                                          r.cfg.emergencyLevels,
+                                          r.cfg.remapInterval,
+                                          r.cfg.remapHysteresis,
+                                          r.cfg.trafficShares});
     panicIfNot(policy != nullptr, "ExperimentEngine: null policy");
     return sim.run(r.workload, *policy, s);
 }

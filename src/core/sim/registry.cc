@@ -9,6 +9,7 @@
 #include "common/logging.hh"
 #include "core/dtm/basic_policies.hh"
 #include "core/dtm/pid_policies.hh"
+#include "core/dtm/remap_policy.hh"
 #include "testbed/platform.hh"
 #include "workloads/spec_catalog.hh"
 
@@ -81,6 +82,30 @@ PolicyRegistry::PolicyRegistry()
         return std::make_unique<PidPolicy>(PidActuator::Dvfs,
                                            ambPidParams(), dramPidParams(),
                                            ThermalLimits{}, ctx.dtmInterval);
+    });
+    // The traffic-remapping family (core/dtm/remap_policy.hh): policies
+    // that redistribute per-DIMM traffic share instead of scaling
+    // activity. They regulate against ThermalLimits like DTM-TS.
+    auto remapCfgOf = [](const PolicyBuildContext &ctx) {
+        RemapConfig rc;
+        rc.interval = ctx.remapInterval;
+        rc.hysteresis = ctx.remapHysteresis;
+        rc.initialShares = ctx.trafficShares;
+        return rc;
+    };
+    add("DTM-remap", [remapCfgOf](const PolicyBuildContext &ctx) {
+        return std::make_unique<RemapPolicy>(RemapPolicy::Band::Greedy,
+                                             remapCfgOf(ctx));
+    });
+    add("DTM-remap-hyst", [remapCfgOf](const PolicyBuildContext &ctx) {
+        return std::make_unique<RemapPolicy>(RemapPolicy::Band::Hysteresis,
+                                             remapCfgOf(ctx));
+    });
+    add("DTM-TS+remap", [remapCfgOf](const PolicyBuildContext &ctx) {
+        ThermalLimits lim;
+        return std::make_unique<TsRemapPolicy>(
+            TsPolicy(lim.ambTdp, lim.ambTrp, lim.dramTdp, lim.dramTrp),
+            remapCfgOf(ctx));
     });
 }
 

@@ -57,6 +57,19 @@ struct PolicyBuildContext
      * and ignore this.
      */
     std::optional<EmergencyLevels> emergencyLevels;
+
+    /// Remap decision period for the traffic-remap family
+    /// (SimConfig::remapInterval, the `remap_interval` knob).
+    Seconds remapInterval = 1.0;
+
+    /// Hysteresis band of "DTM-remap-hyst"
+    /// (SimConfig::remapHysteresis, the `remap_hysteresis` knob).
+    Celsius remapHysteresis = 2.0;
+
+    /// The run's starting per-DIMM traffic distribution
+    /// (SimConfig::trafficShares; empty = uniform interleave). Remap
+    /// policies migrate from here and reset() back to it.
+    std::vector<double> trafficShares;
 };
 
 /**

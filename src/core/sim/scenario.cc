@@ -362,6 +362,13 @@ ScenarioSpec::lower() const
                       "traffic distribution; remove the traffic_shape "
                       "member and sweep");
         }
+        if (remapInterval || remapHysteresis) {
+            specError(*this,
+                      "platform scenarios use the testbed's measured "
+                      "traffic distribution, so remap policies have "
+                      "nothing to redistribute; remove the "
+                      "remap_interval/remap_hysteresis members");
+        }
         const auto valid = platformPolicyNames();
         for (const auto &p : policies) {
             bool known = false;
@@ -396,6 +403,8 @@ ScenarioSpec::lower() const
     checkFinite(instrScale, "instr_scale");
     checkFinite(maxSimTime, "max_sim_time");
     checkFinite(dtmInterval, "dtm_interval");
+    checkFinite(remapInterval, "remap_interval");
+    checkFinite(remapHysteresis, "remap_hysteresis");
     checkFinite(sensorNoiseSigma, "sensor_noise_sigma");
     checkFinite(sensorQuant, "sensor_quant");
     if (instrScale && *instrScale <= 0.0)
@@ -404,6 +413,10 @@ ScenarioSpec::lower() const
         specError(*this, "max_sim_time must be > 0");
     if (dtmInterval && *dtmInterval <= 0.0)
         specError(*this, "dtm_interval must be > 0");
+    if (remapInterval && *remapInterval <= 0.0)
+        specError(*this, "remap_interval must be > 0");
+    if (remapHysteresis && *remapHysteresis < 0.0)
+        specError(*this, "remap_hysteresis must be >= 0");
     if (sensorNoiseSigma && *sensorNoiseSigma < 0.0)
         specError(*this, "sensor_noise_sigma must be >= 0");
     if (sensorQuant && *sensorQuant < 0.0)
@@ -706,6 +719,10 @@ ScenarioSpec::lower() const
             cfg.maxSimTime = *maxSimTime;
         if (dtmInterval)
             cfg.dtmInterval = *dtmInterval;
+        if (remapInterval)
+            cfg.remapInterval = *remapInterval;
+        if (remapHysteresis)
+            cfg.remapHysteresis = *remapHysteresis;
         if (sensorNoiseSigma)
             cfg.sensorNoiseSigma = *sensorNoiseSigma;
         if (sensorQuant)
@@ -739,6 +756,32 @@ ScenarioSpec::lower() const
             specError(*this, "dtm_interval " + numStr(cfg.dtmInterval) +
                                  " is below the simulator window (" +
                                  numStr(cfg.window) + " s)");
+        }
+
+        // Remap boundaries must land on DTM decision boundaries — the
+        // remap policies only run inside DTM decisions, so a period
+        // below the window or off the dtm_interval grid would silently
+        // remap late. Checked only when the knob is set: the default
+        // period deliberately stays out of dtm_interval sweeps that
+        // never name a remap policy.
+        if (remapInterval) {
+            if (cfg.remapInterval < cfg.window) {
+                specError(*this,
+                          "remap_interval " + numStr(cfg.remapInterval) +
+                              " is below the simulator window (" +
+                              numStr(cfg.window) + " s)");
+            }
+            double ratio = cfg.remapInterval / cfg.dtmInterval;
+            double whole = std::round(ratio);
+            if (whole < 1.0 ||
+                std::abs(ratio - whole) > 1e-9 * std::max(1.0, ratio)) {
+                specError(*this,
+                          "remap_interval " + numStr(cfg.remapInterval) +
+                              " is not a whole multiple of dtm_interval " +
+                              numStr(cfg.dtmInterval) +
+                              " (remap decisions run inside DTM "
+                              "decisions, so the periods must nest)");
+            }
         }
 
         pt.cfg = cfg;
@@ -802,6 +845,10 @@ ScenarioSpec::toJson() const
         cfg.set("max_sim_time", *maxSimTime);
     if (dtmInterval)
         cfg.set("dtm_interval", *dtmInterval);
+    if (remapInterval)
+        cfg.set("remap_interval", *remapInterval);
+    if (remapHysteresis)
+        cfg.set("remap_hysteresis", *remapHysteresis);
     if (sensorNoiseSigma)
         cfg.set("sensor_noise_sigma", *sensorNoiseSigma);
     if (sensorQuant)
@@ -875,7 +922,8 @@ ScenarioSpec::fromJson(const Json &j)
                      {"cooling", "ambient", "emergency_levels", "dvfs",
                       "memory_org", "traffic_shape", "t_inlet",
                       "copies_per_app", "instr_scale", "max_sim_time",
-                      "dtm_interval", "sensor_noise_sigma", "sensor_quant",
+                      "dtm_interval", "remap_interval", "remap_hysteresis",
+                      "sensor_noise_sigma", "sensor_quant",
                       "sensor_seed"});
         if (cfg->find("cooling"))
             s.cooling = memberString(*cfg, "cooling");
@@ -903,6 +951,10 @@ ScenarioSpec::fromJson(const Json &j)
             s.maxSimTime = memberNumber(*cfg, "max_sim_time");
         if (cfg->find("dtm_interval"))
             s.dtmInterval = memberNumber(*cfg, "dtm_interval");
+        if (cfg->find("remap_interval"))
+            s.remapInterval = memberNumber(*cfg, "remap_interval");
+        if (cfg->find("remap_hysteresis"))
+            s.remapHysteresis = memberNumber(*cfg, "remap_hysteresis");
         if (cfg->find("sensor_noise_sigma"))
             s.sensorNoiseSigma = memberNumber(*cfg, "sensor_noise_sigma");
         if (cfg->find("sensor_quant"))

@@ -159,6 +159,14 @@ struct ScenarioSpec
     std::optional<double> instrScale;      ///< instruction-volume scale
     std::optional<double> maxSimTime;      ///< simulation horizon (s)
     std::optional<double> dtmInterval;     ///< policy decision period (s)
+    /// Remap decision period (s) for the traffic-remap policy family;
+    /// must be >= the simulator window and a whole multiple of the
+    /// effective dtm_interval at every grid point. Rejected for
+    /// platform scenarios (no modeled traffic distribution to remap).
+    std::optional<double> remapInterval;
+    /// DTM-remap-hyst release band (C) below the TDPs. Rejected for
+    /// platform scenarios.
+    std::optional<double> remapHysteresis;
     std::optional<double> sensorNoiseSigma;
     std::optional<double> sensorQuant;
     std::optional<std::uint64_t> sensorSeed;

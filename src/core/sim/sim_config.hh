@@ -54,6 +54,21 @@ struct SimConfig
     Seconds dtmOverhead = 25e-6; ///< per-decision lost time (Table 4.1)
     Seconds rotationSlice = 0.1; ///< time-multiplex slice under gating
 
+    /// Remap-policy decision period (the `remap_interval` knob): how
+    /// often a traffic-remapping policy may migrate share between
+    /// DIMMs. Must be >= `window` and a whole multiple of `dtmInterval`
+    /// so remap boundaries land on DTM decision boundaries (the
+    /// scenario layer rejects anything else when the knob is set).
+    Seconds remapInterval = 1.0;
+    /// Hysteresis band (C) of DTM-remap-hyst (the `remap_hysteresis`
+    /// knob): once migration latches on at a TDP crossing it keeps
+    /// going until both sensors drop this far below their TDPs.
+    Celsius remapHysteresis = 2.0;
+    /// Migration cost: GB of page-copy traffic charged per unit of
+    /// traffic share moved, injected into the window that applies a
+    /// remap. A model constant, not a scenario knob.
+    double remapCostGbPerShare = 0.25;
+
     ThermalLimits limits{};
 
     /**

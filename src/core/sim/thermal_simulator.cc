@@ -113,6 +113,12 @@ ThermalSimulator::run(const Workload &mix, DtmPolicy &policy,
     const Seconds dt = cfg.window;
     const GHz fmax = cfg.dvfs.maxFreq();
     DtmAction action;
+    // Hoisted so the per-DIMM sensor vectors keep their capacity across
+    // decisions (the window loop stays allocation-free once warm).
+    ThermalReading reading;
+    // Pending migration-cost traffic (GB) from a remap decision, spent
+    // in the window that applied it.
+    double remap_burst_gb = 0.0;
     Seconds next_dtm = 0.0;
     Seconds next_rotation = cfg.rotationSlice;
     Seconds next_trace = cfg.traceSample;
@@ -126,13 +132,20 @@ ThermalSimulator::run(const Workload &mix, DtmPolicy &policy,
         decided_this_window = false;
         if (t + eps >= next_dtm) {
             MemoryThermalSample cur = mem.current();
-            ThermalReading reading;
             reading.amb = senseTemp(cur.hottestAmb, cfg.sensorNoiseSigma,
                                     cfg.sensorQuant, sensor_rng);
             reading.dram = senseTemp(cur.hottestDram, cfg.sensorNoiseSigma,
                                      cfg.sensorQuant, sensor_rng);
             reading.inlet = ambient.temperature();
+            // Exact per-DIMM temperatures (ideal sensors) — feeding them
+            // through the noisy scalar path would consume extra RNG
+            // draws and shift every pinned golden.
+            mem.currentPerDimm(reading.ambPerDimm, reading.dramPerDimm);
             action = policy.decide(reading, t);
+            if (!action.trafficShares.empty()) {
+                double moved = mem.setTrafficShares(action.trafficShares);
+                remap_burst_gb = moved * cfg.remapCostGbPerShare;
+            }
             next_dtm += cfg.dtmInterval;
             decided_this_window = true;
         }
@@ -227,6 +240,17 @@ ThermalSimulator::run(const Workload &mix, DtmPolicy &policy,
 
         GBps read = perf.totalRead * progress_scale;
         GBps write = perf.totalWrite * progress_scale;
+        if (remap_burst_gb > 0.0) {
+            // Migration cost: the page-copy burst of a remap rides in
+            // the window that applied it — half reads (source DIMMs),
+            // half writes (destination). It heats the memory and counts
+            // as traffic but retires no instructions, so remapping is
+            // never free.
+            GBps burst = remap_burst_gb / dt;
+            read += 0.5 * burst;
+            write += 0.5 * burst;
+            remap_burst_gb = 0.0;
+        }
         res.totalReadGB += read * dt;
         res.totalWriteGB += write * dt;
 

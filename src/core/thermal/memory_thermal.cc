@@ -1,6 +1,7 @@
 #include "core/thermal/memory_thermal.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hh"
 
@@ -114,6 +115,46 @@ MemoryThermalModel::dimmTemps() const
     for (const auto &d : dimms)
         out.push_back(d.temps());
     return out;
+}
+
+void
+MemoryThermalModel::currentPerDimm(std::vector<Celsius> &amb,
+                                   std::vector<Celsius> &dram) const
+{
+    amb.resize(dimms.size());
+    dram.resize(dimms.size());
+    for (std::size_t i = 0; i < dimms.size(); ++i) {
+        DimmTemps t = dimms[i].temps();
+        amb[i] = t.amb;
+        dram[i] = t.dram;
+    }
+}
+
+double
+MemoryThermalModel::setTrafficShares(std::vector<double> new_shares)
+{
+    const int n = orgCfg.nDimmsPerChannel;
+    panicIfNot(new_shares.empty() ||
+                   static_cast<int>(new_shares.size()) == n,
+               "MemoryThermalModel: traffic share arity");
+    double sum = 0.0;
+    for (double s : new_shares) {
+        panicIfNot(std::isfinite(s) && s >= 0.0,
+                   "MemoryThermalModel: traffic shares must be finite "
+                   "and non-negative");
+        sum += s;
+    }
+    panicIfNot(new_shares.empty() || std::abs(sum - 1.0) < 1e-9,
+               "MemoryThermalModel: traffic shares must sum to 1");
+    const double uniform = 1.0 / n;
+    double l1 = 0.0;
+    for (int i = 0; i < n; ++i) {
+        double oldv = shares.empty() ? uniform : shares[i];
+        double newv = new_shares.empty() ? uniform : new_shares[i];
+        l1 += std::abs(newv - oldv);
+    }
+    shares = std::move(new_shares);
+    return 0.5 * l1;
 }
 
 std::vector<Watts>

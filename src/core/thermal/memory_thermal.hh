@@ -94,6 +94,30 @@ class MemoryThermalModel
     std::vector<DimmTemps> dimmTemps() const;
 
     /**
+     * Fill per-DIMM current temperatures into caller-owned buffers
+     * (resized to the chain length, then overwritten). Allocation-free
+     * once the buffers are warm — the per-DIMM DTM sensor path calls
+     * this every decision.
+     */
+    void currentPerDimm(std::vector<Celsius> &amb,
+                        std::vector<Celsius> &dram) const;
+
+    /**
+     * Replace the per-DIMM traffic shares mid-run (the remap actuator).
+     * Same contract as the constructor argument, enforced here: empty
+     * selects uniform interleave, otherwise one finite non-negative
+     * entry per DIMM summing to 1 (within 1e-9). Thermal state, peaks
+     * and energy accounting are untouched — only future traffic
+     * decomposition changes.
+     *
+     * @return fraction of the channel's local traffic moved, i.e.
+     *         0.5 * the L1 distance between the effective old and new
+     *         distributions (0 when nothing changed); the simulator
+     *         charges the migration-cost burst from this.
+     */
+    double setTrafficShares(std::vector<double> new_shares);
+
+    /**
      * Per-DIMM peak temperatures since the last reset (index 0 nearest
      * the memory controller). advance() folds every step into these, so
      * the hot loop never materializes a temperature vector; resets

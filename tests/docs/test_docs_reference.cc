@@ -80,9 +80,10 @@ TEST(DocsReference, ScenariosManualCoversEverySweepAxisAndKnob)
     for (const char *key :
          {"memory_org", "traffic_shape", "cooling", "t_inlet",
           "copies_per_app", "sensor_noise_sigma", "dtm_interval",
-          "emergency_levels", "dvfs", "instr_scale", "max_sim_time",
-          "sensor_quant", "sensor_seed", "ambient", "platform",
-          "workloads", "policies", "sweep"}) {
+          "remap_interval", "remap_hysteresis", "emergency_levels",
+          "dvfs", "instr_scale", "max_sim_time", "sensor_quant",
+          "sensor_seed", "ambient", "platform", "workloads", "policies",
+          "sweep"}) {
         EXPECT_NE(doc.find(key), std::string::npos)
             << "docs/scenarios.md does not mention member '" << key << "'";
     }
@@ -105,6 +106,10 @@ TEST(DocsReference, CliManualCoversEverySubcommandAndListCatalog)
             << "docs/cli.md does not mention list catalog '" << catalog
             << "'";
     }
+    // Summary-table columns with non-obvious semantics must stay
+    // documented.
+    EXPECT_NE(doc.find("hottest_dimm"), std::string::npos)
+        << "docs/cli.md does not document the 'hottest_dimm' column";
     for (const char *flag : {"--golden", "--tol", "--baseline", "--csv",
                              "--threads", "--copies", "--traces",
                              "--quiet", "-o", "--stream", "--resume",

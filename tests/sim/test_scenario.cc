@@ -74,6 +74,8 @@ TEST(ScenarioSpec, FullSpecRoundTripsLosslessly)
     s.instrScale = 0.5;
     s.maxSimTime = 1234.5;
     s.dtmInterval = 0.02;
+    s.remapInterval = 0.04;
+    s.remapHysteresis = 1.5;
     s.sensorNoiseSigma = 0.75;
     s.sensorQuant = 0.5;
     s.sensorSeed = 1234567;
@@ -107,7 +109,7 @@ TEST(ScenarioSpec, ExampleScenariosRoundTripAndLower)
     const char *files[] = {"ch4_baseline.json", "fan_failure.json",
                            "datacenter_ambient.json", "sensor_noise.json",
                            "dtm_sensitivity.json", "memory_org.json",
-                           "hot_dimm.json"};
+                           "hot_dimm.json", "hot_dimm_remap.json"};
     for (const char *f : files) {
         SCOPED_TRACE(f);
         ScenarioSpec spec = ScenarioSpec::load(scenarioPath(f));
@@ -581,6 +583,109 @@ TEST(ScenarioSpec, PlatformScenariosUseTheCh5Lineup)
     EXPECT_EQ(low2.points[0].label, "dtm=1");
     EXPECT_EQ(low2.points[1].runs[0].cfg.dtmInterval, 2.0);
     s.sweepDtmInterval = {0.01};
+    EXPECT_THROW(s.lower(), FatalError);
+}
+
+TEST(ScenarioSpec, RemapKnobsValidateAgainstWindowAndDtmInterval)
+{
+    ScenarioSpec s;
+    s.name = "remap";
+    s.workloads = {"W1"};
+    s.policies = {"DTM-remap", "DTM-remap-hyst", "DTM-TS+remap"};
+    s.remapInterval = 0.25;
+    s.remapHysteresis = 1.0;
+    EXPECT_NO_THROW(s.lower());
+
+    // Below the simulator window (same failure mode as dtm_interval:
+    // the simulator could never hit the boundary).
+    s.remapInterval = 0.005;
+    try {
+        s.lower();
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("remap_interval 0.005 is below the simulator "
+                           "window (0.01 s)"),
+                  std::string::npos)
+            << msg;
+    }
+
+    // Off the DTM decision grid: the error names both knobs.
+    s.remapInterval = 0.025;
+    s.dtmInterval = 0.02;
+    try {
+        s.lower();
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("remap_interval 0.025 is not a whole multiple "
+                           "of dtm_interval 0.02"),
+                  std::string::npos)
+            << msg;
+    }
+
+    // The check runs per grid point: every dtm axis value must divide
+    // the remap period evenly.
+    s.dtmInterval.reset();
+    s.remapInterval = 0.06;
+    s.sweepDtmInterval = {0.01, 0.02, 0.03};
+    EXPECT_NO_THROW(s.lower());
+    s.sweepDtmInterval = {0.01, 0.04};
+    EXPECT_THROW(s.lower(), FatalError);
+
+    // Scalar sanity.
+    s.sweepDtmInterval.clear();
+    s.remapInterval = -1.0;
+    try {
+        s.lower();
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("remap_interval must be > 0"),
+                  std::string::npos)
+            << e.what();
+    }
+    s.remapInterval = 0.25;
+    s.remapHysteresis = -0.5;
+    try {
+        s.lower();
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what())
+                      .find("remap_hysteresis must be >= 0"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    // Unset knobs impose no constraint — dtm_interval sweeps that never
+    // name a remap policy (e.g. dtm_sensitivity) keep lowering.
+    ScenarioSpec plain;
+    plain.name = "no-remap";
+    plain.workloads = {"W1"};
+    plain.policies = {"DTM-TS"};
+    plain.sweepDtmInterval = {0.03, 0.07};
+    EXPECT_NO_THROW(plain.lower());
+}
+
+TEST(ScenarioSpec, PlatformScenariosRejectRemapKnobs)
+{
+    ScenarioSpec s;
+    s.name = "testbed";
+    s.platform = "SR1500AL";
+    s.workloads = {"W1"};
+    s.policies = {"No-limit"};
+    s.remapInterval = 1.0;
+    try {
+        s.lower();
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what())
+                      .find("remove the remap_interval/remap_hysteresis "
+                            "members"),
+                  std::string::npos)
+            << e.what();
+    }
+    s.remapInterval.reset();
+    s.remapHysteresis = 2.0;
     EXPECT_THROW(s.lower(), FatalError);
 }
 

@@ -194,5 +194,103 @@ TEST(MemoryThermal, ShareArityMismatchPanics)
                  PanicError);
 }
 
+TEST(MemoryThermal, CurrentPerDimmMatchesDimmTemps)
+{
+    auto m = makeModel(coolingAohs15(), 50.0);
+    m.advance(12.0, 4.0, 50.0, 100.0);
+    std::vector<Celsius> amb, dram;
+    m.currentPerDimm(amb, dram);
+    auto temps = m.dimmTemps();
+    ASSERT_EQ(amb.size(), temps.size());
+    ASSERT_EQ(dram.size(), temps.size());
+    for (std::size_t i = 0; i < temps.size(); ++i) {
+        EXPECT_EQ(amb[i], temps[i].amb);
+        EXPECT_EQ(dram[i], temps[i].dram);
+    }
+    // Fill-in-place contract: oversized buffers shrink to the chain.
+    amb.assign(9, -1.0);
+    dram.assign(9, -1.0);
+    m.currentPerDimm(amb, dram);
+    EXPECT_EQ(amb.size(), temps.size());
+    EXPECT_EQ(amb[0], temps[0].amb);
+}
+
+TEST(MemoryThermal, MidRunShareSwapKeepsPowerAccounting)
+{
+    // A remap mid-run must not disturb the energy bookkeeping: the
+    // per-DIMM means, summed over the channel and scaled by the channel
+    // count, still recover the time-weighted subsystem power across the
+    // swap.
+    auto m = MemoryThermalModel(MemoryOrgConfig{4, 4}, coolingAohs15(),
+                                DimmPowerModel{}, 50.0,
+                                {0.5, 0.5 / 3, 0.5 / 3, 0.5 / 3});
+    Joules energy = 0.0;
+    Seconds elapsed = 0.0;
+    for (int i = 0; i < 10; ++i) {
+        auto s = m.advance(8.0, 2.0, 50.0, 10.0);
+        energy += s.subsystemPower * 10.0;
+        elapsed += 10.0;
+    }
+    double moved = m.setTrafficShares({0.25, 0.25, 0.25, 0.25});
+    EXPECT_NEAR(moved, 0.25, 1e-12); // 0.5 -> 0.25 on DIMM 0
+    for (int i = 0; i < 10; ++i) {
+        auto s = m.advance(8.0, 2.0, 50.0, 10.0);
+        energy += s.subsystemPower * 10.0;
+        elapsed += 10.0;
+    }
+    auto avg = m.dimmAvgPower();
+    double channel = 0.0;
+    for (double p : avg)
+        channel += p;
+    EXPECT_NEAR(channel * 4, energy / elapsed, 1e-9);
+}
+
+TEST(MemoryThermal, RemapToUniformBitIdenticalToFreshUniform)
+{
+    // Remapping a skewed model to uniform mid-run must land it on
+    // exactly the uniform code path: bit-identical to clearing the
+    // shares on a copy carrying the same thermal state, and every
+    // state-independent query bit-identical to a genuinely fresh
+    // uniform model.
+    auto m = MemoryThermalModel(MemoryOrgConfig{4, 4}, coolingAohs15(),
+                                DimmPowerModel{}, 50.0,
+                                {0.5, 0.5 / 3, 0.5 / 3, 0.5 / 3});
+    m.advance(12.0, 4.0, 50.0, 50.0);
+
+    MemoryThermalModel viaExplicit = m;
+    MemoryThermalModel viaEmpty = m;
+    viaExplicit.setTrafficShares({0.25, 0.25, 0.25, 0.25});
+    viaEmpty.setTrafficShares({});
+    for (int i = 0; i < 20; ++i) {
+        viaExplicit.advance(12.0, 4.0, 50.0, 10.0);
+        viaEmpty.advance(12.0, 4.0, 50.0, 10.0);
+    }
+    auto a = viaExplicit.dimmTemps(), b = viaEmpty.dimmTemps();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].amb, b[i].amb);
+        EXPECT_EQ(a[i].dram, b[i].dram);
+    }
+
+    auto fresh = makeModel(coolingAohs15(), 50.0);
+    EXPECT_EQ(viaEmpty.subsystemPower(12.0, 4.0),
+              fresh.subsystemPower(12.0, 4.0));
+    EXPECT_EQ(viaEmpty.stableHottestAmb(12.0, 4.0, 50.0),
+              fresh.stableHottestAmb(12.0, 4.0, 50.0));
+    EXPECT_EQ(viaEmpty.stableHottestDram(12.0, 4.0, 50.0),
+              fresh.stableHottestDram(12.0, 4.0, 50.0));
+}
+
+TEST(MemoryThermal, SetTrafficSharesValidates)
+{
+    auto m = makeModel(coolingAohs15(), 50.0);
+    EXPECT_THROW(m.setTrafficShares({0.5, 0.5}), PanicError);
+    EXPECT_THROW(m.setTrafficShares({-0.1, 0.4, 0.4, 0.3}), PanicError);
+    EXPECT_THROW(m.setTrafficShares({0.3, 0.3, 0.3, 0.3}), PanicError);
+    // A valid swap reports the share fraction moved; a no-op reports 0.
+    EXPECT_NEAR(m.setTrafficShares({0.4, 0.2, 0.2, 0.2}), 0.15, 1e-12);
+    EXPECT_EQ(m.setTrafficShares({0.4, 0.2, 0.2, 0.2}), 0.0);
+}
+
 } // namespace
 } // namespace memtherm

@@ -252,18 +252,37 @@ jsonNear(const Json &a, const Json &b, double tol, const std::string &path,
     return miss("unreachable");
 }
 
+/**
+ * "dimm<k>" for the argmax of a per-DIMM peak-AMB vector (first index
+ * wins a tie), "-" when the results carry no per-DIMM data. Makes a
+ * remap policy's payoff visible straight from the summary tables,
+ * without opening the CSV.
+ */
+std::string
+hottestDimmLabel(const std::vector<double> &peak_amb)
+{
+    if (peak_amb.empty())
+        return "-";
+    std::size_t hot = 0;
+    for (std::size_t i = 1; i < peak_amb.size(); ++i)
+        if (peak_amb[i] > peak_amb[hot])
+            hot = i;
+    return "dimm" + std::to_string(hot);
+}
+
 void
 printSummary(const ScenarioResults &results)
 {
     Table t("scenario '" + results.scenario + "'",
             {"point", "workload", "policy", "time s", "max AMB C",
-             "max DRAM C", "done"});
+             "max DRAM C", "hottest_dimm", "done"});
     for (const auto &pt : results.points) {
         for (const auto &[w, per_policy] : pt.suite) {
             for (const auto &[p, r] : per_policy) {
                 t.addRow({pt.label, w, p, Table::num(r.runningTime, 2),
                           Table::num(r.maxAmb, 2),
                           Table::num(r.maxDram, 2),
+                          hottestDimmLabel(r.peakAmbPerDimm),
                           r.completed ? "yes" : "NO"});
             }
         }
@@ -528,12 +547,14 @@ cmdReport(const std::vector<std::string> &args)
         for (const auto &pd : points) {
             Table t("scenario '" + scenario + "' — point " + pd.label,
                     {"workload", "policy", "time s", "max AMB C",
-                     "max DRAM C", "x " + base_desc, "done"});
+                     "max DRAM C", "x " + base_desc, "hottest_dimm",
+                     "done"});
             for (const auto &r : pd.rows) {
                 t.addRow({r.workload, r.policy, Table::num(r.time, 2),
                           Table::num(r.maxAmb, 2), Table::num(r.maxDram, 2),
                           std::isfinite(r.norm) ? Table::num(r.norm, 3)
                                                 : "-",
+                          hottestDimmLabel(r.peakAmb),
                           r.completed ? "yes" : "NO"});
             }
             t.print(std::cout);
