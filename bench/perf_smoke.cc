@@ -52,6 +52,27 @@ miniSuite()
     return spec;
 }
 
+/**
+ * The policy-sweep grid for the batched pass: the full Chapter 4 policy
+ * lineup (PID variants included) over the same mixes. A wide policy
+ * axis is exactly where shared-prefix batching pays — every policy of a
+ * workload rides one simulated lane until its decisions diverge.
+ */
+ScenarioSpec
+policySweep()
+{
+    ScenarioSpec spec = miniSuite();
+    spec.name = "ch4_policy_sweep";
+    spec.policies = {"No-limit",  "DTM-TS",      "DTM-BW",
+                     "DTM-ACG",   "DTM-CDVFS",   "DTM-BW+PID",
+                     "DTM-ACG+PID", "DTM-CDVFS+PID"};
+    // The Fig. 4.9-style inlet axis: at the cool points no policy ever
+    // acts, so all eight runs of a workload share one simulated lane
+    // end to end; at the hot point they share the warm-up prefix.
+    spec.sweepTInlet = {38.0, 44.0, 50.0};
+    return spec;
+}
+
 double
 seconds(std::chrono::steady_clock::time_point a,
         std::chrono::steady_clock::time_point b)
@@ -175,6 +196,46 @@ main()
     std::printf("per-core %.0f windows/s over %u core(s)\n", per_core,
                 cores_used);
 
+    // Batched pass: the policy-sweep grid, scalar vs. `--batch`-style
+    // lockstep execution, both on one engine thread so the ratio is a
+    // pure per-core measure of what prefix sharing + the SoA solve buy.
+    ScenarioSpec sweep = policySweep();
+    ExperimentEngine batch_engine(1);
+    auto t3 = std::chrono::steady_clock::now();
+    ScenarioResults r_sweep_scalar = runScenario(sweep, batch_engine);
+    auto t4 = std::chrono::steady_clock::now();
+    BatchStats bstats;
+    ScenarioResults r_sweep_batched = runScenarioBatched(
+        sweep, batch_engine, static_cast<int>(sweep.policies.size()),
+        &bstats);
+    auto t5 = std::chrono::steady_clock::now();
+
+    double sweep_scalar_s = seconds(t3, t4);
+    double sweep_batched_s = seconds(t4, t5);
+    double sweep_windows = 0.0;
+    bool batched_identical =
+        r_sweep_batched.points.size() == r_sweep_scalar.points.size();
+    for (std::size_t p = 0; p < r_sweep_scalar.points.size(); ++p) {
+        sweep_windows +=
+            totalWindows(r_sweep_scalar.points[p].suite, window);
+        batched_identical =
+            batched_identical &&
+            identical(r_sweep_scalar.points[p].suite,
+                      r_sweep_batched.points[p].suite);
+    }
+    double batched_speedup =
+        sweep_batched_s > 0.0 ? sweep_scalar_s / sweep_batched_s : 0.0;
+
+    std::printf("policy sweep (%zu policies): scalar %.3f s "
+                "(%.0f windows/s), batched %.3f s (%.0f windows/s)\n",
+                sweep.policies.size(), sweep_scalar_s,
+                sweep_windows / sweep_scalar_s, sweep_batched_s,
+                sweep_windows / sweep_batched_s);
+    std::printf("batched speedup %.2fx, prefix hit rate %.3f, "
+                "%zu fork(s), batched results bit-identical: %s\n",
+                batched_speedup, bstats.hitRate(), bstats.forks,
+                batched_identical ? "yes" : "NO");
+
     Json entry = Json::object();
     entry.set("runs", static_cast<double>(n_runs));
     entry.set("copies_per_app", *spec.copiesPerApp);
@@ -189,6 +250,16 @@ main()
     entry.set("windows_per_sec_per_core", per_core);
     entry.set("speedup", speedup);
     entry.set("bit_identical", bit_identical);
+    entry.set("sweep_policies",
+              static_cast<double>(sweep.policies.size()));
+    entry.set("sweep_windows", std::round(sweep_windows));
+    entry.set("sweep_scalar_seconds", sweep_scalar_s);
+    entry.set("sweep_batched_seconds", sweep_batched_s);
+    entry.set("windows_per_sec_batched", sweep_windows / sweep_batched_s);
+    entry.set("batched_speedup", batched_speedup);
+    entry.set("prefix_hit_rate", bstats.hitRate());
+    entry.set("batched_forks", static_cast<double>(bstats.forks));
+    entry.set("batched_bit_identical", batched_identical);
 
     // Append to the trajectory so successive PRs accumulate a history
     // instead of overwriting a single snapshot. A pre-trajectory (flat)
@@ -217,5 +288,5 @@ main()
     std::printf("wrote BENCH_perf.json (%zu trajectory entries)\n",
                 out.at("trajectory").asArray().size());
 
-    return bit_identical ? 0 : 1;
+    return (bit_identical && batched_identical) ? 0 : 1;
 }

@@ -57,6 +57,15 @@ struct DtmAction
      * the share fraction actually moved.
      */
     std::vector<double> trafficShares;
+
+    /**
+     * Field-wise equality. The batched simulator uses this to detect
+     * the first window where policies sharing a trajectory prefix
+     * diverge, so "equal" must mean "the simulator would do exactly the
+     * same thing" — which field-wise double comparison (inf == inf
+     * included; no field is ever NaN) delivers.
+     */
+    bool operator==(const DtmAction &) const = default;
 };
 
 /**

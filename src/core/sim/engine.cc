@@ -68,10 +68,9 @@ ExperimentEngine::workerLoop()
     }
 }
 
-SimResult
-ExperimentEngine::execute(const Run &r, ThermalSimulator::Scratch &s)
+std::unique_ptr<DtmPolicy>
+ExperimentEngine::makePolicy(const Run &r)
 {
-    ThermalSimulator sim(r.cfg);
     auto policy = r.factory
                       ? r.factory(r.cfg, r.policy)
                       : PolicyRegistry::instance().make(
@@ -82,6 +81,14 @@ ExperimentEngine::execute(const Run &r, ThermalSimulator::Scratch &s)
                                           r.cfg.remapHysteresis,
                                           r.cfg.trafficShares});
     panicIfNot(policy != nullptr, "ExperimentEngine: null policy");
+    return policy;
+}
+
+SimResult
+ExperimentEngine::execute(const Run &r, ThermalSimulator::Scratch &s)
+{
+    ThermalSimulator sim(r.cfg);
+    auto policy = makePolicy(r);
     return sim.run(r.workload, *policy, s);
 }
 
@@ -161,6 +168,169 @@ ExperimentEngine::run(const std::vector<Run> &runs, RunSink &sink)
         std::unique_lock<std::mutex> lock(done_mtx);
         done_cv.wait(lock, [&] { return done == runs.size(); });
     }
+    if (sink_error)
+        std::rethrow_exception(sink_error);
+}
+
+void
+ExperimentEngine::runBatched(const std::vector<Run> &runs,
+                             const std::vector<RunClass> &classes,
+                             int batch_width, RunSink &sink,
+                             BatchStats *stats)
+{
+    using clock = std::chrono::steady_clock;
+
+    // The classes must tile the run list in order — every run belongs to
+    // exactly one class, so delivery covers every index exactly once.
+    std::size_t covered = 0;
+    for (const RunClass &c : classes) {
+        panicIfNot(c.first == covered && c.count >= 1,
+                   "runBatched: classes must tile the run list in order");
+        covered += c.count;
+    }
+    panicIfNot(covered == runs.size(),
+               "runBatched: classes do not cover every run");
+
+    // Split classes into chunks of at most batch_width lanes. A chunk is
+    // the unit of dispatch: one pool task, one ThermalBatchState.
+    struct Chunk
+    {
+        std::size_t first = 0;
+        std::size_t count = 0;
+    };
+    const std::size_t width = batch_width >= 1
+                                  ? static_cast<std::size_t>(batch_width)
+                                  : runs.size() + 1;
+    std::vector<Chunk> chunks;
+    for (const RunClass &c : classes)
+        for (std::size_t off = 0; off < c.count; off += width)
+            chunks.push_back(
+                Chunk{c.first + off, std::min(width, c.count - off)});
+
+    std::exception_ptr sink_error;
+    std::mutex sink_mtx;
+    BatchStats agg;
+    auto deliver = [&](std::size_t i, SimResult &&r, double wall_s,
+                       std::exception_ptr err) {
+        std::lock_guard<std::mutex> lock(sink_mtx);
+        try {
+            if (err)
+                sink.onFailure(i, err);
+            else
+                sink.onResult(i, std::move(r), wall_s);
+        } catch (...) {
+            if (!sink_error)
+                sink_error = std::current_exception();
+        }
+    };
+
+    auto oneChunk = [&](const Chunk &ch, ThermalSimulator::Scratch &s) {
+        const auto t0 = clock::now();
+
+        // Single-run chunk: the scalar path, no batch state to set up.
+        if (ch.count == 1) {
+            SimResult r;
+            std::exception_ptr err;
+            try {
+                r = execute(runs[ch.first], s);
+            } catch (...) {
+                err = std::current_exception();
+            }
+            const double wall_s =
+                std::chrono::duration<double>(clock::now() - t0).count();
+            // A lone run shares nothing; count its windows so the hit
+            // rate reflects the whole grid, not just batched chunks.
+            const double w =
+                err ? 0.0
+                    : r.runningTime /
+                          std::max(runs[ch.first].cfg.window, 1e-12);
+            deliver(ch.first, std::move(r), wall_s, err);
+            if (stats && w > 0.0) {
+                std::lock_guard<std::mutex> lock(sink_mtx);
+                agg.logicalWindows += w;
+                agg.simulatedWindows += w;
+            }
+            return;
+        }
+
+        // Build one policy per member; a failing build (unknown name,
+        // bad config) fails only that run and the rest still batch.
+        std::vector<std::unique_ptr<DtmPolicy>> built;
+        std::vector<std::size_t> idx;
+        for (std::size_t i = ch.first; i < ch.first + ch.count; ++i) {
+            try {
+                built.push_back(makePolicy(runs[i]));
+                idx.push_back(i);
+            } catch (...) {
+                deliver(i, SimResult{}, 0.0, std::current_exception());
+            }
+        }
+        if (idx.empty())
+            return;
+
+        std::vector<DtmPolicy *> ptrs;
+        ptrs.reserve(built.size());
+        for (const auto &p : built)
+            ptrs.push_back(p.get());
+
+        BatchStats chunk_stats;
+        std::vector<SimResult> results;
+        std::exception_ptr err;
+        try {
+            ThermalSimulator sim(runs[ch.first].cfg);
+            results = sim.runBatch(runs[ch.first].workload, ptrs, s,
+                                   &chunk_stats);
+        } catch (...) {
+            err = std::current_exception();
+        }
+        const double wall_s =
+            std::chrono::duration<double>(clock::now() - t0).count();
+        // The chunk's wall time is shared work; apportion it evenly so
+        // per-run timings still sum to the grid total.
+        const double share = wall_s / static_cast<double>(idx.size());
+        if (err) {
+            // A mid-simulation failure poisons the shared lanes — every
+            // member of the chunk fails together.
+            for (std::size_t i : idx)
+                deliver(i, SimResult{}, share, err);
+            return;
+        }
+        for (std::size_t k = 0; k < idx.size(); ++k)
+            deliver(idx[k], std::move(results[k]), share, nullptr);
+        if (stats) {
+            std::lock_guard<std::mutex> lock(sink_mtx);
+            agg.add(chunk_stats);
+        }
+    };
+
+    if (workers.empty()) {
+        ThermalSimulator::Scratch scratch;
+        for (const Chunk &ch : chunks)
+            oneChunk(ch, scratch);
+    } else {
+        std::size_t done = 0;
+        std::mutex done_mtx;
+        std::condition_variable done_cv;
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            for (const Chunk &ch : chunks) {
+                queue.emplace_back([&, ch](ThermalSimulator::Scratch &s) {
+                    oneChunk(ch, s);
+                    std::lock_guard<std::mutex> dlock(done_mtx);
+                    if (++done == chunks.size())
+                        done_cv.notify_all();
+                });
+            }
+        }
+        wake.notify_all();
+        {
+            std::unique_lock<std::mutex> lock(done_mtx);
+            done_cv.wait(lock, [&] { return done == chunks.size(); });
+        }
+    }
+
+    if (stats)
+        stats->add(agg);
     if (sink_error)
         std::rethrow_exception(sink_error);
 }

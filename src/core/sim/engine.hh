@@ -106,6 +106,21 @@ class ExperimentEngine
         PolicyFactory factory;  ///< empty -> Chapter 4 policy lineup
     };
 
+    /**
+     * A contiguous span of a run list whose members differ ONLY by
+     * policy: same config, same workload, same factory behavior. Runs
+     * inside one class may legally share their simulated prefix (see
+     * runBatched()); the scenario layer derives classes structurally
+     * from its lowering order, which is the only place the "policy-
+     * independent equivalence" invariant can be asserted cheaply
+     * (SimConfig has no operator==).
+     */
+    struct RunClass
+    {
+        std::size_t first = 0; ///< index of the class's first run
+        std::size_t count = 0; ///< number of runs (>= 1)
+    };
+
     /** @param n_threads 0 = resolve from MEMTHERM_THREADS / hardware */
     explicit ExperimentEngine(int n_threads = 0);
     ~ExperimentEngine();
@@ -126,6 +141,26 @@ class ExperimentEngine
      * is built on — the engine itself never owns a result vector.
      */
     void run(const std::vector<Run> &runs, RunSink &sink);
+
+    /**
+     * Batched streaming primitive: like run(runs, sink), but runs
+     * within one RunClass execute through ThermalSimulator::runBatch in
+     * chunks of up to @p batch_width lanes, sharing their simulated
+     * prefix. Results are bit-identical to run() per run — batching is
+     * purely an execution strategy. @p classes must tile [0, runs.size())
+     * in order, and every class's runs must share config + workload
+     * (only the policy may differ); violating that is the caller's bug
+     * and produces wrong results, which is why only the scenario layer
+     * constructs classes. Chunks of one run fall back to the scalar
+     * path. A failure while building one run's policy fails only that
+     * run; a failure inside a batched simulation fails every run of the
+     * chunk (their shared state is poisoned). @p batch_width < 1 means
+     * "whole class in one chunk". @p stats, when non-null, accumulates
+     * the batch counters across all chunks.
+     */
+    void runBatched(const std::vector<Run> &runs,
+                    const std::vector<RunClass> &classes, int batch_width,
+                    RunSink &sink, BatchStats *stats = nullptr);
 
     /**
      * Collecting convenience wrapper: execute all runs; results are
@@ -166,6 +201,7 @@ class ExperimentEngine
 
     void workerLoop();
     static SimResult execute(const Run &r, ThermalSimulator::Scratch &s);
+    static std::unique_ptr<DtmPolicy> makePolicy(const Run &r);
     std::vector<Run> makeSuiteRuns(const SimConfig &cfg,
                                    const std::vector<Workload> &workloads,
                                    const std::vector<std::string> &policies,

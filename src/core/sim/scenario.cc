@@ -809,6 +809,28 @@ ScenarioSpec::lower() const
         if (k == 0)
             break;
     }
+
+    // Equivalence classes over the global run order (see the header's
+    // LoweredScenario::classes contract). Lowering just emitted the runs
+    // workload-major with the policy fastest, which is exactly the
+    // contiguity the classes assert.
+    {
+        std::size_t base = 0;
+        const std::size_t n_pol = policies.size();
+        for (const auto &pt : out.points) {
+            if (onPlatform) {
+                // ch5EngineRun specializes the config per policy
+                // (SR1500AL "No-limit" runs at a 26 C room ambient), so
+                // platform runs never share a prefix.
+                for (std::size_t r = 0; r < pt.runs.size(); ++r)
+                    out.classes.push_back({base + r, 1});
+            } else {
+                for (std::size_t w = 0; w < ws.size(); ++w)
+                    out.classes.push_back({base + w * n_pol, n_pol});
+            }
+            base += pt.runs.size();
+        }
+    }
     return out;
 }
 
@@ -1109,10 +1131,13 @@ class ScenarioCollectSink : public RunSink
     std::vector<std::pair<std::size_t, std::string>> failures;
 };
 
-} // namespace
-
+/**
+ * Shared body of runScenario()/runScenarioBatched(): lower, execute
+ * (scalar when @p batch_width is 0, batched otherwise), assemble.
+ */
 ScenarioResults
-runScenario(const ScenarioSpec &spec, ExperimentEngine &engine)
+runScenarioImpl(const ScenarioSpec &spec, ExperimentEngine &engine,
+                int batch_width, BatchStats *stats)
 {
     LoweredScenario low = spec.lower();
 
@@ -1124,7 +1149,10 @@ runScenario(const ScenarioSpec &spec, ExperimentEngine &engine)
     applyFaultInjection(all);
 
     ScenarioCollectSink sink(all.size());
-    engine.run(all, sink);
+    if (batch_width == 0)
+        engine.run(all, sink);
+    else
+        engine.runBatched(all, low.classes, batch_width, sink, stats);
 
     ScenarioResults out;
     out.scenario = spec.name;
@@ -1157,11 +1185,26 @@ runScenario(const ScenarioSpec &spec, ExperimentEngine &engine)
     return out;
 }
 
+} // namespace
+
+ScenarioResults
+runScenario(const ScenarioSpec &spec, ExperimentEngine &engine)
+{
+    return runScenarioImpl(spec, engine, 0, nullptr);
+}
+
 ScenarioResults
 runScenario(const ScenarioSpec &spec)
 {
     ExperimentEngine engine;
     return runScenario(spec, engine);
+}
+
+ScenarioResults
+runScenarioBatched(const ScenarioSpec &spec, ExperimentEngine &engine,
+                   int batch_width, BatchStats *stats)
+{
+    return runScenarioImpl(spec, engine, batch_width, stats);
 }
 
 Json

@@ -49,6 +49,19 @@ struct LoweredScenario
     std::vector<std::string> workloads; ///< resolved names, spec order
     std::vector<std::string> policies;
 
+    /**
+     * Policy-independent equivalence classes over the concatenated run
+     * list (global grid order): each class spans runs that differ only
+     * by policy — same point configuration, same workload — so a
+     * batched engine may share their simulated prefix. Derived
+     * structurally from the lowering order (runs are workload-major
+     * with the policy fastest): one class of size policies.size() per
+     * (point, workload) — except on Chapter 5 platforms, where
+     * ch5EngineRun adjusts the configuration per policy (the SR1500AL
+     * "No-limit" room-ambient protocol), so every run is its own class.
+     */
+    std::vector<ExperimentEngine::RunClass> classes;
+
     /** Total run count across all points. */
     std::size_t totalRuns() const;
 };
@@ -269,6 +282,22 @@ ScenarioResults runScenario(const ScenarioSpec &spec,
 
 /** Convenience overload: a default-sized engine (MEMTHERM_THREADS). */
 ScenarioResults runScenario(const ScenarioSpec &spec);
+
+/**
+ * Execute a scenario through the engine's batched path: runs inside one
+ * policy-independent equivalence class (LoweredScenario::classes) share
+ * their simulated prefix, in lockstep chunks of up to @p batch_width
+ * lanes (< 1 = one chunk per class). Today's fork construction makes
+ * every batched run bit-identical to its scalar twin (pinned by gtest);
+ * the contract callers may rely on, however, is only agreement within
+ * the batched golden tolerance — that headroom is reserved for future
+ * cross-lane vectorized sweeps that may reassociate the arithmetic.
+ * @p stats, when non-null, accumulates the grid's batch counters.
+ */
+ScenarioResults runScenarioBatched(const ScenarioSpec &spec,
+                                   ExperimentEngine &engine,
+                                   int batch_width,
+                                   BatchStats *stats = nullptr);
 
 /**
  * Serialize results. @p traces includes the full temperature/power

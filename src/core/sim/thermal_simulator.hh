@@ -10,18 +10,63 @@
  * network and the ambient node, and invokes the DTM policy at every DTM
  * interval. Batch-job scheduling (N copies of each application, round-
  * robin core assignment, Section 4.3.2) lives here too.
+ *
+ * Two execution shapes share the same window arithmetic:
+ *  - run(): one (workload, policy) experiment, a K=1 view over a private
+ *    ThermalBatchState; bit-identical to the historical scalar loop.
+ *  - runBatch(): one workload under K policies in lockstep. All K runs
+ *    share the simulated prefix until the first DTM decision where their
+ *    policies' actions differ; at that window the shared lane is forked
+ *    (an exact state snapshot: thermal lane, ambient node, batch-job
+ *    progress, sensor RNG position), so every run stays bit-identical to
+ *    a from-scratch scalar run. Policies that never diverge (common on
+ *    cool operating points) share the entire simulation.
  */
 
 #ifndef MEMTHERM_CORE_SIM_THERMAL_SIMULATOR_HH
 #define MEMTHERM_CORE_SIM_THERMAL_SIMULATOR_HH
 
+#include "common/rng.hh"
 #include "core/dtm/dtm_policy.hh"
 #include "core/sim/sim_config.hh"
 #include "core/sim/sim_result.hh"
+#include "core/thermal/ambient_model.hh"
+#include "core/thermal/memory_thermal.hh"
 #include "workloads/workload.hh"
 
 namespace memtherm
 {
+
+/**
+ * Counters of one batched execution (ThermalSimulator::runBatch, or a
+ * whole grid via ExperimentEngine::runBatched). A "logical" window is a
+ * window-step credited to a run; a "simulated" window is one actually
+ * computed. Shared-prefix execution makes simulated <= logical; the gap
+ * is the work saved.
+ */
+struct BatchStats
+{
+    double logicalWindows = 0.0;   ///< window-steps credited to runs
+    double simulatedWindows = 0.0; ///< window-steps actually computed
+    std::size_t forks = 0;         ///< lane forks (policy divergences)
+
+    /** Fraction of logical windows served by a shared prefix. */
+    double
+    hitRate() const
+    {
+        return logicalWindows > 0.0
+                   ? 1.0 - simulatedWindows / logicalWindows
+                   : 0.0;
+    }
+
+    void
+    add(const BatchStats &o)
+    {
+        logicalWindows += o.logicalWindows;
+        simulatedWindows += o.simulatedWindows;
+        forks += o.forks;
+    }
+};
 
 /**
  * Runs one (workload, policy) experiment to batch completion.
@@ -32,22 +77,24 @@ class ThermalSimulator
     explicit ThermalSimulator(SimConfig cfg);
 
     /**
-     * Reusable working memory for run().
+     * Reusable working memory for run()/runBatch().
      *
      * The window loop executes up to maxSimTime / window (potentially
      * millions of) iterations; every per-window container lives here so
      * the steady state performs no heap allocation. Invariants:
-     *  - run() clears/refills each buffer every window and never reads a
-     *    value left over from a previous window or a previous run, so a
+     *  - the loop clears/refills each buffer every window and never reads
+     *    a value left over from a previous window or a previous run, so a
      *    Scratch may be reused across runs in any order;
      *  - buffer capacity only grows (bounded by the core count), it is
      *    never released between windows;
      *  - a Scratch must not be shared by two concurrent run() calls.
      *    The ExperimentEngine keeps one per worker thread.
+     *
+     * Per-run state (core job slots, thermal lanes, RNG) lives in Lane,
+     * not here, so lanes can be forked without touching the scratch.
      */
     struct Scratch
     {
-        std::vector<BatchJob::Instance *> slot; ///< per-core job slots
         std::vector<std::size_t> occupied;  ///< slots holding a job
         std::vector<std::size_t> scheduled; ///< slots picked to run
         std::vector<double> sharers;        ///< L2 sharer count per task
@@ -55,6 +102,52 @@ class ThermalSimulator
         std::vector<double> taskMpki;       ///< effective mpki per task
         std::vector<double> activities;     ///< per-core activity factors
         WindowPerf perf;                    ///< level-1 window solution
+    };
+
+    /**
+     * The complete mutable state of one in-flight run: everything a
+     * window-step reads or writes that belongs to the run rather than to
+     * the shared scratch. The batched path snapshots a run by copy-
+     * constructing a Lane onto a fresh thermal-state lane (the fork
+     * constructor), which is an exact double-copy — a forked lane
+     * continues bit-identically to the lane it forked from.
+     */
+    struct Lane
+    {
+        /** Fresh run at t = 0 on lane @p lane_index of @p state. */
+        Lane(const SimConfig &cfg, const Workload &mix,
+             ThermalBatchState &state, int lane_index);
+
+        /** Fork: exact snapshot of @p src continuing on @p lane_index. */
+        Lane(const Lane &src, ThermalBatchState &state, int lane_index);
+
+        Lane(Lane &&) = default;
+        Lane &operator=(Lane &&) = default;
+
+        SimResult res;
+        BatchJob batch;
+        std::vector<BatchJob::Instance *> slot; ///< per-core job slots
+        AmbientModel ambient;
+        MemoryThermalModel mem; ///< view over one state lane
+        Rng sensorRng;
+        DtmAction action;
+        ThermalReading reading;
+        /// Pending migration-cost traffic (GB) from a remap decision,
+        /// spent in the window that applied it.
+        double remapBurstGb = 0.0;
+        Seconds nextDtm = 0.0;
+        Seconds nextRotation = 0.0;
+        Seconds nextTrace = 0.0;
+        std::size_t rotation = 0;
+        bool decided = false; ///< a DTM decision landed this window
+        Seconds t = 0.0;
+        bool live = true; ///< batch unfinished and t < maxSimTime
+        // Window-step intermediates carried from the pre phase (through
+        // the shared temperature sweep) into the post phase.
+        Watts pendingCpuPower = 0.0;
+        Celsius pendingInlet = 0.0;
+        GBps pendingRead = 0.0;
+        GBps pendingWrite = 0.0;
     };
 
     /**
@@ -69,9 +162,53 @@ class ThermalSimulator
     SimResult run(const Workload &mix, DtmPolicy &policy,
                   Scratch &scratch) const;
 
+    /**
+     * Simulate one workload under every policy in @p policies (all
+     * reset() first), sharing the simulated prefix between runs whose
+     * policies have made identical decisions so far. Returns one
+     * SimResult per policy, in order; each is bit-identical to what
+     * run(mix, *policies[i]) returns. @p stats, when non-null, is
+     * overwritten with this batch's counters.
+     *
+     * The policies must be distinct objects (each receives its own
+     * decide() stream) and there must be at least one.
+     */
+    std::vector<SimResult> runBatch(const Workload &mix,
+                                    const std::vector<DtmPolicy *> &policies,
+                                    Scratch &scratch,
+                                    BatchStats *stats = nullptr) const;
+
     const SimConfig &config() const { return cfg; }
 
   private:
+    /** Reserve every scratch buffer for the configured core count. */
+    void reserveScratch(Scratch &scratch) const;
+
+    /** Read the sensors into lane.reading (consumes sensor RNG draws). */
+    void senseLane(Lane &lane) const;
+
+    /**
+     * Apply a DTM decision to a lane: store the action, actuate a remap
+     * if the action carries shares, advance the decision clock. In the
+     * batched path the same already-computed action is applied to a
+     * forked lane, which must not re-run the policy.
+     */
+    void applyDecision(Lane &lane, const DtmAction &a) const;
+
+    /**
+     * The window step up to and including staging the thermal advance:
+     * scheduling, level-1 solve, progress/retirement, power, ambient.
+     * Leaves the lane's thermal lane staged (stable targets written);
+     * the caller commits the temperature sweep, then calls windowPost().
+     */
+    void windowPre(Lane &lane, Scratch &scratch) const;
+
+    /** Finish the window: peaks/energy fold, traces, time advance. */
+    void windowPost(Lane &lane) const;
+
+    /** Fill the end-of-run summary fields of lane.res. */
+    void finalizeLane(Lane &lane) const;
+
     SimConfig cfg;
 };
 

@@ -8,23 +8,103 @@
 namespace memtherm
 {
 
-MemoryThermalModel::MemoryThermalModel(const MemoryOrgConfig &org,
-                                       const CoolingConfig &cooling,
-                                       const DimmPowerModel &power,
-                                       Celsius t0,
-                                       std::vector<double> traffic_shares)
-    : orgCfg(org), pwr(power), shares(std::move(traffic_shares))
+namespace
+{
+
+void
+checkOrgAndShares(const MemoryOrgConfig &org,
+                  const std::vector<double> &shares)
 {
     panicIfNot(org.nChannels >= 1 && org.nDimmsPerChannel >= 1,
                "MemoryThermalModel: bad organization");
     panicIfNot(shares.empty() ||
                    static_cast<int>(shares.size()) == org.nDimmsPerChannel,
                "MemoryThermalModel: traffic share arity");
-    dimms.reserve(org.nDimmsPerChannel);
-    for (int i = 0; i < org.nDimmsPerChannel; ++i)
-        dimms.emplace_back(cooling, t0);
-    peaks.assign(dimms.size(), {t0, t0});
-    energyPerDimm.assign(dimms.size(), 0.0);
+}
+
+} // namespace
+
+MemoryThermalModel::MemoryThermalModel(const MemoryOrgConfig &org,
+                                       const CoolingConfig &cooling,
+                                       const DimmPowerModel &power,
+                                       Celsius t0,
+                                       std::vector<double> traffic_shares)
+    : orgCfg(org), pwr(power), cool(cooling),
+      shares(std::move(traffic_shares)),
+      ownedState(nullptr), st(nullptr), laneIdx(0)
+{
+    checkOrgAndShares(orgCfg, shares);
+    ownedState =
+        std::make_unique<ThermalBatchState>(1, orgCfg.nDimmsPerChannel);
+    st = ownedState.get();
+    st->initLane(0, cool.tauAmb, cool.tauDram, t0);
+}
+
+MemoryThermalModel::MemoryThermalModel(const MemoryOrgConfig &org,
+                                       const CoolingConfig &cooling,
+                                       const DimmPowerModel &power,
+                                       Celsius t0,
+                                       std::vector<double> traffic_shares,
+                                       ThermalBatchState &state, int lane)
+    : orgCfg(org), pwr(power), cool(cooling),
+      shares(std::move(traffic_shares)),
+      ownedState(nullptr), st(&state), laneIdx(lane)
+{
+    checkOrgAndShares(orgCfg, shares);
+    panicIfNot(state.dimms() == orgCfg.nDimmsPerChannel,
+               "MemoryThermalModel: batch state chain length mismatch");
+    st->initLane(laneIdx, cool.tauAmb, cool.tauDram, t0);
+}
+
+MemoryThermalModel::MemoryThermalModel(const MemoryThermalModel &src,
+                                       ThermalBatchState &state, int lane)
+    : orgCfg(src.orgCfg), pwr(src.pwr), cool(src.cool), shares(src.shares),
+      ownedState(nullptr), st(&state), laneIdx(lane)
+{
+    panicIfNot(state.dimms() == orgCfg.nDimmsPerChannel,
+               "MemoryThermalModel: batch state chain length mismatch");
+    st->initLane(laneIdx, cool.tauAmb, cool.tauDram, 0.0);
+    copyLaneFrom(src);
+}
+
+MemoryThermalModel::MemoryThermalModel(const MemoryThermalModel &other)
+    : orgCfg(other.orgCfg), pwr(other.pwr), cool(other.cool),
+      shares(other.shares), ownedState(nullptr), st(nullptr), laneIdx(0)
+{
+    ownedState =
+        std::make_unique<ThermalBatchState>(1, orgCfg.nDimmsPerChannel);
+    st = ownedState.get();
+    st->initLane(0, cool.tauAmb, cool.tauDram, 0.0);
+    copyLaneFrom(other);
+}
+
+MemoryThermalModel &
+MemoryThermalModel::operator=(const MemoryThermalModel &other)
+{
+    if (this == &other)
+        return *this;
+    MemoryThermalModel copy(other);
+    *this = std::move(copy);
+    return *this;
+}
+
+void
+MemoryThermalModel::copyLaneFrom(const MemoryThermalModel &src)
+{
+    const int n = orgCfg.nDimmsPerChannel;
+    const ThermalBatchState &from = *src.st;
+    for (int i = 0; i < n; ++i) {
+        st->ambTemp(laneIdx)[i] = from.ambTemp(src.laneIdx)[i];
+        st->dramTemp(laneIdx)[i] = from.dramTemp(src.laneIdx)[i];
+        st->peakAmb(laneIdx)[i] = from.peakAmb(src.laneIdx)[i];
+        st->peakDram(laneIdx)[i] = from.peakDram(src.laneIdx)[i];
+        st->energy(laneIdx)[i] = from.energy(src.laneIdx)[i];
+    }
+    st->energyTime(laneIdx) = from.energyTime(src.laneIdx);
+    // The staging arrays and decay memo are per-step scratch: initLane
+    // invalidated the memo, and the next stageAdvance recomputes the
+    // decay factors from (dt, tau) — deterministically the same doubles
+    // the source lane holds, so the fork stays bit-identical.
 }
 
 const std::vector<DimmPower> &
@@ -42,25 +122,50 @@ MemoryThermalModel::channelPower(GBps total_read, GBps total_write) const
     return powerScratch;
 }
 
+void
+MemoryThermalModel::stageAdvance(GBps total_read, GBps total_write,
+                                 Celsius ambient, Seconds dt)
+{
+    st->ensureDecay(dt);
+    const auto &powers = channelPower(total_read, total_write);
+    double *sa = st->stableAmb(laneIdx);
+    double *sd = st->stableDram(laneIdx);
+    for (std::size_t i = 0; i < powers.size(); ++i) {
+        sa[i] = stableAmbAt(ambient, powers[i]);
+        sd[i] = stableDramAt(ambient, powers[i]);
+    }
+}
+
+MemoryThermalSample
+MemoryThermalModel::finishAdvance(Seconds dt)
+{
+    MemoryThermalSample s;
+    Watts channel_power = 0.0;
+    const double *amb = st->ambTemp(laneIdx);
+    const double *dram = st->dramTemp(laneIdx);
+    double *pa = st->peakAmb(laneIdx);
+    double *pd = st->peakDram(laneIdx);
+    double *e = st->energy(laneIdx);
+    for (std::size_t i = 0; i < powerScratch.size(); ++i) {
+        s.hottestAmb = std::max(s.hottestAmb, amb[i]);
+        s.hottestDram = std::max(s.hottestDram, dram[i]);
+        pa[i] = std::max(pa[i], amb[i]);
+        pd[i] = std::max(pd[i], dram[i]);
+        e[i] += powerScratch[i].total() * dt;
+        channel_power += powerScratch[i].total();
+    }
+    st->energyTime(laneIdx) += dt;
+    s.subsystemPower = channel_power * orgCfg.nChannels;
+    return s;
+}
+
 MemoryThermalSample
 MemoryThermalModel::advance(GBps total_read, GBps total_write,
                             Celsius ambient, Seconds dt)
 {
-    const auto &powers = channelPower(total_read, total_write);
-    MemoryThermalSample s;
-    Watts channel_power = 0.0;
-    for (std::size_t i = 0; i < dimms.size(); ++i) {
-        DimmTemps t = dimms[i].advance(ambient, powers[i], dt);
-        s.hottestAmb = std::max(s.hottestAmb, t.amb);
-        s.hottestDram = std::max(s.hottestDram, t.dram);
-        peaks[i].amb = std::max(peaks[i].amb, t.amb);
-        peaks[i].dram = std::max(peaks[i].dram, t.dram);
-        energyPerDimm[i] += powers[i].total() * dt;
-        channel_power += powers[i].total();
-    }
-    energyTime += dt;
-    s.subsystemPower = channel_power * orgCfg.nChannels;
-    return s;
+    stageAdvance(total_read, total_write, ambient, dt);
+    commitStaged();
+    return finishAdvance(dt);
 }
 
 Celsius
@@ -69,8 +174,8 @@ MemoryThermalModel::stableHottestAmb(GBps total_read, GBps total_write,
 {
     const auto &powers = channelPower(total_read, total_write);
     Celsius hottest = ambient;
-    for (std::size_t i = 0; i < dimms.size(); ++i)
-        hottest = std::max(hottest, dimms[i].stableAmb(ambient, powers[i]));
+    for (const auto &p : powers)
+        hottest = std::max(hottest, stableAmbAt(ambient, p));
     return hottest;
 }
 
@@ -80,8 +185,8 @@ MemoryThermalModel::stableHottestDram(GBps total_read, GBps total_write,
 {
     const auto &powers = channelPower(total_read, total_write);
     Celsius hottest = ambient;
-    for (std::size_t i = 0; i < dimms.size(); ++i)
-        hottest = std::max(hottest, dimms[i].stableDram(ambient, powers[i]));
+    for (const auto &p : powers)
+        hottest = std::max(hottest, stableDramAt(ambient, p));
     return hottest;
 }
 
@@ -99,10 +204,11 @@ MemoryThermalSample
 MemoryThermalModel::current() const
 {
     MemoryThermalSample s;
-    for (const auto &d : dimms) {
-        DimmTemps t = d.temps();
-        s.hottestAmb = std::max(s.hottestAmb, t.amb);
-        s.hottestDram = std::max(s.hottestDram, t.dram);
+    const double *amb = st->ambTemp(laneIdx);
+    const double *dram = st->dramTemp(laneIdx);
+    for (int i = 0; i < orgCfg.nDimmsPerChannel; ++i) {
+        s.hottestAmb = std::max(s.hottestAmb, amb[i]);
+        s.hottestDram = std::max(s.hottestDram, dram[i]);
     }
     return s;
 }
@@ -111,9 +217,11 @@ std::vector<DimmTemps>
 MemoryThermalModel::dimmTemps() const
 {
     std::vector<DimmTemps> out;
-    out.reserve(dimms.size());
-    for (const auto &d : dimms)
-        out.push_back(d.temps());
+    out.reserve(static_cast<std::size_t>(orgCfg.nDimmsPerChannel));
+    const double *amb = st->ambTemp(laneIdx);
+    const double *dram = st->dramTemp(laneIdx);
+    for (int i = 0; i < orgCfg.nDimmsPerChannel; ++i)
+        out.push_back({amb[i], dram[i]});
     return out;
 }
 
@@ -121,12 +229,15 @@ void
 MemoryThermalModel::currentPerDimm(std::vector<Celsius> &amb,
                                    std::vector<Celsius> &dram) const
 {
-    amb.resize(dimms.size());
-    dram.resize(dimms.size());
-    for (std::size_t i = 0; i < dimms.size(); ++i) {
-        DimmTemps t = dimms[i].temps();
-        amb[i] = t.amb;
-        dram[i] = t.dram;
+    const std::size_t n =
+        static_cast<std::size_t>(orgCfg.nDimmsPerChannel);
+    amb.resize(n);
+    dram.resize(n);
+    const double *a = st->ambTemp(laneIdx);
+    const double *d = st->dramTemp(laneIdx);
+    for (std::size_t i = 0; i < n; ++i) {
+        amb[i] = a[i];
+        dram[i] = d[i];
     }
 }
 
@@ -157,13 +268,29 @@ MemoryThermalModel::setTrafficShares(std::vector<double> new_shares)
     return 0.5 * l1;
 }
 
+std::vector<DimmTemps>
+MemoryThermalModel::dimmPeaks() const
+{
+    std::vector<DimmTemps> out;
+    out.reserve(static_cast<std::size_t>(orgCfg.nDimmsPerChannel));
+    const double *pa = st->peakAmb(laneIdx);
+    const double *pd = st->peakDram(laneIdx);
+    for (int i = 0; i < orgCfg.nDimmsPerChannel; ++i)
+        out.push_back({pa[i], pd[i]});
+    return out;
+}
+
 std::vector<Watts>
 MemoryThermalModel::dimmAvgPower() const
 {
-    std::vector<Watts> out(dimms.size(), 0.0);
-    if (energyTime > 0.0) {
-        for (std::size_t i = 0; i < out.size(); ++i)
-            out[i] = energyPerDimm[i] / energyTime;
+    const std::size_t n =
+        static_cast<std::size_t>(orgCfg.nDimmsPerChannel);
+    std::vector<Watts> out(n, 0.0);
+    const Seconds elapsed = st->energyTime(laneIdx);
+    if (elapsed > 0.0) {
+        const double *e = st->energy(laneIdx);
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = e[i] / elapsed;
     }
     return out;
 }
@@ -171,11 +298,20 @@ MemoryThermalModel::dimmAvgPower() const
 void
 MemoryThermalModel::reset(Celsius t)
 {
-    for (auto &d : dimms)
-        d.reset(t);
-    peaks.assign(dimms.size(), {t, t});
-    energyPerDimm.assign(dimms.size(), 0.0);
-    energyTime = 0.0;
+    const int n = orgCfg.nDimmsPerChannel;
+    double *amb = st->ambTemp(laneIdx);
+    double *dram = st->dramTemp(laneIdx);
+    double *pa = st->peakAmb(laneIdx);
+    double *pd = st->peakDram(laneIdx);
+    double *e = st->energy(laneIdx);
+    for (int i = 0; i < n; ++i) {
+        amb[i] = t;
+        dram[i] = t;
+        pa[i] = t;
+        pd[i] = t;
+        e[i] = 0.0;
+    }
+    st->energyTime(laneIdx) = 0.0;
 }
 
 void
@@ -183,12 +319,19 @@ MemoryThermalModel::resetToStable(GBps total_read, GBps total_write,
                                   Celsius ambient)
 {
     const auto &powers = channelPower(total_read, total_write);
-    for (std::size_t i = 0; i < dimms.size(); ++i) {
-        dimms[i].resetToStable(ambient, powers[i]);
-        peaks[i] = dimms[i].temps();
-        energyPerDimm[i] = 0.0;
+    double *amb = st->ambTemp(laneIdx);
+    double *dram = st->dramTemp(laneIdx);
+    double *pa = st->peakAmb(laneIdx);
+    double *pd = st->peakDram(laneIdx);
+    double *e = st->energy(laneIdx);
+    for (std::size_t i = 0; i < powers.size(); ++i) {
+        amb[i] = stableAmbAt(ambient, powers[i]);
+        dram[i] = stableDramAt(ambient, powers[i]);
+        pa[i] = amb[i];
+        pd[i] = dram[i];
+        e[i] = 0.0;
     }
-    energyTime = 0.0;
+    st->energyTime(laneIdx) = 0.0;
 }
 
 } // namespace memtherm

@@ -9,15 +9,26 @@
  * `traffic_shape` knob). One representative channel's DIMMs are modeled
  * thermally; subsystem power is scaled by the channel count for energy
  * accounting.
+ *
+ * The mutable thermal state (temperatures, peaks, energy accumulators)
+ * lives in a ThermalBatchState — structure-of-arrays, one lane per run.
+ * A model either owns a private single-lane state (the scalar path and
+ * every historical constructor) or is a *view* over one lane of a
+ * caller-owned multi-lane state (the batched simulator), selected by
+ * constructor. Both modes run the same arithmetic in the same order, so
+ * an owning model is bit-identical to the former array-of-objects
+ * layout and a view lane is bit-identical to an owning model.
  */
 
 #ifndef MEMTHERM_CORE_THERMAL_MEMORY_THERMAL_HH
 #define MEMTHERM_CORE_THERMAL_MEMORY_THERMAL_HH
 
+#include <memory>
 #include <vector>
 
 #include "core/power/power_model.hh"
 #include "core/thermal/dimm_thermal.hh"
+#include "core/thermal/thermal_batch.hh"
 
 namespace memtherm
 {
@@ -50,6 +61,8 @@ class MemoryThermalModel
 {
   public:
     /**
+     * Owning mode: the model allocates a private single-lane state.
+     *
      * @param org     channel/DIMM organization
      * @param cooling Table 3.2 column
      * @param power   per-DIMM power models
@@ -66,7 +79,36 @@ class MemoryThermalModel
                        std::vector<double> traffic_shares = {});
 
     /**
-     * Advance all DIMM nodes by dt.
+     * View mode: the model's thermal state is lane @p lane of the
+     * caller-owned @p state (whose dimms() must match the organization's
+     * chain length). The lane is (re)initialized to @p t0. The state
+     * must outlive the model; two models must not view one lane.
+     */
+    MemoryThermalModel(const MemoryOrgConfig &org,
+                       const CoolingConfig &cooling,
+                       const DimmPowerModel &power, Celsius t0,
+                       std::vector<double> traffic_shares,
+                       ThermalBatchState &state, int lane);
+
+    /**
+     * Fork: a view over lane @p lane of @p state that copies @p src's
+     * configuration, traffic shares and *current lane contents* exactly
+     * (the shared-prefix snapshot restore). The new lane continues
+     * bit-identically to @p src.
+     */
+    MemoryThermalModel(const MemoryThermalModel &src,
+                       ThermalBatchState &state, int lane);
+
+    /** Deep copy: the copy owns a private single-lane snapshot of
+     *  @p other's current lane, whatever mode @p other is in. */
+    MemoryThermalModel(const MemoryThermalModel &other);
+    MemoryThermalModel &operator=(const MemoryThermalModel &other);
+    MemoryThermalModel(MemoryThermalModel &&) = default;
+    MemoryThermalModel &operator=(MemoryThermalModel &&) = default;
+
+    /**
+     * Advance all DIMM nodes by dt: stageAdvance() + commitStaged() +
+     * finishAdvance() in one call (the scalar path).
      *
      * @param total_read   system-wide read throughput (GB/s)
      * @param total_write  system-wide write throughput (GB/s)
@@ -75,6 +117,23 @@ class MemoryThermalModel
      */
     MemoryThermalSample advance(GBps total_read, GBps total_write,
                                 Celsius ambient, Seconds dt);
+
+    /**
+     * Phase 1 of a split advance: evaluate the power model and write
+     * each DIMM's stable-target temperatures into the lane's staging
+     * arrays (and refresh the batch decay memo for @p dt). The batched
+     * simulator stages every lane, sweeps the temperatures, then
+     * finishes every lane; no other power query may run on this model
+     * between stage and finish (they share the power scratch).
+     */
+    void stageAdvance(GBps total_read, GBps total_write, Celsius ambient,
+                      Seconds dt);
+
+    /** Phase 2: the vectorizable temperature sweep over this lane. */
+    void commitStaged() { st->advanceLane(laneIdx); }
+
+    /** Phase 3: fold peaks and energy; returns the step's sample. */
+    MemoryThermalSample finishAdvance(Seconds dt);
 
     /** Stable hottest-AMB temperature at an operating point (no advance). */
     Celsius stableHottestAmb(GBps total_read, GBps total_write,
@@ -119,17 +178,18 @@ class MemoryThermalModel
 
     /**
      * Per-DIMM peak temperatures since the last reset (index 0 nearest
-     * the memory controller). advance() folds every step into these, so
-     * the hot loop never materializes a temperature vector; resets
-     * restart the peaks from the reset temperatures.
+     * the memory controller). advance() folds every step into the
+     * lane's peak arrays, so the hot loop never materializes a
+     * temperature vector; only this accessor does. Resets restart the
+     * peaks from the reset temperatures.
      */
-    const std::vector<DimmTemps> &dimmPeaks() const { return peaks; }
+    std::vector<DimmTemps> dimmPeaks() const;
 
     /**
      * Per-DIMM mean power on the representative channel since the last
      * reset (energy folded in by advance(), divided by the elapsed
      * time; all zeros before any advance). Like the peaks, the energy
-     * accumulators are members the hot loop updates in place — only
+     * accumulators are lane state the hot loop updates in place — only
      * this accessor materializes a vector.
      */
     std::vector<Watts> dimmAvgPower() const;
@@ -147,10 +207,24 @@ class MemoryThermalModel
 
     const MemoryOrgConfig &org() const { return orgCfg; }
     const DimmPowerModel &powerModel() const { return pwr; }
+    const CoolingConfig &cooling() const { return cool; }
     /** Per-DIMM traffic shares; empty means uniform interleave. */
     const std::vector<double> &trafficShares() const { return shares; }
+    /** The lane this model's state occupies (0 in owning mode). */
+    int lane() const { return laneIdx; }
 
   private:
+    /** Eq. 3.3: stable AMB temperature for a given operating point. */
+    Celsius stableAmbAt(Celsius ambient, const DimmPower &p) const
+    {
+        return ambient + p.amb * cool.psiAmb + p.dram * cool.psiDramToAmb;
+    }
+    /** Eq. 3.4: stable DRAM temperature for a given operating point. */
+    Celsius stableDramAt(Celsius ambient, const DimmPower &p) const
+    {
+        return ambient + p.amb * cool.psiAmbToDram + p.dram * cool.psiDram;
+    }
+
     /**
      * Per-DIMM power on the representative channel, written into the
      * member scratch buffers (returned by reference). The hot loop calls
@@ -164,13 +238,19 @@ class MemoryThermalModel
     const std::vector<DimmPower> &channelPower(GBps total_read,
                                                GBps total_write) const;
 
+    /** Exact element-wise copy of @p src's lane into this model's lane
+     *  (works across states; invalidates the decay memo via initLane's
+     *  caller having set matching taus). */
+    void copyLaneFrom(const MemoryThermalModel &src);
+
     MemoryOrgConfig orgCfg;
     DimmPowerModel pwr;
+    CoolingConfig cool;
     std::vector<double> shares; ///< per-DIMM traffic split; empty=uniform
-    std::vector<DimmThermalModel> dimms;
-    std::vector<DimmTemps> peaks; ///< per-DIMM maxima since last reset
-    std::vector<Joules> energyPerDimm; ///< per-DIMM energy since reset
-    Seconds energyTime = 0.0; ///< time advanced since last reset
+
+    std::unique_ptr<ThermalBatchState> ownedState; ///< owning mode only
+    ThermalBatchState *st; ///< owned or caller-owned batch state
+    int laneIdx;           ///< this model's lane in *st
 
     /// Scratch for channelPower(): per-DIMM traffic and power, reused
     /// across steps (mutable: const queries share the scratch).

@@ -1,0 +1,118 @@
+#include "core/thermal/thermal_batch.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace memtherm
+{
+
+ThermalBatchState::ThermalBatchState(int lanes, int dimms)
+    : nLanes(lanes), nDimms(dimms)
+{
+    panicIfNot(lanes >= 1, "ThermalBatchState: need >= 1 lane");
+    panicIfNot(dimms >= 1, "ThermalBatchState: need >= 1 DIMM per lane");
+    const std::size_t n =
+        static_cast<std::size_t>(lanes) * static_cast<std::size_t>(dimms);
+    ambV.assign(n, 0.0);
+    dramV.assign(n, 0.0);
+    stableAmbV.assign(n, 0.0);
+    stableDramV.assign(n, 0.0);
+    peakAmbV.assign(n, 0.0);
+    peakDramV.assign(n, 0.0);
+    energyV.assign(n, 0.0);
+    energyTimeV.assign(static_cast<std::size_t>(lanes), 0.0);
+    tauAmbV.assign(static_cast<std::size_t>(lanes), 1.0);
+    tauDramV.assign(static_cast<std::size_t>(lanes), 1.0);
+    decayAmbV.assign(static_cast<std::size_t>(lanes), 0.0);
+    decayDramV.assign(static_cast<std::size_t>(lanes), 0.0);
+}
+
+int
+ThermalBatchState::checked(int lane) const
+{
+    panicIfNot(lane >= 0 && lane < nLanes,
+               "ThermalBatchState: lane out of range");
+    return lane;
+}
+
+void
+ThermalBatchState::initLane(int lane, Seconds tau_amb, Seconds tau_dram,
+                            Celsius t0)
+{
+    panicIfNot(tau_amb > 0.0 && tau_dram > 0.0,
+               "ThermalBatchState: time constants must be > 0");
+    const int l = checked(lane);
+    tauAmbV[l] = tau_amb;
+    tauDramV[l] = tau_dram;
+    cachedDt = -1.0; // memo covers the whole batch; recompute on next step
+    double *amb = ambTemp(l);
+    double *dram = dramTemp(l);
+    double *pa = peakAmb(l);
+    double *pd = peakDram(l);
+    double *e = energy(l);
+    for (int i = 0; i < nDimms; ++i) {
+        amb[i] = t0;
+        dram[i] = t0;
+        pa[i] = t0;
+        pd[i] = t0;
+        e[i] = 0.0;
+    }
+    energyTimeV[l] = 0.0;
+}
+
+void
+ThermalBatchState::ensureDecay(Seconds dt)
+{
+    panicIfNot(dt >= 0.0, "ThermalBatchState: negative time step");
+    if (dt == cachedDt)
+        return;
+    cachedDt = dt;
+    // Same arithmetic as RcNode::decayFor, one evaluation per lane per
+    // distinct dt instead of one memo per node.
+    for (int l = 0; l < nLanes; ++l) {
+        decayAmbV[l] = 1.0 - std::exp(-dt / tauAmbV[l]);
+        decayDramV[l] = 1.0 - std::exp(-dt / tauDramV[l]);
+    }
+}
+
+void
+ThermalBatchState::advanceLane(int lane)
+{
+    const int l = checked(lane);
+    const double da = decayAmbV[l];
+    const double dd = decayDramV[l];
+    double *amb = ambTemp(l);
+    double *dram = dramTemp(l);
+    const double *sa = stableAmb(l);
+    const double *sd = stableDram(l);
+    for (int i = 0; i < nDimms; ++i)
+        amb[i] += (sa[i] - amb[i]) * da;
+    for (int i = 0; i < nDimms; ++i)
+        dram[i] += (sd[i] - dram[i]) * dd;
+}
+
+void
+ThermalBatchState::copyLane(int dst, int src)
+{
+    const int d = checked(dst);
+    const int s = checked(src);
+    if (d == s)
+        return;
+    for (int i = 0; i < nDimms; ++i) {
+        ambTemp(d)[i] = ambTemp(s)[i];
+        dramTemp(d)[i] = dramTemp(s)[i];
+        stableAmb(d)[i] = stableAmb(s)[i];
+        stableDram(d)[i] = stableDram(s)[i];
+        peakAmb(d)[i] = peakAmb(s)[i];
+        peakDram(d)[i] = peakDram(s)[i];
+        energy(d)[i] = energy(s)[i];
+    }
+    energyTimeV[d] = energyTimeV[s];
+    tauAmbV[d] = tauAmbV[s];
+    tauDramV[d] = tauDramV[s];
+    decayAmbV[d] = decayAmbV[s];
+    decayDramV[d] = decayDramV[s];
+}
+
+} // namespace memtherm

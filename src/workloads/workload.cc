@@ -114,6 +114,26 @@ BatchJob::done() const
     return nFinished == static_cast<int>(pool.size());
 }
 
+int
+BatchJob::indexOf(const Instance *inst) const
+{
+    if (inst == nullptr)
+        return -1;
+    panicIfNot(inst >= pool.data() && inst < pool.data() + pool.size(),
+               "BatchJob: instance is not from this batch");
+    return static_cast<int>(inst - pool.data());
+}
+
+BatchJob::Instance *
+BatchJob::at(int idx)
+{
+    if (idx < 0)
+        return nullptr;
+    panicIfNot(static_cast<std::size_t>(idx) < pool.size(),
+               "BatchJob: pool index out of range");
+    return &pool[static_cast<std::size_t>(idx)];
+}
+
 void
 BatchJob::retire(Instance *inst)
 {

@@ -74,6 +74,17 @@ class BatchJob
     /** Mark an instance finished (remainingInstr reached 0). */
     void retire(Instance *inst);
 
+    /**
+     * Stable-pool index of @p inst (-1 for nullptr). With at(), this is
+     * the clone support of the batched simulator: copying a BatchJob
+     * copies the pool by value, so a cloner rebases its per-core slot
+     * pointers via `clone.at(original.indexOf(p))`.
+     */
+    int indexOf(const Instance *inst) const;
+
+    /** Instance at a pool index from indexOf() (nullptr for -1). */
+    Instance *at(int idx);
+
   private:
     std::vector<Instance> pool; ///< interleaved copies, stable storage
     std::size_t nextIdx = 0;

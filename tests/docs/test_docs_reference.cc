@@ -113,9 +113,18 @@ TEST(DocsReference, CliManualCoversEverySubcommandAndListCatalog)
     for (const char *flag : {"--golden", "--tol", "--baseline", "--csv",
                              "--threads", "--copies", "--traces",
                              "--quiet", "-o", "--stream", "--resume",
-                             "--shard"}) {
+                             "--shard", "--batch"}) {
         EXPECT_NE(doc.find(flag), std::string::npos)
             << "docs/cli.md does not document flag '" << flag << "'";
+    }
+    // Batched execution has non-obvious determinism semantics; the
+    // manual must keep explaining the class/fork machinery, not just
+    // list the flag.
+    for (const char *term :
+         {"equivalence class", "prefix hit rate", "fork"}) {
+        EXPECT_NE(doc.find(term), std::string::npos)
+            << "docs/cli.md does not explain batched-execution term '"
+            << term << "'";
     }
     // The fault-injection env knobs exist solely for the crash tests;
     // the manual must say so (and name them) so nobody sets them in a

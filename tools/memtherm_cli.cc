@@ -77,6 +77,10 @@ usage(std::ostream &os, int rc)
           "                       MEMTHERM_THREADS or hardware)\n"
           "      --copies <n>     override the batch depth and drop any\n"
           "                       copies sweep (quick looks, smoke tests)\n"
+          "      --batch <k>      execute runs that differ only by policy\n"
+          "                       in lockstep batches of up to k lanes,\n"
+          "                       sharing their simulated prefix (not\n"
+          "                       combinable with --stream)\n"
           "      --golden <file>  compare results against a reference\n"
           "                       results JSON; nonzero exit on mismatch\n"
           "      --tol <x>        relative tolerance for --golden\n"
@@ -162,7 +166,8 @@ cmdValidate(const std::vector<std::string> &args)
                   << low.points.size() << " point(s) x "
                   << low.workloads.size() << " workload(s) x "
                   << low.policies.size() << " policy(ies) = "
-                  << low.totalRuns() << " run(s)\n";
+                  << low.totalRuns() << " run(s), "
+                  << low.classes.size() << " equivalence class(es)\n";
     }
     return 0;
 }
@@ -795,6 +800,7 @@ cmdRun(const std::vector<std::string> &args)
     std::string stream_path, shard_text;
     double tol = 1e-9;
     int threads = 0;
+    int batch_width = 0;
     std::optional<int> copies;
     bool traces = false, quiet = false, resume = false;
 
@@ -852,6 +858,8 @@ cmdRun(const std::vector<std::string> &args)
             threads = nextPosInt("--threads");
         else if (a == "--copies")
             copies = nextPosInt("--copies");
+        else if (a == "--batch")
+            batch_width = nextPosInt("--batch");
         else if (a == "--traces")
             traces = true;
         else if (a == "--quiet")
@@ -868,6 +876,11 @@ cmdRun(const std::vector<std::string> &args)
     if (stream_path.empty() && (resume || !shard_text.empty())) {
         fatal("memtherm run: --resume and --shard only make sense with "
               "--stream");
+    }
+    if (batch_width > 0 && !stream_path.empty()) {
+        // A stream's resume/shard bookkeeping is per run; a batch chunk
+        // finishes runs together and would couple their stream records.
+        fatal("memtherm run: --batch is not combinable with --stream");
     }
     ShardSpec shard;
     if (!shard_text.empty())
@@ -939,8 +952,21 @@ cmdRun(const std::vector<std::string> &args)
         return 0;
     }
 
-    ScenarioResults results = runScenario(spec, engine);
+    BatchStats batch_stats;
+    ScenarioResults results =
+        batch_width > 0
+            ? runScenarioBatched(spec, engine, batch_width, &batch_stats)
+            : runScenario(spec, engine);
 
+    if (!quiet && batch_width > 0) {
+        std::cout << "batch width " << batch_width << ": "
+                  << Json::numberToString(batch_stats.simulatedWindows)
+                  << " of "
+                  << Json::numberToString(batch_stats.logicalWindows)
+                  << " window(s) simulated, prefix hit rate "
+                  << Json::numberToString(batch_stats.hitRate()) << ", "
+                  << batch_stats.forks << " fork(s)\n";
+    }
     if (!quiet)
         printSummary(results);
 
