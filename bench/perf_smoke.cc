@@ -236,6 +236,32 @@ main()
                 batched_speedup, bstats.hitRate(), bstats.forks,
                 batched_identical ? "yes" : "NO");
 
+    // Refresh-coupled pass: the temperature->refresh feedback adds a
+    // per-window band lookup, a bandwidth derate, and a DRAM power
+    // injection to every DIMM. Time a refresh-coupled slice of the
+    // suite so the trajectory records what the coupling costs.
+    ScenarioSpec rspec = miniSuite();
+    rspec.name = "ch4_mini_refresh";
+    rspec.workloads = {"W1"};
+    rspec.refresh = RefreshSpec{"ddr2_2x", {}};
+    ExperimentEngine refresh_engine(1);
+    auto t6 = std::chrono::steady_clock::now();
+    ScenarioResults r_refresh = runScenario(rspec, refresh_engine);
+    auto t7 = std::chrono::steady_clock::now();
+
+    double refresh_s = seconds(t6, t7);
+    double refresh_windows =
+        totalWindows(r_refresh.points[0].suite, window);
+    bool refresh_coupled = true;
+    for (const auto &[w, per_policy] : r_refresh.points[0].suite)
+        for (const auto &[p, res] : per_policy)
+            refresh_coupled =
+                refresh_coupled && !res.refreshBwLossPerDimm.empty();
+    std::printf("refresh-coupled (ddr2_2x) %.3f s (%.0f windows/s), "
+                "per-DIMM loss recorded: %s\n",
+                refresh_s, refresh_windows / refresh_s,
+                refresh_coupled ? "yes" : "NO");
+
     Json entry = Json::object();
     entry.set("runs", static_cast<double>(n_runs));
     entry.set("copies_per_app", *spec.copiesPerApp);
@@ -260,6 +286,10 @@ main()
     entry.set("prefix_hit_rate", bstats.hitRate());
     entry.set("batched_forks", static_cast<double>(bstats.forks));
     entry.set("batched_bit_identical", batched_identical);
+    entry.set("refresh_windows", std::round(refresh_windows));
+    entry.set("refresh_seconds", refresh_s);
+    entry.set("windows_per_sec_refresh", refresh_windows / refresh_s);
+    entry.set("refresh_coupled", refresh_coupled);
 
     // Append to the trajectory so successive PRs accumulate a history
     // instead of overwriting a single snapshot. A pre-trajectory (flat)
@@ -288,5 +318,6 @@ main()
     std::printf("wrote BENCH_perf.json (%zu trajectory entries)\n",
                 out.at("trajectory").asArray().size());
 
-    return (bit_identical && batched_identical) ? 0 : 1;
+    return (bit_identical && batched_identical && refresh_coupled) ? 0
+                                                                   : 1;
 }

@@ -1,0 +1,79 @@
+#include "core/sim/refresh_model.hh"
+
+#include "common/logging.hh"
+#include "core/thermal/thermal_params.hh"
+
+namespace memtherm
+{
+
+const RefreshBand &
+RefreshModel::bandAt(Celsius t) const
+{
+    panicIfNot(!bands.empty(), "RefreshModel::bandAt on an empty model");
+    const RefreshBand *hit = &bands.front();
+    for (const RefreshBand &b : bands) {
+        if (b.minTemp <= t)
+            hit = &b;
+        else
+            break;
+    }
+    return *hit;
+}
+
+namespace
+{
+
+/// Nominal DDR2 refresh overhead: tRFC/tREFI for 1 Gb devices
+/// (127.5 ns / 7.8 us) is ~1.6% of the device's cycles.
+constexpr double kNominalBwFraction = 0.016;
+constexpr Watts kNominalDramPower = 0.15;
+
+RefreshBand
+nominalBand()
+{
+    RefreshBand b;
+    b.bwFraction = kNominalBwFraction;
+    b.dramPower = kNominalDramPower;
+    return b;
+}
+
+/// The double-rate band above the DRAM TDP: tREFI halves, so both the
+/// stolen bandwidth and the refresh power double.
+RefreshBand
+doubledBand()
+{
+    RefreshBand b = nominalBand();
+    b.minTemp = ThermalLimits{}.dramTdp;
+    b.bwFraction = 2.0 * kNominalBwFraction;
+    b.dramPower = 2.0 * kNominalDramPower;
+    return b;
+}
+
+} // namespace
+
+RefreshModel
+ddr2DoubleRefreshModel()
+{
+    RefreshModel m;
+    m.bands = {nominalBand(), doubledBand()};
+    return m;
+}
+
+RefreshModel
+aldramRefreshModel()
+{
+    RefreshModel m = ddr2DoubleRefreshModel();
+    // Relax access timings on cool DIMMs (AL-DRAM): split the nominal
+    // band into cool / warm / nominal latency tiers below the TDP.
+    RefreshBand cool = m.bands.front();
+    cool.latencyMult = 0.85;
+    RefreshBand warm = m.bands.front();
+    warm.minTemp = 55.0;
+    warm.latencyMult = 0.925;
+    RefreshBand nominal = m.bands.front();
+    nominal.minTemp = 70.0;
+    m.bands = {cool, warm, nominal, m.bands.back()};
+    return m;
+}
+
+} // namespace memtherm

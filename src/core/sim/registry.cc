@@ -277,6 +277,100 @@ DvfsRegistry::byName(const std::string &name) const
     return *t;
 }
 
+// --- refresh models ---------------------------------------------------------
+
+RefreshRegistry::RefreshRegistry()
+{
+    add("none", RefreshModel{});
+    add("ddr2_2x", ddr2DoubleRefreshModel());
+    add("aldram", aldramRefreshModel());
+}
+
+RefreshRegistry &
+RefreshRegistry::instance()
+{
+    static RefreshRegistry r;
+    return r;
+}
+
+void
+RefreshRegistry::add(const std::string &name, RefreshModel model)
+{
+    std::lock_guard lock(mtx);
+    for (auto &[n, m] : entries) {
+        if (n == name) {
+            m = std::move(model);
+            return;
+        }
+    }
+    entries.emplace_back(name, std::move(model));
+}
+
+std::vector<std::string>
+RefreshRegistry::names() const
+{
+    std::lock_guard lock(mtx);
+    std::vector<std::string> out;
+    out.reserve(entries.size());
+    for (const auto &[n, m] : entries)
+        out.push_back(n);
+    return out;
+}
+
+bool
+RefreshRegistry::contains(const std::string &name) const
+{
+    std::lock_guard lock(mtx);
+    for (const auto &[n, m] : entries)
+        if (n == name)
+            return true;
+    return false;
+}
+
+std::optional<RefreshModel>
+RefreshRegistry::tryGet(const std::string &name, std::string *error) const
+{
+    {
+        std::lock_guard lock(mtx);
+        for (const auto &[n, m] : entries)
+            if (n == name)
+                return m;
+    }
+    if (error) {
+        *error = "unknown refresh model '" + name +
+                 "' (valid: " + joinNames(names()) + ")";
+    }
+    return std::nullopt;
+}
+
+RefreshModel
+RefreshRegistry::byName(const std::string &name) const
+{
+    std::string error;
+    auto m = tryGet(name, &error);
+    if (!m)
+        fatal("RefreshRegistry: " + error);
+    return *m;
+}
+
+std::vector<std::string>
+refreshModelNames()
+{
+    return RefreshRegistry::instance().names();
+}
+
+std::optional<RefreshModel>
+tryRefreshModel(const std::string &name, std::string *error)
+{
+    return RefreshRegistry::instance().tryGet(name, error);
+}
+
+RefreshModel
+refreshModelByName(const std::string &name)
+{
+    return RefreshRegistry::instance().byName(name);
+}
+
 // --- cooling ----------------------------------------------------------------
 
 namespace

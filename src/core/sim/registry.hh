@@ -5,8 +5,8 @@
  *
  * Everything a scenario file can name — DTM policies, cooling setups,
  * ambient models, workload mixes, Chapter 5 platforms, memory
- * organizations, traffic shapes, emergency ladders, DVFS tables —
- * resolves here.
+ * organizations, traffic shapes, emergency ladders, DVFS tables,
+ * refresh models — resolves here.
  * Each catalog offers three entry points with uniform semantics:
  *
  *  - names()           the valid keys, stable order;
@@ -30,6 +30,7 @@
 
 #include "core/dtm/dtm_policy.hh"
 #include "core/dtm/emergency_levels.hh"
+#include "core/sim/refresh_model.hh"
 #include "core/thermal/memory_thermal.hh"
 #include "core/thermal/thermal_params.hh"
 #include "cpu/dvfs.hh"
@@ -164,6 +165,48 @@ class DvfsRegistry
     std::vector<std::pair<std::string, DvfsTable>> entries;
 };
 
+/**
+ * Registry of temperature-coupled DRAM refresh/timing models by name
+ * (core/sim/refresh_model.hh).
+ *
+ * Seeded with "none" (the empty model — feedback edge disabled,
+ * bit-identical to leaving the `refresh` knob unset), "ddr2_2x" (DDR2
+ * refresh doubling above the 85 C DRAM TDP) and "aldram" (the same
+ * doubling plus AL-DRAM-style relaxed timings on cool DIMMs); add()
+ * registers additional models at runtime, which scenario files can then
+ * name as a `refresh` override or sweep axis. Lookups are thread-safe.
+ */
+class RefreshRegistry
+{
+  public:
+    /** The process-wide registry. */
+    static RefreshRegistry &instance();
+
+    /** Register (or replace) a refresh model. */
+    void add(const std::string &name, RefreshModel model);
+
+    /** Valid model names, registration order. */
+    std::vector<std::string> names() const;
+
+    bool contains(const std::string &name) const;
+
+    /**
+     * Error-returning lookup: nullopt for an unknown name, with @p error
+     * (when given) set to a diagnostic listing the valid keys.
+     */
+    std::optional<RefreshModel> tryGet(const std::string &name,
+                                       std::string *error = nullptr) const;
+
+    /** Throwing lookup: FatalError listing the valid keys. */
+    RefreshModel byName(const std::string &name) const;
+
+  private:
+    RefreshRegistry();
+
+    mutable std::mutex mtx;
+    std::vector<std::pair<std::string, RefreshModel>> entries;
+};
+
 /** Table 3.2 cooling setups: "AOHS_1.0" ... "FDHS_3.0". */
 std::vector<std::string> coolingNames();
 std::optional<CoolingConfig> tryCooling(const std::string &name);
@@ -232,6 +275,16 @@ std::vector<std::string> trafficShapeNames();
 std::optional<std::vector<double>> tryTrafficShape(const std::string &name,
                                                    int n_dimms);
 std::vector<double> trafficShapeByName(const std::string &name, int n_dimms);
+
+/**
+ * Refresh-model catalog entry points over RefreshRegistry, uniform with
+ * the other catalogs: "none", "ddr2_2x", "aldram" (plus anything add()ed
+ * at runtime) for the `refresh` scenario knob and sweep axis.
+ */
+std::vector<std::string> refreshModelNames();
+std::optional<RefreshModel> tryRefreshModel(const std::string &name,
+                                            std::string *error = nullptr);
+RefreshModel refreshModelByName(const std::string &name);
 
 /**
  * Emergency-ladder catalog: "ch4" (the Table 4.3 FBDIMM ladder) and the

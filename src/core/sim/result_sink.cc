@@ -182,6 +182,7 @@ JsonlResultWriter::JsonlResultWriter(const std::string &path,
     Json h = Json::object();
     h.set("type", "header");
     h.set("format", kStreamFormatVersion);
+    h.set("schema_version", kResultSchemaVersion);
     h.set("scenario", spec.name);
     h.set("spec_hash", scenarioSpecHash(spec));
     h.set("total_runs", static_cast<std::uint64_t>(total_runs));
@@ -314,6 +315,9 @@ scanStream(const std::string &path, bool keep_results)
                       " does not match this binary's format " +
                       std::to_string(kStreamFormatVersion));
             }
+            // Result-document schema: absent means v1 (legacy stream,
+            // readable as-is); newer than this binary is refused.
+            (void)resultSchemaVersionOf(j, where);
             scan.specHash = streamMemberString(j, "spec_hash", where);
             scan.totalRuns = streamMemberIndex(j, "total_runs", where);
             const Json *tr = j.find("traces");
@@ -575,6 +579,15 @@ mergeStreams(const std::vector<std::string> &paths)
 
     Json doc = Json::object();
     doc.set("scenario", out.spec.name);
+    // Mirror toJson(ScenarioResults): stamp the document schema version
+    // only when some result carries v2-only members, so refresh-free
+    // merges stay byte-identical to documents written by older binaries.
+    bool hasV2 = false;
+    for (const StreamRecord *rec : best)
+        if (rec && !rec->failed && rec->result.find("refresh_bw_loss_per_dimm_gb"))
+            hasV2 = true;
+    if (hasV2)
+        doc.set("schema_version", kResultSchemaVersion);
     Json pts = Json::array();
     for (std::size_t p = 0; p < grid.pointLabels.size(); ++p) {
         std::map<std::string, std::map<std::string, const Json *>> suite;

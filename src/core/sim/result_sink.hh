@@ -54,7 +54,11 @@ namespace memtherm
 {
 
 /// Bumped whenever the stream schema changes; readers reject newer (or
-/// older) formats instead of misparsing them.
+/// older) formats instead of misparsing them. Orthogonal to the result
+/// *document* schema (kResultSchemaVersion, core/sim/scenario.hh):
+/// stream headers additionally record the document schema version their
+/// result payloads follow, and scanStream() accepts version-absent
+/// legacy streams but rejects versions newer than this binary's.
 inline constexpr int kStreamFormatVersion = 1;
 
 /**

@@ -210,6 +210,81 @@ shapeFromJson(const Json &v, const std::string &where)
 }
 
 Json
+bandToJson(const RefreshBand &b)
+{
+    Json j = Json::object();
+    j.set("min_temp", b.minTemp);
+    j.set("bw_fraction", b.bwFraction);
+    j.set("dram_power_w", b.dramPower);
+    // latency_mult defaults to 1 on parse, so omitting the default
+    // keeps the round trip lossless and the common case terse.
+    if (b.latencyMult != 1.0)
+        j.set("latency_mult", b.latencyMult);
+    return j;
+}
+
+Json
+refreshToJson(const RefreshSpec &r)
+{
+    if (!r.name.empty())
+        return Json(r.name);
+    // A default-constructed spec means "no refresh feedback" and has no
+    // serialized form — callers filter those out; reaching here with
+    // one (e.g. an empty sweep entry) is a spec bug, not UB.
+    if (r.bands.empty())
+        fatal("scenario: empty refresh model");
+    Json a = Json::array();
+    for (const RefreshBand &b : r.bands)
+        a.push(bandToJson(b));
+    return a;
+}
+
+/** Parse a refresh model: a catalog name or an inline band table. */
+RefreshSpec
+refreshFromJson(const Json &v, const std::string &where)
+{
+    RefreshSpec s;
+    if (v.isString()) {
+        s.name = v.asString();
+        if (s.name.empty())
+            fatal("scenario: " + where + " name must not be empty");
+        return s;
+    }
+    if (v.isArray()) {
+        for (const Json &e : v.asArray()) {
+            if (!e.isObject()) {
+                fatal("scenario: " + where +
+                      " bands must be objects");
+            }
+            checkMembers(e, where + " band",
+                         {"min_temp", "bw_fraction", "dram_power_w",
+                          "latency_mult"});
+            if (!e.find("min_temp") || !e.find("bw_fraction") ||
+                !e.find("dram_power_w")) {
+                fatal("scenario: " + where +
+                      " band needs 'min_temp', 'bw_fraction' and "
+                      "'dram_power_w'");
+            }
+            RefreshBand b;
+            b.minTemp = memberNumber(e, "min_temp");
+            b.bwFraction = memberNumber(e, "bw_fraction");
+            b.dramPower = memberNumber(e, "dram_power_w");
+            if (e.find("latency_mult"))
+                b.latencyMult = memberNumber(e, "latency_mult");
+            s.bands.push_back(b);
+        }
+        if (s.bands.empty()) {
+            fatal("scenario: " + where +
+                  " band table must not be empty");
+        }
+        return s;
+    }
+    fatal("scenario: " + where +
+          " must be a catalog refresh model name or an array of "
+          "{min_temp, bw_fraction, dram_power_w[, latency_mult]} bands");
+}
+
+Json
 traceJson(const TimeSeries &t)
 {
     Json j = Json::object();
@@ -297,6 +372,62 @@ TrafficShapeSpec::resolve(int n_dimms) const
     return shares;
 }
 
+std::string
+RefreshSpec::label() const
+{
+    if (!name.empty())
+        return name;
+    // '|' between bands and ':' within keep the coordinate free of ','
+    // and '=', which the sweep label grammar reserves.
+    std::string out;
+    for (const RefreshBand &b : bands) {
+        if (!out.empty())
+            out += "|";
+        out += numStr(b.minTemp) + ":" + numStr(b.bwFraction) + ":" +
+               numStr(b.dramPower);
+        if (b.latencyMult != 1.0)
+            out += ":" + numStr(b.latencyMult);
+    }
+    return out;
+}
+
+RefreshModel
+RefreshSpec::resolve() const
+{
+    if (!name.empty())
+        return refreshModelByName(name);
+    if (bands.empty())
+        fatal("scenario: empty refresh model");
+    for (const RefreshBand &b : bands) {
+        if (!std::isfinite(b.minTemp) || !std::isfinite(b.bwFraction) ||
+            !std::isfinite(b.dramPower) || !std::isfinite(b.latencyMult)) {
+            fatal("scenario: refresh model " + label() +
+                  " bands must be finite");
+        }
+        if (b.bwFraction < 0.0 || b.bwFraction >= 1.0) {
+            fatal("scenario: refresh model " + label() +
+                  " bw_fraction must be in [0, 1)");
+        }
+        if (b.dramPower < 0.0) {
+            fatal("scenario: refresh model " + label() +
+                  " dram_power_w must be >= 0");
+        }
+        if (b.latencyMult <= 0.0) {
+            fatal("scenario: refresh model " + label() +
+                  " latency_mult must be > 0");
+        }
+    }
+    for (std::size_t i = 1; i < bands.size(); ++i) {
+        if (!(bands[i].minTemp > bands[i - 1].minTemp)) {
+            fatal("scenario: refresh model " + label() +
+                  " bands must have strictly increasing min_temp");
+        }
+    }
+    RefreshModel m;
+    m.bands = bands;
+    return m;
+}
+
 std::size_t
 LoweredScenario::totalRuns() const
 {
@@ -360,6 +491,12 @@ ScenarioSpec::lower() const
             specError(*this,
                       "platform scenarios use the testbed's measured "
                       "traffic distribution; remove the traffic_shape "
+                      "member and sweep");
+        }
+        if (!refresh.empty() || !sweepRefresh.empty()) {
+            specError(*this,
+                      "platform scenarios measure the testbed's real "
+                      "DRAM, refresh included; remove the refresh "
                       "member and sweep");
         }
         if (remapInterval || remapHysteresis) {
@@ -630,10 +767,35 @@ ScenarioSpec::lower() const
         sweepTables.push_back(DvfsRegistry::instance().byName(n));
     }
 
-    // --- the grid: an odometer over the nine axes, last axis fastest.
+    // --- refresh models: resolve up front (catalog lookup throws
+    // listing the valid keys; inline band tables validate bounds and
+    // ordering) and compare by the *resolved* model, so "none" and a
+    // differently-spelled equivalent cannot silently collapse onto one
+    // sweep point. -----------------------------------------------------
+    std::optional<RefreshModel> baseRefresh;
+    if (!refresh.empty())
+        baseRefresh = refresh.resolve();
+    std::vector<RefreshModel> sweepRefreshModels;
+    sweepRefreshModels.reserve(sweepRefresh.size());
+    for (const auto &r : sweepRefresh)
+        sweepRefreshModels.push_back(r.resolve());
+    for (std::size_t i = 0; i < sweepRefreshModels.size(); ++i) {
+        for (std::size_t j = 0; j < i; ++j) {
+            if (sweepRefreshModels[i] == sweepRefreshModels[j]) {
+                std::string what = "duplicate sweep.refresh model '" +
+                                   sweepRefresh[i].label() + "'";
+                if (sweepRefresh[i].label() != sweepRefresh[j].label())
+                    what += " (same model as '" +
+                            sweepRefresh[j].label() + "')";
+                specError(*this, what);
+            }
+        }
+    }
+
+    // --- the grid: an odometer over the ten axes, last axis fastest.
     // An empty axis contributes one "keep the base value" slot (a null
     // coordinate below), so no in-band sentinel value can be swallowed.
-    const std::array<std::size_t, 9> dim = {
+    const std::array<std::size_t, 10> dim = {
         std::max<std::size_t>(sweepMemoryOrg.size(), 1),
         std::max<std::size_t>(sweepTrafficShape.size(), 1),
         std::max<std::size_t>(sweepCooling.size(), 1),
@@ -643,8 +805,9 @@ ScenarioSpec::lower() const
         std::max<std::size_t>(sweepDtmInterval.size(), 1),
         std::max<std::size_t>(sweepEmergencyLevels.size(), 1),
         std::max<std::size_t>(sweepDvfs.size(), 1),
+        std::max<std::size_t>(sweepRefresh.size(), 1),
     };
-    std::array<std::size_t, 9> ix{};
+    std::array<std::size_t, 10> ix{};
     for (;;) {
         auto coord = [&](const auto &axis,
                          std::size_t a) -> const auto * {
@@ -659,6 +822,7 @@ ScenarioSpec::lower() const
         const double *dtm = coord(sweepDtmInterval, 6);
         const std::string *ladder = coord(sweepEmergencyLevels, 7);
         const std::string *dvfsName = coord(sweepDvfs, 8);
+        const RefreshSpec *refreshSpec = coord(sweepRefresh, 9);
         // Shapes resolve per organization point (orgPoints mirrors the
         // org axis when it sweeps, else has the single base entry).
         const std::size_t orgIdx = sweepOrgs.empty() ? 0 : ix[0];
@@ -684,6 +848,8 @@ ScenarioSpec::lower() const
             parts.push_back("levels=" + *ladder);
         if (dvfsName)
             parts.push_back("dvfs=" + *dvfsName);
+        if (refreshSpec)
+            parts.push_back("refresh=" + refreshSpec->label());
         if (parts.empty()) {
             pt.label = "base";
         } else {
@@ -733,6 +899,8 @@ ScenarioSpec::lower() const
             cfg.emergencyLevels = *baseLadder;
         if (baseDvfs)
             cfg.dvfs = *baseDvfs;
+        if (baseRefresh)
+            cfg.refresh = *baseRefresh;
         if (orgSpec)
             cfg.org = sweepOrgs[ix[0]];
         if (shapeSpec)
@@ -749,6 +917,8 @@ ScenarioSpec::lower() const
             cfg.emergencyLevels = sweepLadders[ix[7]];
         if (dvfsName)
             cfg.dvfs = sweepTables[ix[8]];
+        if (refreshSpec)
+            cfg.refresh = sweepRefreshModels[ix[9]];
 
         // The simulator panics on a decision period below its trace
         // window; report it as a configuration error instead.
@@ -857,6 +1027,8 @@ ScenarioSpec::toJson() const
         cfg.set("memory_org", orgToJson(memoryOrg));
     if (!trafficShape.empty())
         cfg.set("traffic_shape", shapeToJson(trafficShape));
+    if (!refresh.empty())
+        cfg.set("refresh", refreshToJson(refresh));
     if (tInlet)
         cfg.set("t_inlet", *tInlet);
     if (copiesPerApp)
@@ -914,6 +1086,12 @@ ScenarioSpec::toJson() const
         sweep.set("emergency_levels", toJsonList(sweepEmergencyLevels));
     if (!sweepDvfs.empty())
         sweep.set("dvfs", toJsonList(sweepDvfs));
+    if (!sweepRefresh.empty()) {
+        Json a = Json::array();
+        for (const auto &r : sweepRefresh)
+            a.push(refreshToJson(r));
+        sweep.set("refresh", std::move(a));
+    }
     if (!sweep.asObject().empty())
         j.set("sweep", std::move(sweep));
 
@@ -942,7 +1120,7 @@ ScenarioSpec::fromJson(const Json &j)
             fatal("scenario: 'config' must be an object");
         checkMembers(*cfg, "'config'",
                      {"cooling", "ambient", "emergency_levels", "dvfs",
-                      "memory_org", "traffic_shape", "t_inlet",
+                      "memory_org", "traffic_shape", "refresh", "t_inlet",
                       "copies_per_app", "instr_scale", "max_sim_time",
                       "dtm_interval", "remap_interval", "remap_hysteresis",
                       "sensor_noise_sigma", "sensor_quant",
@@ -962,6 +1140,10 @@ ScenarioSpec::fromJson(const Json &j)
         if (cfg->find("traffic_shape")) {
             s.trafficShape = shapeFromJson(cfg->at("traffic_shape"),
                                            "'config.traffic_shape'");
+        }
+        if (cfg->find("refresh")) {
+            s.refresh =
+                refreshFromJson(cfg->at("refresh"), "'config.refresh'");
         }
         if (cfg->find("t_inlet"))
             s.tInlet = memberNumber(*cfg, "t_inlet");
@@ -1001,7 +1183,8 @@ ScenarioSpec::fromJson(const Json &j)
         checkMembers(*sweep, "'sweep'",
                      {"memory_org", "traffic_shape", "cooling", "t_inlet",
                       "copies_per_app", "sensor_noise_sigma",
-                      "dtm_interval", "emergency_levels", "dvfs"});
+                      "dtm_interval", "emergency_levels", "dvfs",
+                      "refresh"});
         if (sweep->find("memory_org")) {
             const Json &a = sweep->at("memory_org");
             if (!a.isArray()) {
@@ -1056,6 +1239,17 @@ ScenarioSpec::fromJson(const Json &j)
         }
         if (sweep->find("dvfs"))
             s.sweepDvfs = stringList(sweep->at("dvfs"), "sweep.dvfs");
+        if (sweep->find("refresh")) {
+            const Json &a = sweep->at("refresh");
+            if (!a.isArray()) {
+                fatal("scenario: 'sweep.refresh' must be an array of "
+                      "catalog refresh model names or band tables");
+            }
+            for (const Json &e : a.asArray()) {
+                s.sweepRefresh.push_back(
+                    refreshFromJson(e, "'sweep.refresh' entry"));
+            }
+        }
     }
     return s;
 }
@@ -1228,6 +1422,15 @@ toJson(const SimResult &r, bool traces)
     j.set("peak_amb_per_dimm_c", toJsonList(r.peakAmbPerDimm));
     j.set("peak_dram_per_dimm_c", toJsonList(r.peakDramPerDimm));
     j.set("avg_power_per_dimm_w", toJsonList(r.avgPowerPerDimm));
+    // Schema v2 members, present only when the run's refresh model was
+    // active (the vectors are sized iff SimConfig::refresh is non-empty),
+    // so every pre-refresh golden keeps its exact member set.
+    if (!r.refreshBwLossPerDimm.empty()) {
+        j.set("refresh_bw_loss_per_dimm_gb",
+              toJsonList(r.refreshBwLossPerDimm));
+        j.set("refresh_energy_per_dimm_j",
+              toJsonList(r.refreshEnergyPerDimm));
+    }
     if (traces) {
         Json t = Json::object();
         t.set("amb_c", traceJson(r.ambTrace));
@@ -1253,11 +1456,42 @@ toJson(const SuiteResults &r, bool traces)
     return j;
 }
 
+int
+resultSchemaVersionOf(const Json &doc, const std::string &where)
+{
+    const Json *v = doc.isObject() ? doc.find("schema_version") : nullptr;
+    if (!v)
+        return 1; // version-absent legacy file
+    if (!v->isNumber() || v->asNumber() != std::floor(v->asNumber()) ||
+        v->asNumber() < 1) {
+        fatal(where + ": 'schema_version' must be a positive integer");
+    }
+    const int ver = static_cast<int>(v->asNumber());
+    if (ver > kResultSchemaVersion) {
+        fatal(where + ": schema version " + std::to_string(ver) +
+              " is newer than this binary's " +
+              std::to_string(kResultSchemaVersion) +
+              "; upgrade memtherm to read this file");
+    }
+    return ver;
+}
+
 Json
 toJson(const ScenarioResults &r, bool traces)
 {
     Json j = Json::object();
     j.set("scenario", r.scenario);
+    // Schema versioning (kResultSchemaVersion): stamped only when a
+    // v2-only member (the per-DIMM refresh fields) is actually present,
+    // so documents with the historical member set keep their exact
+    // historical bytes and read back as v1.
+    bool has_v2 = false;
+    for (const auto &pt : r.points)
+        for (const auto &[w, per_policy] : pt.suite)
+            for (const auto &[p, res] : per_policy)
+                has_v2 |= !res.refreshBwLossPerDimm.empty();
+    if (has_v2)
+        j.set("schema_version", kResultSchemaVersion);
     Json pts = Json::array();
     for (const auto &pt : r.points) {
         Json p = Json::object();

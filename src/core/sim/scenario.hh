@@ -7,8 +7,9 @@
  * Chapter 5 platform), override knobs, the workload and policy name
  * lists, and optional sweep axes (memory organization, per-DIMM traffic
  * shape, cooling, inlet temperature, batch depth, sensor noise, DTM
- * decision interval, emergency ladder, DVFS operating table) whose
- * cross product spans a configuration grid.
+ * decision interval, emergency ladder, DVFS operating table,
+ * temperature-coupled refresh model) whose cross product spans a
+ * configuration grid.
  * Specs lower to ExperimentEngine run lists and round-trip losslessly
  * through JSON, so an experiment is data (a scenario file fed to the
  * `memtherm` CLI), not a hand-written binary.
@@ -127,6 +128,42 @@ struct TrafficShapeSpec
 };
 
 /**
+ * One temperature-coupled refresh model a spec names: a catalog entry
+ * (registry.hh refreshModelNames() — "none", "ddr2_2x", "aldram") or an
+ * inline band table for models the catalog lacks. A default-constructed
+ * value means "no refresh feedback", and so does the catalog's "none"
+ * (a run with `refresh: "none"` is bit-identical to one with the knob
+ * unset). When both a name and bands are set, the name wins (the
+ * serialized form never carries both).
+ */
+struct RefreshSpec
+{
+    std::string name;               ///< catalog name; empty -> inline
+    std::vector<RefreshBand> bands; ///< inline band table
+
+    bool operator==(const RefreshSpec &) const = default;
+
+    bool empty() const { return name.empty() && bands.empty(); }
+
+    /**
+     * Sweep-label coordinate: the catalog name, or the bands rendered
+     * "minTemp:bwFraction:dramPower[:latencyMult]" joined with "|"
+     * inline (":" and "|" keep the coordinate free of the label
+     * grammar's reserved "," and "=").
+     */
+    std::string label() const;
+
+    /**
+     * The refresh model this spec denotes: catalog lookup (FatalError
+     * listing the valid keys) or the validated inline band table
+     * (FatalError on non-finite values, a bw_fraction outside [0, 1), a
+     * negative dram_power_w, a non-positive latency_mult, or band
+     * floors not strictly increasing).
+     */
+    RefreshModel resolve() const;
+};
+
+/**
  * Declarative description of an experiment. Field defaults mirror the
  * Chapter 4 platform; std::nullopt means "keep the base configuration's
  * value" (makeCh4Config's, or the platform's when `platform` is set).
@@ -167,6 +204,12 @@ struct ScenarioSpec
     /// modeled).
     TrafficShapeSpec trafficShape;
 
+    /// Temperature-coupled DRAM refresh/timing model (catalog name or
+    /// inline band table); empty — like the catalog's "none" — disables
+    /// the feedback edge. Rejected for platform scenarios (the
+    /// testbed's DRAM refreshes for real).
+    RefreshSpec refresh;
+
     std::optional<double> tInlet;          ///< system inlet override (C)
     std::optional<int> copiesPerApp;       ///< batch depth override
     std::optional<double> instrScale;      ///< instruction-volume scale
@@ -200,6 +243,7 @@ struct ScenarioSpec
     std::vector<double> sweepDtmInterval;
     std::vector<std::string> sweepEmergencyLevels;
     std::vector<std::string> sweepDvfs;
+    std::vector<RefreshSpec> sweepRefresh;
 
     bool operator==(const ScenarioSpec &) const = default;
 
@@ -298,6 +342,28 @@ ScenarioResults runScenarioBatched(const ScenarioSpec &spec,
                                    ExperimentEngine &engine,
                                    int batch_width,
                                    BatchStats *stats = nullptr);
+
+/**
+ * Version of the result-document schema this binary writes. Version 1
+ * is the historical member set (no `schema_version` member — every file
+ * written before versioning reads as v1); version 2 added the per-DIMM
+ * refresh fields (`refresh_bw_loss_per_dimm_gb` /
+ * `refresh_energy_per_dimm_j`). toJson(ScenarioResults) emits a
+ * top-level `schema_version` only when a v2-only member is actually
+ * present, so documents with the historical member set keep their exact
+ * historical bytes; JSONL stream headers (core/sim/result_sink.hh)
+ * carry it unconditionally.
+ */
+inline constexpr int kResultSchemaVersion = 2;
+
+/**
+ * Effective schema version of a result document or stream header: the
+ * `schema_version` member when present, else 1. FatalError when the
+ * member is not a positive integer, or names a version newer than this
+ * binary's kResultSchemaVersion — a clear upgrade message instead of a
+ * misparse. @p where prefixes the diagnostic (e.g. the file path).
+ */
+int resultSchemaVersionOf(const Json &doc, const std::string &where);
 
 /**
  * Serialize results. @p traces includes the full temperature/power

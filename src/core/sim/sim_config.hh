@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/dtm/emergency_levels.hh"
+#include "core/sim/refresh_model.hh"
 #include "core/thermal/memory_thermal.hh"
 #include "core/thermal/thermal_params.hh"
 #include "cpu/cpu_power.hh"
@@ -41,6 +42,14 @@ struct SimConfig
     CoolingConfig cooling = coolingAohs15();
     AmbientParams ambient = isolatedAmbient(coolingAohs15());
     MemSystemPerf memPerf{};
+    /// Temperature-coupled DRAM refresh/timing model (the `refresh`
+    /// scenario knob or sweep axis; core/sim/refresh_model.hh). Each
+    /// window every DIMM's current DRAM temperature selects a band that
+    /// steals bandwidth from `memPerf`, scales its idle latency, and
+    /// adds refresh power to that DIMM's DRAM devices. Empty (the
+    /// default, and the catalog's "none") disables the feedback edge —
+    /// bit-identical to builds that predate it.
+    RefreshModel refresh;
     DvfsTable dvfs = simulatedCmpDvfs();
     int nCores = 4;
 

@@ -50,6 +50,17 @@ struct SimResult
     /// avgMemPower().
     std::vector<Watts> avgPowerPerDimm;
 
+    /// Per-DIMM refresh accounting on the representative channel, same
+    /// indexing, sized only when the run's refresh model is active
+    /// (SimConfig::refresh non-empty; both stay empty otherwise so the
+    /// serialized member set — and every pre-refresh golden — is
+    /// unchanged). Bandwidth loss is the sustainable-bandwidth
+    /// capability refresh consumed on that DIMM's share of traffic,
+    /// integrated over the run (GB); energy is the band's refresh power
+    /// folded over the run (J).
+    std::vector<double> refreshBwLossPerDimm;
+    std::vector<Joules> refreshEnergyPerDimm;
+
     TimeSeries ambTrace{1.0};      ///< hottest AMB temperature over time
     TimeSeries dramTrace{1.0};     ///< hottest DRAM temperature over time
     TimeSeries inletTrace{1.0};    ///< memory inlet temperature over time

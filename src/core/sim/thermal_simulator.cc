@@ -74,8 +74,17 @@ ThermalSimulator::Lane::Lane(const SimConfig &cfg, const Workload &mix,
         s = batch.nextPending();
 
     // The machine idles long enough before the run for temperatures to
-    // settle (the measurement protocol of Section 5.4.1).
+    // settle (the measurement protocol of Section 5.4.1). Refresh power
+    // is not set yet, so the settled state is refresh-free; the feedback
+    // edge engages from the first window.
     mem.resetToStable(0.0, 0.0, ambient.temperature());
+
+    if (!cfg.refresh.empty()) {
+        const std::size_t n =
+            static_cast<std::size_t>(cfg.org.nDimmsPerChannel);
+        res.refreshBwLossPerDimm.assign(n, 0.0);
+        res.refreshEnergyPerDimm.assign(n, 0.0);
+    }
 
     live = !batch.done() && t < cfg.maxSimTime;
 }
@@ -229,7 +238,44 @@ ThermalSimulator::windowPre(Lane &lane, Scratch &scratch) const
     }
 
     GBps cap = lane.action.memoryOn ? lane.action.bandwidthCap : 0.0;
-    solvePerfWindow(tasks, dv.freq, fmax, cap, cfg.memPerf, perf);
+    if (cfg.refresh.empty()) {
+        solvePerfWindow(tasks, dv.freq, fmax, cap, cfg.memPerf, perf);
+    } else {
+        // Refresh feedback (temperature -> performance): each DIMM's
+        // current DRAM temperature selects a refresh band. Refresh
+        // steals the band's bandwidth fraction from the DIMM's share of
+        // the sustainable bandwidth and scales the idle latency
+        // (AL-DRAM timing margins), so the level-1 solve sees a derated
+        // memory system this window; the band's refresh power is staged
+        // into the thermal model's power evaluation below. Re-read
+        // every window, so the rate follows the temperature at window
+        // granularity.
+        lane.mem.currentPerDimm(scratch.refreshAmb, scratch.refreshDram);
+        const std::vector<double> &shares = lane.mem.trafficShares();
+        const std::size_t n_dimms = scratch.refreshDram.size();
+        scratch.refreshPower.resize(n_dimms);
+        double loss_frac = 0.0;
+        double lat_mult = 0.0;
+        for (std::size_t i = 0; i < n_dimms; ++i) {
+            const RefreshBand &band =
+                cfg.refresh.bandAt(scratch.refreshDram[i]);
+            const double share =
+                shares.empty() ? 1.0 / static_cast<double>(n_dimms)
+                               : shares[i];
+            loss_frac += share * band.bwFraction;
+            lat_mult += share * band.latencyMult;
+            scratch.refreshPower[i] = band.dramPower;
+            lane.res.refreshBwLossPerDimm[i] +=
+                cfg.memPerf.peakBandwidth * cfg.memPerf.maxUtilization *
+                share * band.bwFraction * dt;
+            lane.res.refreshEnergyPerDimm[i] += band.dramPower * dt;
+        }
+        MemSystemPerf derated = cfg.memPerf;
+        derated.peakBandwidth *= std::max(0.0, 1.0 - loss_frac);
+        derated.idleLatencyNs *= lat_mult;
+        lane.mem.setRefreshDramPower(scratch.refreshPower);
+        solvePerfWindow(tasks, dv.freq, fmax, cap, derated, perf);
+    }
 
     // DTM control overhead: a decision window loses dtmOverhead of
     // useful execution time (Table 4.1).

@@ -102,6 +102,11 @@ class ThermalSimulator
         std::vector<double> taskMpki;       ///< effective mpki per task
         std::vector<double> activities;     ///< per-core activity factors
         WindowPerf perf;                    ///< level-1 window solution
+        // Refresh feedback intermediates (cfg.refresh active only):
+        // per-DIMM current temperatures and the band's refresh power.
+        std::vector<Celsius> refreshAmb;
+        std::vector<Celsius> refreshDram;
+        std::vector<Watts> refreshPower;
     };
 
     /**

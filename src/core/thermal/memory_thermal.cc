@@ -59,7 +59,8 @@ MemoryThermalModel::MemoryThermalModel(const MemoryOrgConfig &org,
 MemoryThermalModel::MemoryThermalModel(const MemoryThermalModel &src,
                                        ThermalBatchState &state, int lane)
     : orgCfg(src.orgCfg), pwr(src.pwr), cool(src.cool), shares(src.shares),
-      ownedState(nullptr), st(&state), laneIdx(lane)
+      refreshDram(src.refreshDram), ownedState(nullptr), st(&state),
+      laneIdx(lane)
 {
     panicIfNot(state.dimms() == orgCfg.nDimmsPerChannel,
                "MemoryThermalModel: batch state chain length mismatch");
@@ -69,7 +70,8 @@ MemoryThermalModel::MemoryThermalModel(const MemoryThermalModel &src,
 
 MemoryThermalModel::MemoryThermalModel(const MemoryThermalModel &other)
     : orgCfg(other.orgCfg), pwr(other.pwr), cool(other.cool),
-      shares(other.shares), ownedState(nullptr), st(nullptr), laneIdx(0)
+      shares(other.shares), refreshDram(other.refreshDram),
+      ownedState(nullptr), st(nullptr), laneIdx(0)
 {
     ownedState =
         std::make_unique<ThermalBatchState>(1, orgCfg.nDimmsPerChannel);
@@ -119,7 +121,26 @@ MemoryThermalModel::channelPower(GBps total_read, GBps total_write) const
         bool last = static_cast<int>(i) == orgCfg.nDimmsPerChannel - 1;
         powerScratch[i] = pwr.power(trafficScratch[i], last);
     }
+    // Refresh feedback: temperature-dependent refresh power rides on
+    // the DRAM devices, so it reaches the stable-temperature targets,
+    // the per-DIMM energy accumulators and the subsystem power alike.
+    if (!refreshDram.empty())
+        for (std::size_t i = 0; i < powerScratch.size(); ++i)
+            powerScratch[i].dram += refreshDram[i];
     return powerScratch;
+}
+
+void
+MemoryThermalModel::setRefreshDramPower(const std::vector<Watts> &w)
+{
+    panicIfNot(w.empty() ||
+                   static_cast<int>(w.size()) == orgCfg.nDimmsPerChannel,
+               "MemoryThermalModel: refresh power arity");
+    for (Watts p : w)
+        panicIfNot(std::isfinite(p) && p >= 0.0,
+                   "MemoryThermalModel: refresh power must be finite "
+                   "and non-negative");
+    refreshDram.assign(w.begin(), w.end());
 }
 
 void

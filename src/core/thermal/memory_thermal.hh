@@ -177,6 +177,24 @@ class MemoryThermalModel
     double setTrafficShares(std::vector<double> new_shares);
 
     /**
+     * Set the per-DIMM refresh power added to each DIMM's DRAM devices
+     * by every subsequent power-model evaluation (the
+     * temperature->power half of the refresh feedback edge,
+     * core/sim/refresh_model.hh). Same arity contract as the traffic
+     * shares: empty (the default) adds nothing, otherwise one finite
+     * non-negative entry per DIMM of the chain. The simulator rewrites
+     * this every window from the refresh model's current band per DIMM;
+     * allocation-free once the member buffer is warm.
+     */
+    void setRefreshDramPower(const std::vector<Watts> &w);
+
+    /** Per-DIMM refresh power last set; empty means none. */
+    const std::vector<Watts> &refreshDramPower() const
+    {
+        return refreshDram;
+    }
+
+    /**
      * Per-DIMM peak temperatures since the last reset (index 0 nearest
      * the memory controller). advance() folds every step into the
      * lane's peak arrays, so the hot loop never materializes a
@@ -247,6 +265,9 @@ class MemoryThermalModel
     DimmPowerModel pwr;
     CoolingConfig cool;
     std::vector<double> shares; ///< per-DIMM traffic split; empty=uniform
+    /// Per-DIMM refresh power folded into the DRAM devices by
+    /// channelPower(); empty = no refresh feedback.
+    std::vector<Watts> refreshDram;
 
     std::unique_ptr<ThermalBatchState> ownedState; ///< owning mode only
     ThermalBatchState *st; ///< owned or caller-owned batch state

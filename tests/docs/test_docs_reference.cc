@@ -70,6 +70,8 @@ TEST(DocsReference, ScenariosManualCoversEveryCatalogName)
                    "traffic shape");
     expectMentions(doc, "docs/scenarios.md", emergencyLevelNames(),
                    "emergency ladder");
+    expectMentions(doc, "docs/scenarios.md", refreshModelNames(),
+                   "refresh model");
 }
 
 TEST(DocsReference, ScenariosManualCoversEverySweepAxisAndKnob)
@@ -83,7 +85,7 @@ TEST(DocsReference, ScenariosManualCoversEverySweepAxisAndKnob)
           "remap_interval", "remap_hysteresis", "emergency_levels",
           "dvfs", "instr_scale", "max_sim_time", "sensor_quant",
           "sensor_seed", "ambient", "platform", "workloads", "policies",
-          "sweep"}) {
+          "sweep", "refresh", "schema_version"}) {
         EXPECT_NE(doc.find(key), std::string::npos)
             << "docs/scenarios.md does not mention member '" << key << "'";
     }
@@ -101,7 +103,8 @@ TEST(DocsReference, CliManualCoversEverySubcommandAndListCatalog)
     }
     for (const char *catalog :
          {"policies", "workloads", "coolings", "ambients", "platforms",
-          "emergency_levels", "dvfs", "memory_orgs", "traffic_shapes"}) {
+          "emergency_levels", "dvfs", "memory_orgs", "traffic_shapes",
+          "refresh_models"}) {
         EXPECT_NE(doc.find(catalog), std::string::npos)
             << "docs/cli.md does not mention list catalog '" << catalog
             << "'";

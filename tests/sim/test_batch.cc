@@ -72,6 +72,8 @@ expectIdentical(const SimResult &a, const SimResult &b)
     EXPECT_EQ(a.peakAmbPerDimm, b.peakAmbPerDimm);
     EXPECT_EQ(a.peakDramPerDimm, b.peakDramPerDimm);
     EXPECT_EQ(a.avgPowerPerDimm, b.avgPowerPerDimm);
+    EXPECT_EQ(a.refreshBwLossPerDimm, b.refreshBwLossPerDimm);
+    EXPECT_EQ(a.refreshEnergyPerDimm, b.refreshEnergyPerDimm);
     EXPECT_EQ(a.ambTrace.values(), b.ambTrace.values());
     EXPECT_EQ(a.dramTrace.values(), b.dramTrace.values());
     EXPECT_EQ(a.inletTrace.values(), b.inletTrace.values());
@@ -192,6 +194,55 @@ TEST(RunBatch, ForkedRunsBitIdenticalToScalarForEveryPolicy)
     }
     // Logical windows account every run's full trajectory.
     EXPECT_NEAR(stats.logicalWindows, window_sum, 1e-6 * window_sum);
+}
+
+/**
+ * Fork-identity survives the temperature->refresh feedback edge. The
+ * refresh model reads the lane's own per-DIMM DRAM temperatures every
+ * window and feeds power back into the same lane, so a forked lane that
+ * mis-copied any thermal state would diverge within one window. Every
+ * registered policy rides in one refresh-coupled batch and must stay
+ * bit-identical to its from-scratch scalar run.
+ */
+TEST(RunBatch, ForkedRunsBitIdenticalUnderRefreshCoupling)
+{
+    SimConfig cfg = batchyConfig();
+    cfg.refresh = refreshModelByName("ddr2_2x");
+    const Workload mix = workloadMix("W1");
+    const std::vector<std::string> names =
+        PolicyRegistry::instance().names();
+
+    ThermalSimulator sim(cfg);
+    ThermalSimulator::Scratch scratch;
+
+    std::vector<std::unique_ptr<DtmPolicy>> policies;
+    std::vector<DtmPolicy *> ptrs;
+    for (const auto &n : names) {
+        policies.push_back(
+            PolicyRegistry::instance().make(n, contextOf(cfg)));
+        ptrs.push_back(policies.back().get());
+    }
+
+    BatchStats stats;
+    std::vector<SimResult> batched =
+        sim.runBatch(mix, ptrs, scratch, &stats);
+    ASSERT_EQ(batched.size(), names.size());
+    EXPECT_GT(stats.forks, 0u);
+    EXPECT_GT(stats.hitRate(), 0.0);
+
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        auto fresh =
+            PolicyRegistry::instance().make(names[i], contextOf(cfg));
+        SimResult scalar = sim.run(mix, *fresh, scratch);
+        expectIdentical(batched[i], scalar);
+        // The coupling actually ran: the nominal DDR2 band charges
+        // every DIMM a nonzero refresh tax from the first window.
+        ASSERT_FALSE(batched[i].refreshBwLossPerDimm.empty());
+        for (double loss : batched[i].refreshBwLossPerDimm)
+            EXPECT_GT(loss, 0.0);
+        for (Joules e : batched[i].refreshEnergyPerDimm)
+            EXPECT_GT(e, 0.0);
+    }
 }
 
 /** A batch of one is exactly the scalar path. */

@@ -403,6 +403,67 @@ TEST(OnlineAggregator, UnusableBaselineYieldsNoNormalization)
     EXPECT_DOUBLE_EQ(s[0].normSum, 0.0);
 }
 
+TEST(ResultStream, HeaderSchemaVersionAcceptRejectMatrix)
+{
+    ScenarioSpec spec = tinySpec();
+    ExperimentEngine engine(2);
+    StreamRunOptions opts;
+    opts.path = tmpPath("schema.jsonl");
+    runScenarioStream(spec, engine, opts);
+
+    std::vector<std::string> lines;
+    {
+        std::ifstream in(opts.path);
+        std::string line;
+        while (std::getline(in, line))
+            lines.push_back(line);
+    }
+    ASSERT_GE(lines.size(), 2u);
+
+    // A freshly written header records this binary's document schema.
+    Json hdr = Json::parse(lines[0]);
+    const Json *sv = hdr.find("schema_version");
+    ASSERT_NE(sv, nullptr);
+    EXPECT_EQ(static_cast<int>(sv->asNumber()), kResultSchemaVersion);
+
+    // Rewrite the stream with a patched header and re-scan it.
+    auto withHeader = [&](const Json &header, const std::string &name) {
+        std::string path = tmpPath(name);
+        std::ofstream out(path, std::ios::binary);
+        out << header.dump(0) << '\n';
+        for (std::size_t i = 1; i < lines.size(); ++i)
+            out << lines[i] << '\n';
+        return path;
+    };
+
+    // Legacy stream (written before schema versioning): accepted as v1.
+    Json legacy = Json::object();
+    for (const auto &[k, v] : hdr.asObject())
+        if (k != "schema_version")
+            legacy.set(k, v);
+    StreamScan scan =
+        scanStream(withHeader(legacy, "schema_legacy.jsonl"));
+    EXPECT_EQ(scan.records.size(), 4u);
+
+    // Older explicit version: accepted.
+    Json v1 = legacy;
+    v1.set("schema_version", 1);
+    EXPECT_EQ(scanStream(withHeader(v1, "schema_v1.jsonl")).records.size(),
+              4u);
+
+    // A stream from a newer binary: refused with a clear error.
+    Json future = legacy;
+    future.set("schema_version", kResultSchemaVersion + 1);
+    EXPECT_THROW(scanStream(withHeader(future, "schema_future.jsonl")),
+                 FatalError);
+
+    // Nonsense versions: refused.
+    Json zero = legacy;
+    zero.set("schema_version", 0);
+    EXPECT_THROW(scanStream(withHeader(zero, "schema_zero.jsonl")),
+                 FatalError);
+}
+
 TEST(ResultStream, ScanRejectsMidFileCorruption)
 {
     ScenarioSpec spec = tinySpec();

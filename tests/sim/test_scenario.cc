@@ -55,6 +55,8 @@ expectIdentical(const SimResult &a, const SimResult &b)
     EXPECT_EQ(a.peakAmbPerDimm, b.peakAmbPerDimm);
     EXPECT_EQ(a.peakDramPerDimm, b.peakDramPerDimm);
     EXPECT_EQ(a.avgPowerPerDimm, b.avgPowerPerDimm);
+    EXPECT_EQ(a.refreshBwLossPerDimm, b.refreshBwLossPerDimm);
+    EXPECT_EQ(a.refreshEnergyPerDimm, b.refreshEnergyPerDimm);
     EXPECT_EQ(a.ambTrace.values(), b.ambTrace.values());
     EXPECT_EQ(a.dramTrace.values(), b.dramTrace.values());
     EXPECT_EQ(a.inletTrace.values(), b.inletTrace.values());
@@ -96,6 +98,10 @@ TEST(ScenarioSpec, FullSpecRoundTripsLosslessly)
     s.sweepDtmInterval = {0.01, 0.05};
     s.sweepEmergencyLevels = {"ch4", "sr1500al"};
     s.sweepDvfs = {"simulated_cmp", "xeon5160"};
+    s.refresh = RefreshSpec{"aldram", {}};
+    s.sweepRefresh = {RefreshSpec{"none", {}},
+                      RefreshSpec{"", {{-273.15, 0.016, 0.15, 1.0},
+                                       {85.0, 0.032, 0.3, 1.1}}}};
 
     Json j = s.toJson();
     ScenarioSpec back = ScenarioSpec::fromJson(Json::parse(j.dump()));
@@ -109,7 +115,8 @@ TEST(ScenarioSpec, ExampleScenariosRoundTripAndLower)
     const char *files[] = {"ch4_baseline.json", "fan_failure.json",
                            "datacenter_ambient.json", "sensor_noise.json",
                            "dtm_sensitivity.json", "memory_org.json",
-                           "hot_dimm.json", "hot_dimm_remap.json"};
+                           "hot_dimm.json", "hot_dimm_remap.json",
+                           "refresh_runaway.json"};
     for (const char *f : files) {
         SCOPED_TRACE(f);
         ScenarioSpec spec = ScenarioSpec::load(scenarioPath(f));
@@ -896,6 +903,97 @@ TEST(Scenario, MemoryOrgAxisMatchesHandCodedEngineBitExactly)
     // spreading it over four (the Section 3.4 story).
     EXPECT_GT(got.points[0].suite.at("swimx2").at("No-limit").maxAmb,
               got.points[1].suite.at("swimx2").at("No-limit").maxAmb);
+}
+
+TEST(ScenarioSpec, RefreshAxisLowersAcrossTheGrid)
+{
+    ScenarioSpec s;
+    s.name = "refresh_axis";
+    s.workloads = {"W1"};
+    s.policies = {"No-limit"};
+    s.sweepTInlet = {46.0, 50.0};
+    s.sweepRefresh = {RefreshSpec{"none", {}}, RefreshSpec{"ddr2_2x", {}}};
+
+    LoweredScenario low = s.lower();
+    ASSERT_EQ(low.points.size(), 4u); // 2 inlets x 2 refresh models
+    // Refresh is the tenth (fastest) axis; its coordinate labels last.
+    EXPECT_EQ(low.points[0].label, "inlet=46,refresh=none");
+    EXPECT_EQ(low.points[1].label, "inlet=46,refresh=ddr2_2x");
+    EXPECT_EQ(low.points.back().label, "inlet=50,refresh=ddr2_2x");
+
+    // The coordinates land in the configurations: "none" resolves to
+    // the empty (feedback-off) model, ddr2_2x to the real band table.
+    EXPECT_TRUE(low.points[0].cfg.refresh.empty());
+    EXPECT_FALSE(low.points[1].cfg.refresh.empty());
+    EXPECT_EQ(low.points[1].cfg.refresh.bands.size(),
+              ddr2DoubleRefreshModel().bands.size());
+
+    // The scalar member applies when no axis sweeps refresh, and the
+    // axis supersedes it when one does.
+    s.sweepRefresh.clear();
+    s.refresh = RefreshSpec{"aldram", {}};
+    low = s.lower();
+    ASSERT_EQ(low.points.size(), 2u);
+    for (const auto &pt : low.points) {
+        EXPECT_EQ(pt.cfg.refresh.bands.size(),
+                  aldramRefreshModel().bands.size());
+    }
+    s.sweepRefresh = {RefreshSpec{"none", {}}, RefreshSpec{"ddr2_2x", {}}};
+    low = s.lower();
+    EXPECT_TRUE(low.points[0].cfg.refresh.empty()); // axis wins
+
+    // An inline band table lowers too, with a label free of ',' / '='.
+    s.refresh = RefreshSpec{};
+    s.sweepRefresh = {
+        RefreshSpec{"", {{-273.15, 0.01, 0.1, 1.0}, {80.0, 0.02, 0.2, 1.0}}}};
+    s.sweepTInlet.clear();
+    low = s.lower();
+    ASSERT_EQ(low.points.size(), 1u);
+    EXPECT_EQ(low.points[0].label, "refresh=-273.15:0.01:0.1|80:0.02:0.2");
+    EXPECT_EQ(low.points[0].cfg.refresh.bands.size(), 2u);
+
+    // Unknown catalog names report the valid keys.
+    s.sweepRefresh = {RefreshSpec{"ddr3", {}}};
+    try {
+        s.lower();
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("unknown refresh model 'ddr3'"),
+                  std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("ddr2_2x"), std::string::npos) << msg;
+    }
+
+    // Malformed inline tables name the offense.
+    s.sweepRefresh = {RefreshSpec{"", {{-273.15, 1.5, 0.1, 1.0}}}};
+    EXPECT_THROW(s.lower(), FatalError); // bw_fraction outside [0, 1)
+    s.sweepRefresh = {
+        RefreshSpec{"", {{80.0, 0.01, 0.1, 1.0}, {70.0, 0.02, 0.2, 1.0}}}};
+    EXPECT_THROW(s.lower(), FatalError); // min_temp not increasing
+    s.sweepRefresh = {RefreshSpec{"", {{-273.15, 0.01, -0.1, 1.0}}}};
+    EXPECT_THROW(s.lower(), FatalError); // negative dram_power_w
+    s.sweepRefresh = {RefreshSpec{"", {{-273.15, 0.01, 0.1, 0.0}}}};
+    EXPECT_THROW(s.lower(), FatalError); // non-positive latency_mult
+
+    // Duplicate sweep entries (by resolved model, not spelling).
+    s.sweepRefresh = {RefreshSpec{"none", {}}, RefreshSpec{"none", {}}};
+    EXPECT_THROW(s.lower(), FatalError);
+    s.sweepRefresh = {RefreshSpec{"ddr2_2x", {}},
+                      RefreshSpec{"", ddr2DoubleRefreshModel().bands}};
+    EXPECT_THROW(s.lower(), FatalError);
+
+    // Platform scenarios measure real DRAM — the knob is rejected.
+    ScenarioSpec plat;
+    plat.name = "plat_refresh";
+    plat.platform = "SR1500AL";
+    plat.workloads = {"W1"};
+    plat.policies = {"No-limit"};
+    plat.refresh = RefreshSpec{"ddr2_2x", {}};
+    EXPECT_THROW(plat.lower(), FatalError);
+    plat.refresh = RefreshSpec{};
+    plat.sweepRefresh = {RefreshSpec{"ddr2_2x", {}}};
+    EXPECT_THROW(plat.lower(), FatalError);
 }
 
 TEST(ScenarioSpec, TrafficShapeAxisLowersAcrossTheGrid)

@@ -103,7 +103,8 @@ usage(std::ostream &os, int rc)
           "      --quiet          suppress the summary tables\n"
           "  memtherm validate <scenario.json>...\n"
           "  memtherm list policies|workloads|coolings|ambients|platforms"
-          "|emergency_levels|dvfs|memory_orgs|traffic_shapes\n";
+          "|emergency_levels|dvfs|memory_orgs|traffic_shapes"
+          "|refresh_models\n";
     return rc;
 }
 
@@ -132,11 +133,13 @@ cmdList(const std::vector<std::string> &args)
         names = memoryOrgNames();
     else if (what == "traffic_shapes")
         names = trafficShapeNames();
+    else if (what == "refresh_models")
+        names = refreshModelNames();
     else {
         std::cerr << "memtherm list: unknown catalog '" << what
                   << "' (valid: policies, workloads, coolings, ambients, "
                      "platforms, emergency_levels, dvfs, memory_orgs, "
-                     "traffic_shapes)\n";
+                     "traffic_shapes, refresh_models)\n";
         return 1;
     }
     for (const auto &n : names)
@@ -149,6 +152,10 @@ cmdList(const std::vector<std::string> &args)
     if (what == "traffic_shapes")
         std::cout << "[s0, s1, ...] (inline per-DIMM share vector summing "
                      "to 1, e.g. [0.5, 0.3, 0.1, 0.1])\n";
+    if (what == "refresh_models")
+        std::cout << "[{min_temp, bw_fraction, dram_power_w[, "
+                     "latency_mult]}, ...] (inline band table, "
+                     "ascending min_temp)\n";
     return 0;
 }
 
@@ -343,6 +350,10 @@ struct ReportRow
     std::vector<double> peakAmb;
     std::vector<double> peakDram;
     std::vector<double> avgPower;
+    /// Per-DIMM refresh feedback (schema v2); empty for runs without a
+    /// refresh model and for legacy results files.
+    std::vector<double> refreshBw;
+    std::vector<double> refreshEnergy;
 };
 
 /** One sweep point of a results file. */
@@ -452,6 +463,10 @@ cmdReport(const std::vector<std::string> &args)
               "' does not look like memtherm results (expected an object "
               "with a 'points' array; produce one with `memtherm run -o`)");
     }
+    // Version-absent files are legacy (v1) and read unchanged; a
+    // document from a newer binary is refused rather than misread.
+    (void)resultSchemaVersionOf(doc, "memtherm report: '" + results_path +
+                                         "'");
     const std::string scenario =
         doc.find("scenario") ? doc.at("scenario").asString() : "(unnamed)";
     if (!doc.at("points").isArray())
@@ -504,6 +519,8 @@ cmdReport(const std::vector<std::string> &args)
                 peakList("peak_amb_per_dimm_c", row.peakAmb);
                 peakList("peak_dram_per_dimm_c", row.peakDram);
                 peakList("avg_power_per_dimm_w", row.avgPower);
+                peakList("refresh_bw_loss_per_dimm_gb", row.refreshBw);
+                peakList("refresh_energy_per_dimm_j", row.refreshEnergy);
                 if (std::isfinite(base_time) && base_time > 0.0)
                     row.norm = row.time / base_time;
                 pd.rows.push_back(std::move(row));
@@ -642,12 +659,19 @@ cmdReport(const std::vector<std::string> &args)
         // results (an org sweep mixes DIMM counts); runs with fewer
         // DIMMs leave their trailing cells empty.
         std::size_t max_dimms = 0;
+        // Refresh columns appear only when some run actually carried a
+        // refresh model, so refresh-free reports stay byte-identical to
+        // what older binaries wrote.
+        std::size_t max_refresh_dimms = 0;
         for (const auto &pd : points) {
             for (const auto &r : pd.rows) {
                 max_dimms = std::max(
                     max_dimms, std::max(r.avgPower.size(),
                                         std::max(r.peakAmb.size(),
                                                  r.peakDram.size())));
+                max_refresh_dimms = std::max(
+                    max_refresh_dimms, std::max(r.refreshBw.size(),
+                                                r.refreshEnergy.size()));
             }
         }
         f << "scenario,point,workload,policy,completed,running_time_s,"
@@ -658,13 +682,21 @@ cmdReport(const std::vector<std::string> &args)
             f << ",peak_dram_dimm" << d << "_c";
         for (std::size_t d = 0; d < max_dimms; ++d)
             f << ",avg_power_dimm" << d << "_w";
+        for (std::size_t d = 0; d < max_refresh_dimms; ++d)
+            f << ",refresh_bw_loss_dimm" << d << "_gb";
+        for (std::size_t d = 0; d < max_refresh_dimms; ++d)
+            f << ",refresh_energy_dimm" << d << "_j";
         f << '\n';
-        auto peakCells = [&](const std::vector<double> &peaks) {
-            for (std::size_t d = 0; d < max_dimms; ++d) {
+        auto cells = [&](const std::vector<double> &vals,
+                         std::size_t width) {
+            for (std::size_t d = 0; d < width; ++d) {
                 f << ',';
-                if (d < peaks.size())
-                    f << numForDiag(peaks[d]);
+                if (d < vals.size())
+                    f << numForDiag(vals[d]);
             }
+        };
+        auto peakCells = [&](const std::vector<double> &peaks) {
+            cells(peaks, max_dimms);
         };
         for (const auto &pd : points) {
             for (const auto &r : pd.rows) {
@@ -677,6 +709,8 @@ cmdReport(const std::vector<std::string> &args)
                 peakCells(r.peakAmb);
                 peakCells(r.peakDram);
                 peakCells(r.avgPower);
+                cells(r.refreshBw, max_refresh_dimms);
+                cells(r.refreshEnergy, max_refresh_dimms);
                 f << '\n';
             }
         }
@@ -765,6 +799,8 @@ cmdMerge(const std::vector<std::string> &args)
     int rc = 0;
     if (!golden_path.empty()) {
         Json golden = Json::load(golden_path);
+        (void)resultSchemaVersionOf(golden, "memtherm merge: '" +
+                                                golden_path + "'");
         std::string where, detail;
         if (!jsonNear(merged.results, golden, tol, "", where, detail)) {
             std::cerr << "memtherm merge: results diverge from '"
@@ -929,6 +965,8 @@ cmdRun(const std::vector<std::string> &args)
             }
             if (!golden_path.empty()) {
                 Json golden = Json::load(golden_path);
+                (void)resultSchemaVersionOf(golden, "memtherm run: '" +
+                                                        golden_path + "'");
                 std::string where, detail;
                 if (!jsonNear(merged.results, golden, tol, "", where,
                               detail)) {
@@ -980,6 +1018,8 @@ cmdRun(const std::vector<std::string> &args)
 
     if (!golden_path.empty()) {
         Json golden = Json::load(golden_path);
+        (void)resultSchemaVersionOf(golden, "memtherm run: '" +
+                                                golden_path + "'");
         std::string where, detail;
         if (!jsonNear(out, golden, tol, "", where, detail)) {
             std::cerr << "memtherm run: results diverge from '"
