@@ -145,8 +145,14 @@ class Parser
     {
         skipWs();
         char c = peek();
-        if (c == '{') return objectValue();
-        if (c == '[') return arrayValue();
+        // Containers recurse; a depth cap turns pathological nesting
+        // (fuzzers love "[[[[...") into a diagnostic instead of stack
+        // exhaustion. Real documents nest a handful of levels.
+        if ((c == '{' || c == '[') && ++depth > kMaxDepth)
+            fail("nesting deeper than " + std::to_string(kMaxDepth) +
+                 " levels");
+        if (c == '{') { Json v = objectValue(); --depth; return v; }
+        if (c == '[') { Json v = arrayValue(); --depth; return v; }
         if (c == '"') return Json(stringValue());
         if (c == '-' || (c >= '0' && c <= '9')) return numberValue();
         if (consume("true")) return Json(true);
@@ -306,8 +312,12 @@ class Parser
         return Json(v);
     }
 
+    /// See value(): containers past this depth are refused, not parsed.
+    static constexpr int kMaxDepth = 256;
+
     const std::string &s;
     std::size_t pos = 0;
+    int depth = 0;
 };
 
 } // namespace

@@ -371,6 +371,35 @@ refreshModelByName(const std::string &name)
     return RefreshRegistry::instance().byName(name);
 }
 
+// --- thermal models ---------------------------------------------------------
+
+std::vector<std::string>
+thermalModelNames()
+{
+    return {"lumped", "bank_grid"};
+}
+
+std::optional<ThermalModelConfig>
+tryThermalModel(const std::string &name)
+{
+    if (name == "lumped")
+        return ThermalModelConfig{};
+    if (name == "bank_grid")
+        return ThermalModelConfig{BankGridConfig{}};
+    return std::nullopt;
+}
+
+ThermalModelConfig
+thermalModelByName(const std::string &name)
+{
+    auto m = tryThermalModel(name);
+    if (!m) {
+        fatal("unknown thermal model '" + name +
+              "' (valid: " + joinNames(thermalModelNames()) + ")");
+    }
+    return *m;
+}
+
 // --- cooling ----------------------------------------------------------------
 
 namespace

@@ -287,6 +287,18 @@ std::optional<RefreshModel> tryRefreshModel(const std::string &name,
 RefreshModel refreshModelByName(const std::string &name);
 
 /**
+ * Thermal-model catalog: named resolutions for the `thermal_model`
+ * scenario knob and sweep axis. "lumped" is the paper's per-DIMM model
+ * (bit-identical to leaving the knob unset); "bank_grid" overlays the
+ * default 4x2 per-bank diagnostic grid (core/thermal/bank_grid.hh) on
+ * every DIMM. Scenario files can also give an inline
+ * {grid_x, grid_z[, bank_weights]} object for grids the catalog lacks.
+ */
+std::vector<std::string> thermalModelNames();
+std::optional<ThermalModelConfig> tryThermalModel(const std::string &name);
+ThermalModelConfig thermalModelByName(const std::string &name);
+
+/**
  * Emergency-ladder catalog: "ch4" (the Table 4.3 FBDIMM ladder) and the
  * Table 5.1 testbed variants "pe1950", "sr1500al", "sr1500al_tdp90"
  * (AMB ladders of the Chapter 5 platforms with the DRAM boundaries

@@ -579,15 +579,21 @@ mergeStreams(const std::vector<std::string> &paths)
 
     Json doc = Json::object();
     doc.set("scenario", out.spec.name);
-    // Mirror toJson(ScenarioResults): stamp the document schema version
-    // only when some result carries v2-only members, so refresh-free
-    // merges stay byte-identical to documents written by older binaries.
-    bool hasV2 = false;
-    for (const StreamRecord *rec : best)
-        if (rec && !rec->failed && rec->result.find("refresh_bw_loss_per_dimm_gb"))
-            hasV2 = true;
-    if (hasV2)
-        doc.set("schema_version", kResultSchemaVersion);
+    // Mirror toJson(ScenarioResults): stamp the *minimum* schema version
+    // the merged members imply (3 for per-bank peaks, 2 for the refresh
+    // fields, nothing for the historical set), so refresh-free merges
+    // stay byte-identical to documents written by older binaries.
+    bool hasV2 = false, hasV3 = false;
+    for (const StreamRecord *rec : best) {
+        if (!rec || rec->failed)
+            continue;
+        hasV2 |= rec->result.find("refresh_bw_loss_per_dimm_gb") != nullptr;
+        hasV3 |= rec->result.find("peak_bank_dram_c") != nullptr;
+    }
+    if (hasV3)
+        doc.set("schema_version", 3);
+    else if (hasV2)
+        doc.set("schema_version", 2);
     Json pts = Json::array();
     for (std::size_t p = 0; p < grid.pointLabels.size(); ++p) {
         std::map<std::string, std::map<std::string, const Json *>> suite;

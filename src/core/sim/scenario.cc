@@ -9,6 +9,7 @@
 
 #include "common/logging.hh"
 #include "core/sim/registry.hh"
+#include "dram/trace.hh"
 #include "testbed/platform.hh"
 
 namespace memtherm
@@ -285,6 +286,56 @@ refreshFromJson(const Json &v, const std::string &where)
 }
 
 Json
+thermalModelToJson(const ThermalModelSpec &t)
+{
+    if (!t.name.empty())
+        return Json(t.name);
+    // A default-constructed spec means "the lumped per-DIMM model" and
+    // has no serialized form — callers filter those out; reaching here
+    // with one (e.g. an empty sweep entry) is a spec bug, not UB.
+    if (!t.grid)
+        fatal("scenario: empty thermal model");
+    Json j = Json::object();
+    j.set("grid_x", t.grid->x);
+    j.set("grid_z", t.grid->z);
+    if (!t.grid->weights.empty())
+        j.set("bank_weights", toJsonList(t.grid->weights));
+    return j;
+}
+
+/** Parse a thermal model: a catalog name or an inline grid object. */
+ThermalModelSpec
+thermalModelFromJson(const Json &v, const std::string &where)
+{
+    ThermalModelSpec s;
+    if (v.isString()) {
+        s.name = v.asString();
+        if (s.name.empty())
+            fatal("scenario: " + where + " name must not be empty");
+        return s;
+    }
+    if (v.isObject()) {
+        checkMembers(v, where, {"grid_x", "grid_z", "bank_weights"});
+        if (!v.find("grid_x") || !v.find("grid_z")) {
+            fatal("scenario: " + where +
+                  " needs both 'grid_x' and 'grid_z'");
+        }
+        BankGridConfig g;
+        g.x = memberInt(v, "grid_x");
+        g.z = memberInt(v, "grid_z");
+        if (v.find("bank_weights")) {
+            g.weights =
+                numberList(v.at("bank_weights"), where + " bank_weights");
+        }
+        s.grid = std::move(g);
+        return s;
+    }
+    fatal("scenario: " + where +
+          " must be a catalog thermal model name or a "
+          "{grid_x, grid_z[, bank_weights]} object");
+}
+
+Json
 traceJson(const TimeSeries &t)
 {
     Json j = Json::object();
@@ -428,6 +479,75 @@ RefreshSpec::resolve() const
     return m;
 }
 
+std::string
+ThermalModelSpec::label() const
+{
+    if (!name.empty())
+        return name;
+    if (!grid)
+        return "";
+    // ':' and '|' keep the coordinate free of ',' and '=', which the
+    // sweep label grammar reserves for separating coordinates.
+    std::string out =
+        std::to_string(grid->x) + "x" + std::to_string(grid->z);
+    if (!grid->weights.empty()) {
+        out += ":";
+        for (std::size_t i = 0; i < grid->weights.size(); ++i) {
+            if (i)
+                out += "|";
+            out += numStr(grid->weights[i]);
+        }
+    }
+    return out;
+}
+
+ThermalModelConfig
+ThermalModelSpec::resolve() const
+{
+    if (!name.empty())
+        return thermalModelByName(name);
+    if (!grid)
+        fatal("scenario: empty thermal model");
+    if (grid->x < 1 || grid->z < 1) {
+        fatal("scenario: thermal model " + label() +
+              " grid dimensions must be >= 1");
+    }
+    if (grid->cells() > 1024) {
+        fatal("scenario: thermal model " + label() + " has " +
+              std::to_string(grid->cells()) +
+              " cells per DIMM; the limit is 1024");
+    }
+    if (!grid->weights.empty()) {
+        if (grid->weights.size() !=
+            static_cast<std::size_t>(grid->cells())) {
+            fatal("scenario: thermal model " + label() + " has " +
+                  std::to_string(grid->weights.size()) +
+                  " bank weight(s) but the grid has " +
+                  std::to_string(grid->cells()) + " cell(s)");
+        }
+        double sum = 0.0;
+        for (double w : grid->weights) {
+            if (!std::isfinite(w)) {
+                fatal("scenario: thermal model " + label() +
+                      " bank weights must be finite");
+            }
+            if (w < 0.0) {
+                fatal("scenario: thermal model " + label() +
+                      " bank weights must not be negative");
+            }
+            sum += w;
+        }
+        if (std::abs(sum - 1.0) >= 1e-9) {
+            fatal("scenario: thermal model " + label() +
+                  " bank weights must sum to 1 (got " + numStr(sum) +
+                  ")");
+        }
+    }
+    ThermalModelConfig m;
+    m.grid = grid;
+    return m;
+}
+
 std::size_t
 LoweredScenario::totalRuns() const
 {
@@ -499,6 +619,17 @@ ScenarioSpec::lower() const
                       "DRAM, refresh included; remove the refresh "
                       "member and sweep");
         }
+        if (!thermalModel.empty() || !sweepThermalModel.empty()) {
+            specError(*this,
+                      "platform scenarios measure the testbed's real "
+                      "DIMMs at DIMM granularity; remove the "
+                      "thermal_model member and sweep");
+        }
+        if (!trace.empty()) {
+            specError(*this,
+                      "platform scenarios use the testbed's measured "
+                      "traffic distribution; remove the trace member");
+        }
         if (remapInterval || remapHysteresis) {
             specError(*this,
                       "platform scenarios use the testbed's measured "
@@ -560,6 +691,16 @@ ScenarioSpec::lower() const
         specError(*this, "sensor_quant must be >= 0");
     if (copiesPerApp && *copiesPerApp < 1)
         specError(*this, "copies_per_app must be >= 1");
+
+    // --- trace vs modeled traffic: the trace IS the measured per-DIMM
+    // distribution, so an analytic shape alongside it could only be
+    // silently ignored or silently override the measurement. -------------
+    if (!trace.empty() &&
+        (!trafficShape.empty() || !sweepTrafficShape.empty())) {
+        specError(*this,
+                  "'trace' supplies the per-DIMM traffic distribution; "
+                  "remove the traffic_shape member and sweep");
+    }
 
     // --- sweep axis sanity ---------------------------------------------
     auto checkSweep = [&](const std::vector<double> &vals, const char *axis,
@@ -792,10 +933,60 @@ ScenarioSpec::lower() const
         }
     }
 
-    // --- the grid: an odometer over the ten axes, last axis fastest.
+    // --- thermal models: resolve up front (catalog lookup throws
+    // listing the valid keys; inline grids validate dimensions and
+    // weights) and compare by the *resolved* model, so "bank_grid" and
+    // an inline {4, 2} grid cannot silently collapse onto one sweep
+    // point. -------------------------------------------------------------
+    std::optional<ThermalModelConfig> baseThermal;
+    if (!thermalModel.empty())
+        baseThermal = thermalModel.resolve();
+    std::vector<ThermalModelConfig> sweepThermalModels;
+    sweepThermalModels.reserve(sweepThermalModel.size());
+    for (const auto &t : sweepThermalModel)
+        sweepThermalModels.push_back(t.resolve());
+    for (std::size_t i = 0; i < sweepThermalModels.size(); ++i) {
+        for (std::size_t j = 0; j < i; ++j) {
+            if (sweepThermalModels[i] == sweepThermalModels[j]) {
+                std::string what =
+                    "duplicate sweep.thermal_model model '" +
+                    sweepThermalModel[i].label() + "'";
+                if (sweepThermalModel[i].label() !=
+                    sweepThermalModel[j].label()) {
+                    what += " (same thermal model as '" +
+                            sweepThermalModel[j].label() + "')";
+                }
+                specError(*this, what);
+            }
+        }
+    }
+
+    // A trace decodes into the per-bank heat weights, so inline
+    // bank_weights alongside one could only fight the measurement.
+    if (!trace.empty()) {
+        auto hasWeights = [](const ThermalModelConfig &m) {
+            return m.grid && !m.grid->weights.empty();
+        };
+        bool inlineWeights = baseThermal && hasWeights(*baseThermal);
+        for (const auto &m : sweepThermalModels)
+            inlineWeights |= hasWeights(m);
+        if (inlineWeights) {
+            specError(*this,
+                      "'trace' supplies the per-bank activity weights; "
+                      "remove the thermal model's bank_weights");
+        }
+    }
+
+    // Load the trace once; it decodes per grid point below (the profile
+    // depends on the point's organization and grid resolution).
+    std::vector<TraceRecord> traceRecords;
+    if (!trace.empty())
+        traceRecords = loadTrace(trace);
+
+    // --- the grid: an odometer over the eleven axes, last axis fastest.
     // An empty axis contributes one "keep the base value" slot (a null
     // coordinate below), so no in-band sentinel value can be swallowed.
-    const std::array<std::size_t, 10> dim = {
+    const std::array<std::size_t, 11> dim = {
         std::max<std::size_t>(sweepMemoryOrg.size(), 1),
         std::max<std::size_t>(sweepTrafficShape.size(), 1),
         std::max<std::size_t>(sweepCooling.size(), 1),
@@ -806,8 +997,9 @@ ScenarioSpec::lower() const
         std::max<std::size_t>(sweepEmergencyLevels.size(), 1),
         std::max<std::size_t>(sweepDvfs.size(), 1),
         std::max<std::size_t>(sweepRefresh.size(), 1),
+        std::max<std::size_t>(sweepThermalModel.size(), 1),
     };
-    std::array<std::size_t, 10> ix{};
+    std::array<std::size_t, 11> ix{};
     for (;;) {
         auto coord = [&](const auto &axis,
                          std::size_t a) -> const auto * {
@@ -823,6 +1015,7 @@ ScenarioSpec::lower() const
         const std::string *ladder = coord(sweepEmergencyLevels, 7);
         const std::string *dvfsName = coord(sweepDvfs, 8);
         const RefreshSpec *refreshSpec = coord(sweepRefresh, 9);
+        const ThermalModelSpec *thermalSpec = coord(sweepThermalModel, 10);
         // Shapes resolve per organization point (orgPoints mirrors the
         // org axis when it sweeps, else has the single base entry).
         const std::size_t orgIdx = sweepOrgs.empty() ? 0 : ix[0];
@@ -850,6 +1043,8 @@ ScenarioSpec::lower() const
             parts.push_back("dvfs=" + *dvfsName);
         if (refreshSpec)
             parts.push_back("refresh=" + refreshSpec->label());
+        if (thermalSpec)
+            parts.push_back("thermal=" + thermalSpec->label());
         if (parts.empty()) {
             pt.label = "base";
         } else {
@@ -901,6 +1096,8 @@ ScenarioSpec::lower() const
             cfg.dvfs = *baseDvfs;
         if (baseRefresh)
             cfg.refresh = *baseRefresh;
+        if (baseThermal)
+            cfg.bankGrid = baseThermal->grid;
         if (orgSpec)
             cfg.org = sweepOrgs[ix[0]];
         if (shapeSpec)
@@ -919,6 +1116,20 @@ ScenarioSpec::lower() const
             cfg.dvfs = sweepTables[ix[8]];
         if (refreshSpec)
             cfg.refresh = sweepRefreshModels[ix[9]];
+        if (thermalSpec)
+            cfg.bankGrid = sweepThermalModels[ix[10]].grid;
+
+        // A trace decodes against the point's organization and grid:
+        // per-DIMM shares always, per-bank heat weights when the
+        // bank-grid model is active at this point.
+        if (!traceRecords.empty()) {
+            TraceProfile prof = decodeTrace(
+                traceRecords, cfg.org.nChannels, cfg.org.nDimmsPerChannel,
+                cfg.bankGrid ? cfg.bankGrid->cells() : 0);
+            cfg.trafficShares = std::move(prof.dimmShares);
+            if (cfg.bankGrid)
+                cfg.bankGrid->weights = std::move(prof.bankWeights);
+        }
 
         // The simulator panics on a decision period below its trace
         // window; report it as a configuration error instead.
@@ -1029,6 +1240,10 @@ ScenarioSpec::toJson() const
         cfg.set("traffic_shape", shapeToJson(trafficShape));
     if (!refresh.empty())
         cfg.set("refresh", refreshToJson(refresh));
+    if (!thermalModel.empty())
+        cfg.set("thermal_model", thermalModelToJson(thermalModel));
+    if (!trace.empty())
+        cfg.set("trace", trace);
     if (tInlet)
         cfg.set("t_inlet", *tInlet);
     if (copiesPerApp)
@@ -1092,6 +1307,12 @@ ScenarioSpec::toJson() const
             a.push(refreshToJson(r));
         sweep.set("refresh", std::move(a));
     }
+    if (!sweepThermalModel.empty()) {
+        Json a = Json::array();
+        for (const auto &t : sweepThermalModel)
+            a.push(thermalModelToJson(t));
+        sweep.set("thermal_model", std::move(a));
+    }
     if (!sweep.asObject().empty())
         j.set("sweep", std::move(sweep));
 
@@ -1120,7 +1341,8 @@ ScenarioSpec::fromJson(const Json &j)
             fatal("scenario: 'config' must be an object");
         checkMembers(*cfg, "'config'",
                      {"cooling", "ambient", "emergency_levels", "dvfs",
-                      "memory_org", "traffic_shape", "refresh", "t_inlet",
+                      "memory_org", "traffic_shape", "refresh",
+                      "thermal_model", "trace", "t_inlet",
                       "copies_per_app", "instr_scale", "max_sim_time",
                       "dtm_interval", "remap_interval", "remap_hysteresis",
                       "sensor_noise_sigma", "sensor_quant",
@@ -1144,6 +1366,15 @@ ScenarioSpec::fromJson(const Json &j)
         if (cfg->find("refresh")) {
             s.refresh =
                 refreshFromJson(cfg->at("refresh"), "'config.refresh'");
+        }
+        if (cfg->find("thermal_model")) {
+            s.thermalModel = thermalModelFromJson(
+                cfg->at("thermal_model"), "'config.thermal_model'");
+        }
+        if (cfg->find("trace")) {
+            s.trace = memberString(*cfg, "trace");
+            if (s.trace.empty())
+                fatal("scenario: 'trace' path must not be empty");
         }
         if (cfg->find("t_inlet"))
             s.tInlet = memberNumber(*cfg, "t_inlet");
@@ -1184,7 +1415,7 @@ ScenarioSpec::fromJson(const Json &j)
                      {"memory_org", "traffic_shape", "cooling", "t_inlet",
                       "copies_per_app", "sensor_noise_sigma",
                       "dtm_interval", "emergency_levels", "dvfs",
-                      "refresh"});
+                      "refresh", "thermal_model"});
         if (sweep->find("memory_org")) {
             const Json &a = sweep->at("memory_org");
             if (!a.isArray()) {
@@ -1248,6 +1479,18 @@ ScenarioSpec::fromJson(const Json &j)
             for (const Json &e : a.asArray()) {
                 s.sweepRefresh.push_back(
                     refreshFromJson(e, "'sweep.refresh' entry"));
+            }
+        }
+        if (sweep->find("thermal_model")) {
+            const Json &a = sweep->at("thermal_model");
+            if (!a.isArray()) {
+                fatal("scenario: 'sweep.thermal_model' must be an array "
+                      "of catalog thermal model names or "
+                      "{grid_x, grid_z[, bank_weights]} objects");
+            }
+            for (const Json &e : a.asArray()) {
+                s.sweepThermalModel.push_back(thermalModelFromJson(
+                    e, "'sweep.thermal_model' entry"));
             }
         }
     }
@@ -1431,6 +1674,26 @@ toJson(const SimResult &r, bool traces)
         j.set("refresh_energy_per_dimm_j",
               toJsonList(r.refreshEnergyPerDimm));
     }
+    // Schema v3 members, present only when the run's bank-grid thermal
+    // model was active (the vector is sized iff SimConfig::bankGrid is
+    // set), so every lumped-model golden keeps its exact member set.
+    if (!r.peakBankDramPerDimm.empty()) {
+        Json g = Json::object();
+        g.set("x", r.bankGridX);
+        g.set("z", r.bankGridZ);
+        j.set("bank_grid", std::move(g));
+        const std::size_t cells = static_cast<std::size_t>(r.bankGridX) *
+                                  static_cast<std::size_t>(r.bankGridZ);
+        Json per_dimm = Json::array();
+        for (std::size_t base = 0; base < r.peakBankDramPerDimm.size();
+             base += cells) {
+            Json row = Json::array();
+            for (std::size_t c = 0; c < cells; ++c)
+                row.push(r.peakBankDramPerDimm[base + c]);
+            per_dimm.push(std::move(row));
+        }
+        j.set("peak_bank_dram_c", std::move(per_dimm));
+    }
     if (traces) {
         Json t = Json::object();
         t.set("amb_c", traceJson(r.ambTrace));
@@ -1457,7 +1720,8 @@ toJson(const SuiteResults &r, bool traces)
 }
 
 int
-resultSchemaVersionOf(const Json &doc, const std::string &where)
+resultSchemaVersionOf(const Json &doc, const std::string &where,
+                      int max_version)
 {
     const Json *v = doc.isObject() ? doc.find("schema_version") : nullptr;
     if (!v)
@@ -1467,10 +1731,10 @@ resultSchemaVersionOf(const Json &doc, const std::string &where)
         fatal(where + ": 'schema_version' must be a positive integer");
     }
     const int ver = static_cast<int>(v->asNumber());
-    if (ver > kResultSchemaVersion) {
+    if (ver > max_version) {
         fatal(where + ": schema version " + std::to_string(ver) +
               " is newer than this binary's " +
-              std::to_string(kResultSchemaVersion) +
+              std::to_string(max_version) +
               "; upgrade memtherm to read this file");
     }
     return ver;
@@ -1481,17 +1745,23 @@ toJson(const ScenarioResults &r, bool traces)
 {
     Json j = Json::object();
     j.set("scenario", r.scenario);
-    // Schema versioning (kResultSchemaVersion): stamped only when a
-    // v2-only member (the per-DIMM refresh fields) is actually present,
-    // so documents with the historical member set keep their exact
-    // historical bytes and read back as v1.
-    bool has_v2 = false;
+    // Schema versioning (kResultSchemaVersion): stamped with the
+    // *minimum* version the document's members imply — 3 only when a
+    // v3-only member (the per-bank peaks) is present, 2 when only
+    // v2-only members (the per-DIMM refresh fields) are, nothing for
+    // the historical member set — so documents keep their exact
+    // historical bytes until they actually use a newer field.
+    bool has_v2 = false, has_v3 = false;
     for (const auto &pt : r.points)
         for (const auto &[w, per_policy] : pt.suite)
-            for (const auto &[p, res] : per_policy)
+            for (const auto &[p, res] : per_policy) {
                 has_v2 |= !res.refreshBwLossPerDimm.empty();
-    if (has_v2)
-        j.set("schema_version", kResultSchemaVersion);
+                has_v3 |= !res.peakBankDramPerDimm.empty();
+            }
+    if (has_v3)
+        j.set("schema_version", 3);
+    else if (has_v2)
+        j.set("schema_version", 2);
     Json pts = Json::array();
     for (const auto &pt : r.points) {
         Json p = Json::object();

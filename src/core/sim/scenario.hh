@@ -8,8 +8,8 @@
  * lists, and optional sweep axes (memory organization, per-DIMM traffic
  * shape, cooling, inlet temperature, batch depth, sensor noise, DTM
  * decision interval, emergency ladder, DVFS operating table,
- * temperature-coupled refresh model) whose cross product spans a
- * configuration grid.
+ * temperature-coupled refresh model, thermal model resolution) whose
+ * cross product spans a configuration grid.
  * Specs lower to ExperimentEngine run lists and round-trip losslessly
  * through JSON, so an experiment is data (a scenario file fed to the
  * `memtherm` CLI), not a hand-written binary.
@@ -28,6 +28,7 @@
 
 #include "common/json.hh"
 #include "core/sim/engine.hh"
+#include "core/thermal/bank_grid.hh"
 
 namespace memtherm
 {
@@ -164,6 +165,43 @@ struct RefreshSpec
 };
 
 /**
+ * One thermal-model resolution a spec names: a catalog entry
+ * (registry.hh thermalModelNames() — "lumped", "bank_grid") or an
+ * inline {grid_x, grid_z[, bank_weights]} object for grids the catalog
+ * lacks. A default-constructed value means "the lumped per-DIMM model",
+ * and so does the catalog's "lumped" (a run with
+ * `thermal_model: "lumped"` is bit-identical to one with the knob
+ * unset). When both a name and an inline grid are set, the name wins
+ * (the serialized form never carries both).
+ */
+struct ThermalModelSpec
+{
+    std::string name;                   ///< catalog name; empty -> inline
+    std::optional<BankGridConfig> grid; ///< inline grid
+
+    bool operator==(const ThermalModelSpec &) const = default;
+
+    bool empty() const { return name.empty() && !grid; }
+
+    /**
+     * Sweep-label coordinate: the catalog name, or "<x>x<z>" inline
+     * (with the bank weights appended "w0|w1|..." after ":" when the
+     * inline grid carries them — ":" and "|" keep the coordinate free
+     * of the label grammar's reserved "," and "=").
+     */
+    std::string label() const;
+
+    /**
+     * The thermal model this spec denotes: catalog lookup (FatalError
+     * listing the valid keys) or the validated inline grid (FatalError
+     * on non-positive dimensions, more than 1024 cells, or bank weights
+     * of the wrong arity, non-finite, negative, or summing off 1 by
+     * more than 1e-9). The lumped model is grid == std::nullopt.
+     */
+    ThermalModelConfig resolve() const;
+};
+
+/**
  * Declarative description of an experiment. Field defaults mirror the
  * Chapter 4 platform; std::nullopt means "keep the base configuration's
  * value" (makeCh4Config's, or the platform's when `platform` is set).
@@ -210,6 +248,24 @@ struct ScenarioSpec
     /// testbed's DRAM refreshes for real).
     RefreshSpec refresh;
 
+    /// Thermal model resolution (catalog name or inline grid object);
+    /// empty — like the catalog's "lumped" — keeps the paper's lumped
+    /// per-DIMM model. Rejected for platform scenarios (the testbed
+    /// measures its real DIMMs at DIMM granularity).
+    ThermalModelSpec thermalModel;
+
+    /// Path to a memory-access trace file (dram/trace.hh) whose decoded
+    /// address stream supplies the per-DIMM traffic distribution — and,
+    /// when the bank-grid thermal model is active, the per-bank heat
+    /// weights — in place of the traffic_shape catalog. Mutually
+    /// exclusive with the traffic_shape knob and sweep (the trace IS
+    /// the measured distribution), and with inline bank_weights (the
+    /// trace supplies them). Relative paths resolve against the
+    /// process's working directory. Empty keeps the modeled shapes; a
+    /// trace-free run is bit-identical to builds that predate traces.
+    /// Rejected for platform scenarios.
+    std::string trace;
+
     std::optional<double> tInlet;          ///< system inlet override (C)
     std::optional<int> copiesPerApp;       ///< batch depth override
     std::optional<double> instrScale;      ///< instruction-volume scale
@@ -244,6 +300,7 @@ struct ScenarioSpec
     std::vector<std::string> sweepEmergencyLevels;
     std::vector<std::string> sweepDvfs;
     std::vector<RefreshSpec> sweepRefresh;
+    std::vector<ThermalModelSpec> sweepThermalModel;
 
     bool operator==(const ScenarioSpec &) const = default;
 
@@ -348,22 +405,28 @@ ScenarioResults runScenarioBatched(const ScenarioSpec &spec,
  * is the historical member set (no `schema_version` member — every file
  * written before versioning reads as v1); version 2 added the per-DIMM
  * refresh fields (`refresh_bw_loss_per_dimm_gb` /
- * `refresh_energy_per_dimm_j`). toJson(ScenarioResults) emits a
- * top-level `schema_version` only when a v2-only member is actually
- * present, so documents with the historical member set keep their exact
- * historical bytes; JSONL stream headers (core/sim/result_sink.hh)
- * carry it unconditionally.
+ * `refresh_energy_per_dimm_j`); version 3 added the per-bank fields of
+ * the bank-grid thermal model (`bank_grid` / `peak_bank_dram_c`).
+ * toJson(ScenarioResults) stamps the *minimum* version the document's
+ * members imply — a top-level `schema_version` of 3 only when a v3-only
+ * member is present, 2 when only v2-only members are, nothing for the
+ * historical member set — so every document keeps its exact historical
+ * bytes until it actually uses a newer field; JSONL stream headers
+ * (core/sim/result_sink.hh) carry the binary's version unconditionally.
  */
-inline constexpr int kResultSchemaVersion = 2;
+inline constexpr int kResultSchemaVersion = 3;
 
 /**
  * Effective schema version of a result document or stream header: the
  * `schema_version` member when present, else 1. FatalError when the
- * member is not a positive integer, or names a version newer than this
- * binary's kResultSchemaVersion — a clear upgrade message instead of a
- * misparse. @p where prefixes the diagnostic (e.g. the file path).
+ * member is not a positive integer, or names a version newer than
+ * @p max_version (the binary's kResultSchemaVersion by default; tests
+ * pin older values to exercise the refusal) — a clear upgrade message
+ * instead of a misparse. @p where prefixes the diagnostic (e.g. the
+ * file path).
  */
-int resultSchemaVersionOf(const Json &doc, const std::string &where);
+int resultSchemaVersionOf(const Json &doc, const std::string &where,
+                          int max_version = kResultSchemaVersion);
 
 /**
  * Serialize results. @p traces includes the full temperature/power

@@ -50,6 +50,14 @@ struct SimConfig
     /// default, and the catalog's "none") disables the feedback edge —
     /// bit-identical to builds that predate it.
     RefreshModel refresh;
+    /// Per-bank thermal overlay (the `thermal_model` scenario knob or
+    /// sweep axis; core/thermal/bank_grid.hh): an X x Z grid of bank
+    /// cells per DIMM splitting the DIMM's DRAM power by heat-share
+    /// weights, advanced alongside the lumped nodes and reported as
+    /// per-bank peak temperatures. std::nullopt (the default, and the
+    /// catalog's "lumped") keeps the paper's per-DIMM model —
+    /// bit-identical to builds that predate the grid.
+    std::optional<BankGridConfig> bankGrid;
     DvfsTable dvfs = simulatedCmpDvfs();
     int nCores = 4;
 

@@ -61,6 +61,17 @@ struct SimResult
     std::vector<double> refreshBwLossPerDimm;
     std::vector<Joules> refreshEnergyPerDimm;
 
+    /// Per-bank peak DRAM temperatures on the representative channel:
+    /// bankGridX * bankGridZ cells per DIMM, row-major by DIMM (DIMM 0's
+    /// cells first, cell (ix, iz) at iz * bankGridX + ix), sized only
+    /// when the run's bank-grid thermal model is active
+    /// (SimConfig::bankGrid set; empty otherwise so the serialized
+    /// member set — and every pre-grid golden — is unchanged). These
+    /// are the schema v3 result fields.
+    int bankGridX = 0;
+    int bankGridZ = 0;
+    std::vector<Celsius> peakBankDramPerDimm;
+
     TimeSeries ambTrace{1.0};      ///< hottest AMB temperature over time
     TimeSeries dramTrace{1.0};     ///< hottest DRAM temperature over time
     TimeSeries inletTrace{1.0};    ///< memory inlet temperature over time

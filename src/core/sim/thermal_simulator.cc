@@ -56,7 +56,7 @@ ThermalSimulator::Lane::Lane(const SimConfig &cfg, const Workload &mix,
     : batch(mix, cfg.copiesPerApp, cfg.instrScale),
       ambient(cfg.ambient),
       mem(cfg.org, cfg.cooling, DimmPowerModel{}, ambient.temperature(),
-          cfg.trafficShares, state, lane_index),
+          cfg.trafficShares, state, lane_index, cfg.bankGrid),
       sensorRng(cfg.sensorSeed),
       nextRotation(cfg.rotationSlice),
       nextTrace(cfg.traceSample)
@@ -84,6 +84,10 @@ ThermalSimulator::Lane::Lane(const SimConfig &cfg, const Workload &mix,
             static_cast<std::size_t>(cfg.org.nDimmsPerChannel);
         res.refreshBwLossPerDimm.assign(n, 0.0);
         res.refreshEnergyPerDimm.assign(n, 0.0);
+    }
+    if (cfg.bankGrid) {
+        res.bankGridX = cfg.bankGrid->x;
+        res.bankGridZ = cfg.bankGrid->z;
     }
 
     live = !batch.done() && t < cfg.maxSimTime;
@@ -389,6 +393,7 @@ ThermalSimulator::finalizeLane(Lane &lane) const
         lane.res.peakDramPerDimm.push_back(p.dram);
     }
     lane.res.avgPowerPerDimm = lane.mem.dimmAvgPower();
+    lane.res.peakBankDramPerDimm = lane.mem.bankPeaks();
 }
 
 SimResult
@@ -405,7 +410,8 @@ ThermalSimulator::run(const Workload &mix, DtmPolicy &policy,
     policy.reset();
     reserveScratch(scratch);
 
-    ThermalBatchState state(1, cfg.org.nDimmsPerChannel);
+    ThermalBatchState state(1, cfg.org.nDimmsPerChannel,
+                            cfg.bankGrid ? cfg.bankGrid->cells() : 0);
     Lane lane(cfg, mix, state, 0);
     lane.res.policy = policy.name();
 
@@ -440,7 +446,8 @@ ThermalSimulator::runBatch(const Workload &mix,
     reserveScratch(scratch);
 
     ThermalBatchState state(static_cast<int>(n_pol),
-                            cfg.org.nDimmsPerChannel);
+                            cfg.org.nDimmsPerChannel,
+                            cfg.bankGrid ? cfg.bankGrid->cells() : 0);
 
     /// One shared trajectory: a lane plus the policies riding on it.
     struct Group

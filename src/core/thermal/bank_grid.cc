@@ -1,0 +1,73 @@
+#include "core/thermal/bank_grid.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace memtherm
+{
+
+void
+smoothBankCells(const BankGridConfig &grid, const double *w, double *out)
+{
+    const int nx = grid.x;
+    const int nz = grid.z;
+    for (int iz = 0; iz < nz; ++iz) {
+        for (int ix = 0; ix < nx; ++ix) {
+            const int c = iz * nx + ix;
+            // Flux divided by the max degree (4), not the actual degree,
+            // keeps the operator symmetric: the (a -> b) and (b -> a)
+            // contributions use the same coefficient, so pairwise fluxes
+            // cancel and the cell sum is conserved at grid edges too.
+            double flux = 0.0;
+            if (ix > 0)
+                flux += w[c - 1] - w[c];
+            if (ix + 1 < nx)
+                flux += w[c + 1] - w[c];
+            if (iz > 0)
+                flux += w[c - nx] - w[c];
+            if (iz + 1 < nz)
+                flux += w[c + nx] - w[c];
+            out[c] = w[c] + kBankLateralCoupling * flux / 4.0;
+        }
+    }
+}
+
+std::vector<double>
+resolveBankCellWeights(const BankGridConfig &grid, int n_dimms)
+{
+    panicIfNot(grid.x >= 1 && grid.z >= 1, "bank grid must be at least 1x1");
+    panicIfNot(n_dimms >= 1, "bank grid needs at least one DIMM");
+    const int cells = grid.cells();
+    std::vector<double> out(static_cast<std::size_t>(n_dimms) * cells);
+
+    if (grid.weights.empty()) {
+        // Uniform: the scaled weight is exactly 1.0 per cell (no 1/N
+        // round-trip), so each cell's stable target is bit-identical to
+        // the lumped DRAM node's.
+        for (double &v : out)
+            v = 1.0;
+        return out;
+    }
+
+    const std::size_t per_dimm = static_cast<std::size_t>(cells);
+    const std::size_t n = grid.weights.size();
+    panicIfNot(n == per_dimm ||
+                   n == per_dimm * static_cast<std::size_t>(n_dimms),
+               "bank grid weights must have cells() or nDimms*cells() entries");
+    for (double v : grid.weights)
+        panicIfNot(std::isfinite(v) && v >= 0.0,
+                   "bank grid weights must be finite and non-negative");
+
+    std::vector<double> scaled(per_dimm);
+    for (int d = 0; d < n_dimms; ++d) {
+        const double *w =
+            grid.weights.data() + (n == per_dimm ? 0 : d * per_dimm);
+        for (std::size_t c = 0; c < per_dimm; ++c)
+            scaled[c] = w[c] * cells;
+        smoothBankCells(grid, scaled.data(), out.data() + d * per_dimm);
+    }
+    return out;
+}
+
+} // namespace memtherm

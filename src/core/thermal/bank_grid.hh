@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Optional per-bank thermal resolution: an X x Z grid of bank cells per
+ * DIMM, layered over the paper's lumped per-DIMM RC pair.
+ *
+ * The lumped model (Eqs. 3.3-3.5) sees one DRAM node per DIMM, which is
+ * blind to intra-DIMM hotspots: row-buffer-heavy workloads concentrate
+ * their accesses — and their dynamic power — in a few banks. The bank
+ * grid resolves that by splitting each DIMM's DRAM power over an X x Z
+ * cell grid by per-cell heat-share weights and advancing one extra RC
+ * node per cell (same tauDram, same Eq. 3.5 step as the lumped DRAM
+ * node), with a single lateral-coupling smoothing pass standing in for
+ * in-package heat spreading between neighboring banks.
+ *
+ * The grid is a *diagnostic overlay*: the lumped nodes keep driving the
+ * DTM sensors, the refresh feedback and every pre-existing result field
+ * unchanged, and the grid only adds per-bank peak temperatures. Its
+ * correctness contract, pinned by tests/thermal/test_bank_grid.cc:
+ *
+ *  - under uniform per-bank weights every cell's stable target equals
+ *    the lumped DRAM target exactly (the scaled weights are exactly 1
+ *    and smoothing is the identity on constant fields), so the grid
+ *    mean reproduces the lumped model;
+ *  - the smoothing operator is symmetric and row-stochastic, so it
+ *    conserves the weight sum — the grid's mean target tracks the
+ *    lumped target for *any* weight vector;
+ *  - a run with `thermal_model: "lumped"` (no grid) is bit-identical
+ *    to one with the knob unset.
+ */
+
+#ifndef MEMTHERM_CORE_THERMAL_BANK_GRID_HH
+#define MEMTHERM_CORE_THERMAL_BANK_GRID_HH
+
+#include <optional>
+#include <vector>
+
+namespace memtherm
+{
+
+/**
+ * Geometry and heat-share weights of the per-DIMM bank grid (the
+ * `thermal_model` scenario knob's "bank_grid" catalog entry, or an
+ * inline {grid_x, grid_z[, bank_weights]} object).
+ */
+struct BankGridConfig
+{
+    int x = 4; ///< bank columns per DIMM
+    int z = 2; ///< bank rows per DIMM
+
+    /**
+     * Per-cell heat-share weights, row-major (cell (ix, iz) at index
+     * iz * x + ix): the fraction of a DIMM's DRAM power concentrated in
+     * each cell, non-negative and summing to 1. Either cells() entries
+     * (every DIMM alike — the scenario layer's inline `bank_weights`)
+     * or nDimms * cells() entries (per-DIMM blocks — the trace decoder).
+     * Empty selects uniform weights, whose scaled form is *exactly* 1
+     * per cell, making every cell bit-identical to the lumped DRAM
+     * node.
+     */
+    std::vector<double> weights;
+
+    bool operator==(const BankGridConfig &) const = default;
+
+    int cells() const { return x * z; }
+};
+
+/**
+ * A resolved `thermal_model` catalog entry: the lumped baseline
+ * (std::nullopt — the catalog's "lumped" and the knob-unset default) or
+ * a bank grid. Sweep-axis duplicate detection compares these resolved
+ * values, so "bank_grid" and an equivalent inline object collide.
+ */
+struct ThermalModelConfig
+{
+    std::optional<BankGridConfig> grid;
+
+    bool operator==(const ThermalModelConfig &) const = default;
+};
+
+/**
+ * Lateral coupling between neighboring bank cells: the fraction of a
+ * cell's weight excess (over its 4-neighborhood) one smoothing pass
+ * redistributes. A model constant, like SimConfig::remapCostGbPerShare,
+ * not a scenario knob.
+ */
+inline constexpr double kBankLateralCoupling = 0.25;
+
+/**
+ * The per-cell *scaled* heat weights MemoryThermalModel consumes:
+ * n_dimms * grid.cells() entries, row-major by DIMM, each the cell's
+ * weight times cells() (so a cell at scaled weight s sees s times the
+ * DIMM's DRAM power in its stable target) after one lateral-coupling
+ * smoothing pass per DIMM block.
+ *
+ * Empty grid.weights take a fast path that writes exactly 1.0 per cell
+ * — no division round-trip — so the uniform grid is bit-identical to
+ * the lumped DRAM node. Explicit weights are validated (panic on arity
+ * or non-finite/negative entries; the scenario layer has already
+ * reported user errors as FatalError).
+ */
+std::vector<double> resolveBankCellWeights(const BankGridConfig &grid,
+                                           int n_dimms);
+
+/**
+ * One smoothing pass over one DIMM's cell block: out[c] = w[c] +
+ * lambda * sum_neighbors(w_n - w[c]) / 4 on the X x Z 4-neighbor grid.
+ * Symmetric (pairwise fluxes cancel), so the sum over cells is
+ * conserved; constant fields are fixed points. Exposed for the property
+ * tests; resolveBankCellWeights() applies it per DIMM block.
+ */
+void smoothBankCells(const BankGridConfig &grid, const double *w,
+                     double *out);
+
+} // namespace memtherm
+
+#endif // MEMTHERM_CORE_THERMAL_BANK_GRID_HH

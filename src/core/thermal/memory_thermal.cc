@@ -28,14 +28,18 @@ MemoryThermalModel::MemoryThermalModel(const MemoryOrgConfig &org,
                                        const CoolingConfig &cooling,
                                        const DimmPowerModel &power,
                                        Celsius t0,
-                                       std::vector<double> traffic_shares)
+                                       std::vector<double> traffic_shares,
+                                       std::optional<BankGridConfig>
+                                           bank_grid)
     : orgCfg(org), pwr(power), cool(cooling),
-      shares(std::move(traffic_shares)),
+      shares(std::move(traffic_shares)), grid(std::move(bank_grid)),
       ownedState(nullptr), st(nullptr), laneIdx(0)
 {
     checkOrgAndShares(orgCfg, shares);
-    ownedState =
-        std::make_unique<ThermalBatchState>(1, orgCfg.nDimmsPerChannel);
+    if (grid)
+        cellW = resolveBankCellWeights(*grid, orgCfg.nDimmsPerChannel);
+    ownedState = std::make_unique<ThermalBatchState>(
+        1, orgCfg.nDimmsPerChannel, grid ? grid->cells() : 0);
     st = ownedState.get();
     st->initLane(0, cool.tauAmb, cool.tauDram, t0);
 }
@@ -45,25 +49,33 @@ MemoryThermalModel::MemoryThermalModel(const MemoryOrgConfig &org,
                                        const DimmPowerModel &power,
                                        Celsius t0,
                                        std::vector<double> traffic_shares,
-                                       ThermalBatchState &state, int lane)
+                                       ThermalBatchState &state, int lane,
+                                       std::optional<BankGridConfig>
+                                           bank_grid)
     : orgCfg(org), pwr(power), cool(cooling),
-      shares(std::move(traffic_shares)),
+      shares(std::move(traffic_shares)), grid(std::move(bank_grid)),
       ownedState(nullptr), st(&state), laneIdx(lane)
 {
     checkOrgAndShares(orgCfg, shares);
+    if (grid)
+        cellW = resolveBankCellWeights(*grid, orgCfg.nDimmsPerChannel);
     panicIfNot(state.dimms() == orgCfg.nDimmsPerChannel,
                "MemoryThermalModel: batch state chain length mismatch");
+    panicIfNot(state.bankCells() == (grid ? grid->cells() : 0),
+               "MemoryThermalModel: batch state bank cell mismatch");
     st->initLane(laneIdx, cool.tauAmb, cool.tauDram, t0);
 }
 
 MemoryThermalModel::MemoryThermalModel(const MemoryThermalModel &src,
                                        ThermalBatchState &state, int lane)
     : orgCfg(src.orgCfg), pwr(src.pwr), cool(src.cool), shares(src.shares),
-      refreshDram(src.refreshDram), ownedState(nullptr), st(&state),
-      laneIdx(lane)
+      refreshDram(src.refreshDram), grid(src.grid), cellW(src.cellW),
+      ownedState(nullptr), st(&state), laneIdx(lane)
 {
     panicIfNot(state.dimms() == orgCfg.nDimmsPerChannel,
                "MemoryThermalModel: batch state chain length mismatch");
+    panicIfNot(state.bankCells() == (grid ? grid->cells() : 0),
+               "MemoryThermalModel: batch state bank cell mismatch");
     st->initLane(laneIdx, cool.tauAmb, cool.tauDram, 0.0);
     copyLaneFrom(src);
 }
@@ -71,10 +83,11 @@ MemoryThermalModel::MemoryThermalModel(const MemoryThermalModel &src,
 MemoryThermalModel::MemoryThermalModel(const MemoryThermalModel &other)
     : orgCfg(other.orgCfg), pwr(other.pwr), cool(other.cool),
       shares(other.shares), refreshDram(other.refreshDram),
+      grid(other.grid), cellW(other.cellW),
       ownedState(nullptr), st(nullptr), laneIdx(0)
 {
-    ownedState =
-        std::make_unique<ThermalBatchState>(1, orgCfg.nDimmsPerChannel);
+    ownedState = std::make_unique<ThermalBatchState>(
+        1, orgCfg.nDimmsPerChannel, grid ? grid->cells() : 0);
     st = ownedState.get();
     st->initLane(0, cool.tauAmb, cool.tauDram, 0.0);
     copyLaneFrom(other);
@@ -101,6 +114,10 @@ MemoryThermalModel::copyLaneFrom(const MemoryThermalModel &src)
         st->peakAmb(laneIdx)[i] = from.peakAmb(src.laneIdx)[i];
         st->peakDram(laneIdx)[i] = from.peakDram(src.laneIdx)[i];
         st->energy(laneIdx)[i] = from.energy(src.laneIdx)[i];
+    }
+    for (int i = 0; i < n * st->bankCells(); ++i) {
+        st->bankTemp(laneIdx)[i] = from.bankTemp(src.laneIdx)[i];
+        st->peakBank(laneIdx)[i] = from.peakBank(src.laneIdx)[i];
     }
     st->energyTime(laneIdx) = from.energyTime(src.laneIdx);
     // The staging arrays and decay memo are per-step scratch: initLane
@@ -155,6 +172,14 @@ MemoryThermalModel::stageAdvance(GBps total_read, GBps total_write,
         sa[i] = stableAmbAt(ambient, powers[i]);
         sd[i] = stableDramAt(ambient, powers[i]);
     }
+    if (grid) {
+        const int cells = grid->cells();
+        double *sb = st->stableBank(laneIdx);
+        for (std::size_t i = 0; i < powers.size(); ++i)
+            for (int c = 0; c < cells; ++c)
+                sb[i * cells + c] =
+                    stableBankAt(ambient, powers[i], cellW[i * cells + c]);
+    }
 }
 
 MemoryThermalSample
@@ -174,6 +199,13 @@ MemoryThermalModel::finishAdvance(Seconds dt)
         pd[i] = std::max(pd[i], dram[i]);
         e[i] += powerScratch[i].total() * dt;
         channel_power += powerScratch[i].total();
+    }
+    if (grid) {
+        const int n = orgCfg.nDimmsPerChannel * grid->cells();
+        const double *bank = st->bankTemp(laneIdx);
+        double *pb = st->peakBank(laneIdx);
+        for (int i = 0; i < n; ++i)
+            pb[i] = std::max(pb[i], bank[i]);
     }
     st->energyTime(laneIdx) += dt;
     s.subsystemPower = channel_power * orgCfg.nChannels;
@@ -301,6 +333,16 @@ MemoryThermalModel::dimmPeaks() const
     return out;
 }
 
+std::vector<Celsius>
+MemoryThermalModel::bankPeaks() const
+{
+    if (!grid)
+        return {};
+    const int n = orgCfg.nDimmsPerChannel * grid->cells();
+    const double *pb = st->peakBank(laneIdx);
+    return std::vector<Celsius>(pb, pb + n);
+}
+
 std::vector<Watts>
 MemoryThermalModel::dimmAvgPower() const
 {
@@ -332,6 +374,14 @@ MemoryThermalModel::reset(Celsius t)
         pd[i] = t;
         e[i] = 0.0;
     }
+    if (grid) {
+        double *bank = st->bankTemp(laneIdx);
+        double *pb = st->peakBank(laneIdx);
+        for (int i = 0; i < n * grid->cells(); ++i) {
+            bank[i] = t;
+            pb[i] = t;
+        }
+    }
     st->energyTime(laneIdx) = 0.0;
 }
 
@@ -351,6 +401,17 @@ MemoryThermalModel::resetToStable(GBps total_read, GBps total_write,
         pa[i] = amb[i];
         pd[i] = dram[i];
         e[i] = 0.0;
+    }
+    if (grid) {
+        const int cells = grid->cells();
+        double *bank = st->bankTemp(laneIdx);
+        double *pb = st->peakBank(laneIdx);
+        for (std::size_t i = 0; i < powers.size(); ++i)
+            for (int c = 0; c < cells; ++c) {
+                bank[i * cells + c] =
+                    stableBankAt(ambient, powers[i], cellW[i * cells + c]);
+                pb[i * cells + c] = bank[i * cells + c];
+            }
     }
     st->energyTime(laneIdx) = 0.0;
 }

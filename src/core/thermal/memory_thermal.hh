@@ -24,9 +24,11 @@
 #define MEMTHERM_CORE_THERMAL_MEMORY_THERMAL_HH
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/power/power_model.hh"
+#include "core/thermal/bank_grid.hh"
 #include "core/thermal/dimm_thermal.hh"
 #include "core/thermal/thermal_batch.hh"
 
@@ -72,23 +74,33 @@ class MemoryThermalModel
      *        the chain); empty selects uniform address interleave. An
      *        explicit uniform vector (each entry exactly 1/nDimms) is
      *        bit-identical to leaving it empty.
+     * @param bank_grid optional per-bank thermal overlay
+     *        (core/thermal/bank_grid.hh); std::nullopt (the default)
+     *        selects the paper's lumped model and allocates no bank
+     *        state, keeping every pre-grid run bit-identical.
      */
     MemoryThermalModel(const MemoryOrgConfig &org,
                        const CoolingConfig &cooling,
                        const DimmPowerModel &power, Celsius t0,
-                       std::vector<double> traffic_shares = {});
+                       std::vector<double> traffic_shares = {},
+                       std::optional<BankGridConfig> bank_grid =
+                           std::nullopt);
 
     /**
      * View mode: the model's thermal state is lane @p lane of the
      * caller-owned @p state (whose dimms() must match the organization's
-     * chain length). The lane is (re)initialized to @p t0. The state
-     * must outlive the model; two models must not view one lane.
+     * chain length, and whose bankCells() must match the bank grid's
+     * cells — 0 when @p bank_grid is std::nullopt). The lane is
+     * (re)initialized to @p t0. The state must outlive the model; two
+     * models must not view one lane.
      */
     MemoryThermalModel(const MemoryOrgConfig &org,
                        const CoolingConfig &cooling,
                        const DimmPowerModel &power, Celsius t0,
                        std::vector<double> traffic_shares,
-                       ThermalBatchState &state, int lane);
+                       ThermalBatchState &state, int lane,
+                       std::optional<BankGridConfig> bank_grid =
+                           std::nullopt);
 
     /**
      * Fork: a view over lane @p lane of @p state that copies @p src's
@@ -204,6 +216,18 @@ class MemoryThermalModel
     std::vector<DimmTemps> dimmPeaks() const;
 
     /**
+     * Per-bank-cell peak DRAM temperatures since the last reset:
+     * nDimmsPerChannel * bankGrid()->cells() entries, row-major by DIMM
+     * (DIMM 0's cells first). Empty when the model is lumped. Like
+     * dimmPeaks(), the fold happens in place every step; only this
+     * accessor materializes a vector.
+     */
+    std::vector<Celsius> bankPeaks() const;
+
+    /** The bank-grid overlay, or std::nullopt for the lumped model. */
+    const std::optional<BankGridConfig> &bankGrid() const { return grid; }
+
+    /**
      * Per-DIMM mean power on the representative channel since the last
      * reset (energy folded in by advance(), divided by the elapsed
      * time; all zeros before any advance). Like the peaks, the energy
@@ -242,6 +266,20 @@ class MemoryThermalModel
     {
         return ambient + p.amb * cool.psiAmbToDram + p.dram * cool.psiDram;
     }
+    /**
+     * Stable temperature of one bank cell: Eq. 3.4 with the DIMM's DRAM
+     * power scaled by the cell's smoothed heat weight @p w. The sum
+     * association matches stableDramAt exactly, and uniform weights are
+     * exactly 1.0, so a uniform cell's target — and therefore its whole
+     * trajectory, the time constants being shared — is bit-identical to
+     * the lumped DRAM node's.
+     */
+    Celsius stableBankAt(Celsius ambient, const DimmPower &p,
+                         double w) const
+    {
+        return ambient + p.amb * cool.psiAmbToDram +
+               (p.dram * w) * cool.psiDram;
+    }
 
     /**
      * Per-DIMM power on the representative channel, written into the
@@ -268,6 +306,13 @@ class MemoryThermalModel
     /// Per-DIMM refresh power folded into the DRAM devices by
     /// channelPower(); empty = no refresh feedback.
     std::vector<Watts> refreshDram;
+
+    /// Bank-grid overlay; std::nullopt = lumped model, no bank state.
+    std::optional<BankGridConfig> grid;
+    /// Smoothed, cells-scaled per-cell heat weights (row-major by DIMM;
+    /// resolveBankCellWeights), precomputed once — weights are constant
+    /// over a run. Empty when lumped.
+    std::vector<double> cellW;
 
     std::unique_ptr<ThermalBatchState> ownedState; ///< owning mode only
     ThermalBatchState *st; ///< owned or caller-owned batch state

@@ -7,11 +7,12 @@
 namespace memtherm
 {
 
-ThermalBatchState::ThermalBatchState(int lanes, int dimms)
-    : nLanes(lanes), nDimms(dimms)
+ThermalBatchState::ThermalBatchState(int lanes, int dimms, int bank_cells)
+    : nLanes(lanes), nDimms(dimms), nBankCells(bank_cells)
 {
     panicIfNot(lanes >= 1, "ThermalBatchState: need >= 1 lane");
     panicIfNot(dimms >= 1, "ThermalBatchState: need >= 1 DIMM per lane");
+    panicIfNot(bank_cells >= 0, "ThermalBatchState: negative bank cells");
     const std::size_t n =
         static_cast<std::size_t>(lanes) * static_cast<std::size_t>(dimms);
     ambV.assign(n, 0.0);
@@ -21,6 +22,10 @@ ThermalBatchState::ThermalBatchState(int lanes, int dimms)
     peakAmbV.assign(n, 0.0);
     peakDramV.assign(n, 0.0);
     energyV.assign(n, 0.0);
+    const std::size_t nb = n * static_cast<std::size_t>(bank_cells);
+    bankTempV.assign(nb, 0.0);
+    stableBankV.assign(nb, 0.0);
+    peakBankV.assign(nb, 0.0);
     energyTimeV.assign(static_cast<std::size_t>(lanes), 0.0);
     tauAmbV.assign(static_cast<std::size_t>(lanes), 1.0);
     tauDramV.assign(static_cast<std::size_t>(lanes), 1.0);
@@ -58,6 +63,12 @@ ThermalBatchState::initLane(int lane, Seconds tau_amb, Seconds tau_dram,
         pd[i] = t0;
         e[i] = 0.0;
     }
+    double *bt = bankTemp(l);
+    double *pb = peakBank(l);
+    for (int i = 0; i < nDimms * nBankCells; ++i) {
+        bt[i] = t0;
+        pb[i] = t0;
+    }
     energyTimeV[l] = 0.0;
 }
 
@@ -90,6 +101,13 @@ ThermalBatchState::advanceLane(int lane)
         amb[i] += (sa[i] - amb[i]) * da;
     for (int i = 0; i < nDimms; ++i)
         dram[i] += (sd[i] - dram[i]) * dd;
+    // Bank cells share the DRAM node's time constant (same silicon, same
+    // Eq. 3.5 step), so a uniform-weight cell tracks its lumped DRAM
+    // node bit-for-bit.
+    double *bank = bankTemp(l);
+    const double *sb = stableBank(l);
+    for (int i = 0; i < nDimms * nBankCells; ++i)
+        bank[i] += (sb[i] - bank[i]) * dd;
 }
 
 void
@@ -107,6 +125,11 @@ ThermalBatchState::copyLane(int dst, int src)
         peakAmb(d)[i] = peakAmb(s)[i];
         peakDram(d)[i] = peakDram(s)[i];
         energy(d)[i] = energy(s)[i];
+    }
+    for (int i = 0; i < nDimms * nBankCells; ++i) {
+        bankTemp(d)[i] = bankTemp(s)[i];
+        stableBank(d)[i] = stableBank(s)[i];
+        peakBank(d)[i] = peakBank(s)[i];
     }
     energyTimeV[d] = energyTimeV[s];
     tauAmbV[d] = tauAmbV[s];

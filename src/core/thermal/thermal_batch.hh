@@ -49,14 +49,17 @@ class ThermalBatchState
     /**
      * @param lanes number of concurrent runs the state can hold (>= 1)
      * @param dimms DIMMs per lane's representative channel (>= 1)
+     * @param bank_cells bank-grid cells per DIMM; 0 (the default, and
+     *        the lumped thermal model) allocates no bank arrays
      *
      * Every temperature starts at 0; callers initialize each lane they
      * use (initLane()) before advancing it.
      */
-    ThermalBatchState(int lanes, int dimms);
+    ThermalBatchState(int lanes, int dimms, int bank_cells = 0);
 
     int lanes() const { return nLanes; }
     int dimms() const { return nDimms; }
+    int bankCells() const { return nBankCells; }
 
     /**
      * Set a lane's RC time constants and reset its temperatures, peaks
@@ -81,6 +84,19 @@ class ThermalBatchState
     const double *peakDram(int lane) const { return at(peakDramV, lane); }
     double *energy(int lane) { return at(energyV, lane); }
     const double *energy(int lane) const { return at(energyV, lane); }
+    /// @}
+
+    /// @name Per-lane bank-grid slices, dimms() * bankCells() doubles
+    /// long, row-major by DIMM. Empty (nullptr-backed) when bankCells()
+    /// is 0 — the lumped model never touches them. Bank cells share the
+    /// DRAM node's tau, so advanceLane() steps them with decayDram and
+    /// copyLane() copies them exactly like every other mutable field.
+    /// @{
+    double *bankTemp(int lane) { return bankAt(bankTempV, lane); }
+    const double *bankTemp(int lane) const { return bankAt(bankTempV, lane); }
+    double *stableBank(int lane) { return bankAt(stableBankV, lane); }
+    double *peakBank(int lane) { return bankAt(peakBankV, lane); }
+    const double *peakBank(int lane) const { return bankAt(peakBankV, lane); }
     /// @}
 
     /** Time a lane's energy accumulators have integrated over. */
@@ -127,10 +143,21 @@ class ThermalBatchState
     {
         return v.data() + static_cast<std::size_t>(checked(lane)) * nDimms;
     }
+    double *bankAt(std::vector<double> &v, int lane)
+    {
+        return v.data() + static_cast<std::size_t>(checked(lane)) * nDimms *
+                              nBankCells;
+    }
+    const double *bankAt(const std::vector<double> &v, int lane) const
+    {
+        return v.data() + static_cast<std::size_t>(checked(lane)) * nDimms *
+                              nBankCells;
+    }
     int checked(int lane) const;
 
     int nLanes;
     int nDimms;
+    int nBankCells;
 
     std::vector<double> ambV;        ///< AMB temperatures, lane-major
     std::vector<double> dramV;       ///< DRAM temperatures, lane-major
@@ -140,6 +167,10 @@ class ThermalBatchState
     std::vector<double> peakDramV;   ///< per-DIMM DRAM maxima since reset
     std::vector<double> energyV;     ///< per-DIMM energy since reset (J)
     std::vector<Seconds> energyTimeV;
+
+    std::vector<double> bankTempV;   ///< bank-cell temperatures
+    std::vector<double> stableBankV; ///< staged stable bank-cell targets
+    std::vector<double> peakBankV;   ///< per-cell maxima since reset
 
     std::vector<Seconds> tauAmbV;  ///< per-lane AMB time constant
     std::vector<Seconds> tauDramV; ///< per-lane DRAM time constant

@@ -72,6 +72,8 @@ TEST(DocsReference, ScenariosManualCoversEveryCatalogName)
                    "emergency ladder");
     expectMentions(doc, "docs/scenarios.md", refreshModelNames(),
                    "refresh model");
+    expectMentions(doc, "docs/scenarios.md", thermalModelNames(),
+                   "thermal model");
 }
 
 TEST(DocsReference, ScenariosManualCoversEverySweepAxisAndKnob)
@@ -85,7 +87,8 @@ TEST(DocsReference, ScenariosManualCoversEverySweepAxisAndKnob)
           "remap_interval", "remap_hysteresis", "emergency_levels",
           "dvfs", "instr_scale", "max_sim_time", "sensor_quant",
           "sensor_seed", "ambient", "platform", "workloads", "policies",
-          "sweep", "refresh", "schema_version"}) {
+          "sweep", "refresh", "schema_version", "thermal_model",
+          "trace", "grid_x", "grid_z", "bank_weights"}) {
         EXPECT_NE(doc.find(key), std::string::npos)
             << "docs/scenarios.md does not mention member '" << key << "'";
     }
@@ -97,14 +100,14 @@ TEST(DocsReference, CliManualCoversEverySubcommandAndListCatalog)
     ASSERT_FALSE(doc.empty());
     for (const char *cmd : {"memtherm run", "memtherm report",
                             "memtherm merge", "memtherm validate",
-                            "memtherm list"}) {
+                            "memtherm list", "memtherm trace"}) {
         EXPECT_NE(doc.find(cmd), std::string::npos)
             << "docs/cli.md does not document '" << cmd << "'";
     }
     for (const char *catalog :
          {"policies", "workloads", "coolings", "ambients", "platforms",
           "emergency_levels", "dvfs", "memory_orgs", "traffic_shapes",
-          "refresh_models"}) {
+          "refresh_models", "thermal_models"}) {
         EXPECT_NE(doc.find(catalog), std::string::npos)
             << "docs/cli.md does not mention list catalog '" << catalog
             << "'";
@@ -113,10 +116,14 @@ TEST(DocsReference, CliManualCoversEverySubcommandAndListCatalog)
     // documented.
     EXPECT_NE(doc.find("hottest_dimm"), std::string::npos)
         << "docs/cli.md does not document the 'hottest_dimm' column";
+    EXPECT_NE(doc.find("peak_bank_dimm"), std::string::npos)
+        << "docs/cli.md does not document the per-bank CSV columns";
     for (const char *flag : {"--golden", "--tol", "--baseline", "--csv",
                              "--threads", "--copies", "--traces",
                              "--quiet", "-o", "--stream", "--resume",
-                             "--shard", "--batch"}) {
+                             "--shard", "--batch", "--pattern", "--count",
+                             "--seed", "--min-addr", "--max-addr",
+                             "--block", "--read-pct"}) {
         EXPECT_NE(doc.find(flag), std::string::npos)
             << "docs/cli.md does not document flag '" << flag << "'";
     }

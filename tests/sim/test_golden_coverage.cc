@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Golden-coverage audit: every shipped example scenario must have a
+ * pinned run golden AND a report-CSV golden in tests/data/, so adding a
+ * scenario without pinning its results fails CI here by name instead of
+ * silently shipping unpinned behavior. tests/data/README.md documents
+ * the regeneration loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#ifndef MEMTHERM_SOURCE_DIR
+#error "tests need MEMTHERM_SOURCE_DIR (set by CMakeLists.txt)"
+#endif
+
+namespace memtherm
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+TEST(GoldenCoverage, EveryExampleScenarioHasGoldenAndReportCsv)
+{
+    const fs::path scenarios =
+        fs::path(MEMTHERM_SOURCE_DIR) / "examples" / "scenarios";
+    const fs::path data = fs::path(MEMTHERM_SOURCE_DIR) / "tests" / "data";
+    ASSERT_TRUE(fs::is_directory(scenarios));
+    ASSERT_TRUE(fs::is_directory(data));
+
+    std::vector<std::string> missing;
+    std::size_t audited = 0;
+    for (const auto &entry : fs::directory_iterator(scenarios)) {
+        if (!entry.is_regular_file() ||
+            entry.path().extension() != ".json")
+            continue;
+        const std::string name = entry.path().stem().string();
+        ++audited;
+        if (!fs::is_regular_file(data / (name + ".golden.json")))
+            missing.push_back(name + ": tests/data/" + name +
+                              ".golden.json");
+        if (!fs::is_regular_file(data / (name + ".report.csv")))
+            missing.push_back(name + ": tests/data/" + name +
+                              ".report.csv");
+    }
+    // The audit itself must be looking at the real catalog.
+    EXPECT_GE(audited, 11u);
+
+    std::string what;
+    for (const std::string &m : missing)
+        what += "\n  missing " + m;
+    EXPECT_TRUE(missing.empty())
+        << "scenario(s) without pinned goldens (see tests/data/README.md "
+           "for the regeneration loop):"
+        << what;
+}
+
+/** The reverse direction: no orphaned goldens for deleted scenarios. */
+TEST(GoldenCoverage, NoOrphanedGoldens)
+{
+    const fs::path scenarios =
+        fs::path(MEMTHERM_SOURCE_DIR) / "examples" / "scenarios";
+    const fs::path data = fs::path(MEMTHERM_SOURCE_DIR) / "tests" / "data";
+
+    std::vector<std::string> orphans;
+    for (const auto &entry : fs::directory_iterator(data)) {
+        const std::string file = entry.path().filename().string();
+        std::string stem;
+        if (file.size() > 12 &&
+            file.substr(file.size() - 12) == ".golden.json")
+            stem = file.substr(0, file.size() - 12);
+        else if (file.size() > 11 &&
+                 file.substr(file.size() - 11) == ".report.csv")
+            stem = file.substr(0, file.size() - 11);
+        else
+            continue; // fixtures like bad_policy.json, README.md
+        if (!fs::is_regular_file(scenarios / (stem + ".json")))
+            orphans.push_back(file);
+    }
+    std::string what;
+    for (const std::string &o : orphans)
+        what += "\n  orphaned tests/data/" + o;
+    EXPECT_TRUE(orphans.empty())
+        << "golden(s) whose scenario no longer exists:" << what;
+}
+
+} // namespace
+} // namespace memtherm

@@ -493,5 +493,170 @@ TEST(ResultStream, ScanRejectsMidFileCorruption)
     EXPECT_THROW(scanStream(corrupted), FatalError);
 }
 
+TEST(ResultStream, TailTornInsideAnEscapedStringIsStillATail)
+{
+    // Regression: the torn-tail classifier keys on the missing final
+    // newline alone, so a tear landing *inside an escape sequence* of a
+    // JSON string — after the backslash of '\"', leaving the string
+    // open — must still read as a crash tail (dropped, resumable), not
+    // as corruption.
+    ScenarioSpec spec = tinySpec();
+    ExperimentEngine engine(2);
+    StreamRunOptions opts;
+    opts.path = tmpPath("escape_tail.jsonl");
+    runScenarioStream(spec, engine, opts);
+
+    std::vector<std::string> lines;
+    {
+        std::ifstream in(opts.path);
+        std::string line;
+        while (std::getline(in, line))
+            lines.push_back(line);
+    }
+    ASSERT_EQ(lines.size(), 5u);
+
+    // Tears at increasing awkwardness: mid-escape (trailing lone
+    // backslash), just after an escaped quote (string still open), and
+    // a lone opening quote.
+    const std::vector<std::string> tails{
+        R"({"type":"result","index":9,"point":"a\)",
+        R"({"type":"result","index":9,"point":"a\"b)",
+        R"({"type":"result","index":9,"point":")",
+    };
+    for (std::size_t t = 0; t < tails.size(); ++t) {
+        const std::string torn =
+            tmpPath("escape_tail_" + std::to_string(t) + ".jsonl");
+        std::size_t intact_bytes = 0;
+        {
+            std::ofstream out(torn, std::ios::binary);
+            for (const std::string &l : lines) {
+                out << l << '\n';
+                intact_bytes += l.size() + 1;
+            }
+            out << tails[t]; // no newline: the crash signature
+        }
+        StreamScan scan = scanStream(torn);
+        EXPECT_TRUE(scan.droppedPartialTail) << tails[t];
+        EXPECT_EQ(scan.records.size(), 4u) << tails[t];
+        EXPECT_EQ(scan.cleanSize, intact_bytes) << tails[t];
+
+        // The same bytes WITH a terminating newline cannot be a crash
+        // of this writer: that is mid-file corruption, a hard error.
+        const std::string terminated =
+            tmpPath("escape_term_" + std::to_string(t) + ".jsonl");
+        {
+            std::ofstream out(terminated, std::ios::binary);
+            for (const std::string &l : lines)
+                out << l << '\n';
+            out << tails[t] << '\n';
+        }
+        EXPECT_THROW(scanStream(terminated), FatalError) << tails[t];
+    }
+}
+
+TEST(ResultStream, MergeAcceptsMixedV1AndV2ShardHeaders)
+{
+    // One shard set, three vintages of writer: a version-absent legacy
+    // header (reads as v1), an explicit v2, and this binary's header.
+    // Merging must accept all three and reproduce the unsharded
+    // document bit for bit.
+    ScenarioSpec spec = tinySpec();
+    ExperimentEngine engine(2);
+
+    StreamRunOptions full;
+    full.path = tmpPath("mixed_full.jsonl");
+    runScenarioStream(spec, engine, full);
+    const Json reference = mergeStreams({full.path}).results;
+
+    std::vector<std::string> shardPaths;
+    for (int i = 1; i <= 3; ++i) {
+        StreamRunOptions opts;
+        opts.path = tmpPath("mixed_shard" + std::to_string(i) + ".jsonl");
+        opts.shard = {i, 3};
+        runScenarioStream(spec, engine, opts);
+        shardPaths.push_back(opts.path);
+    }
+
+    // Rewrite shard 1's header as legacy (no schema_version member) and
+    // shard 2's as an explicit v2; shard 3 keeps this binary's header.
+    auto rewriteHeader = [](const std::string &path, int version) {
+        std::vector<std::string> lines;
+        {
+            std::ifstream in(path);
+            std::string line;
+            while (std::getline(in, line))
+                lines.push_back(line);
+        }
+        Json hdr = Json::parse(lines[0]);
+        Json patched = Json::object();
+        for (const auto &[k, v] : hdr.asObject()) {
+            if (k == "schema_version") {
+                if (version > 0)
+                    patched.set(k, version);
+                continue;
+            }
+            patched.set(k, v);
+        }
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << patched.dump(0) << '\n';
+        for (std::size_t i = 1; i < lines.size(); ++i)
+            out << lines[i] << '\n';
+    };
+    rewriteHeader(shardPaths[0], 0); // legacy: absent -> v1
+    rewriteHeader(shardPaths[1], 2);
+
+    MergedStream merged = mergeStreams(shardPaths);
+    EXPECT_TRUE(merged.errors.empty());
+    EXPECT_TRUE(merged.missingRuns.empty());
+    EXPECT_TRUE(merged.results == reference);
+}
+
+TEST(ResultSchema, PinnedOlderReaderRefusesNewerDocument)
+{
+    // A v3 document (per-bank fields) against a reader pinned to v2:
+    // the max_version override must produce the upgrade refusal, the
+    // same document under the default cap must pass.
+    Json doc = Json::object();
+    doc.set("schema_version", 3);
+    EXPECT_EQ(resultSchemaVersionOf(doc, "'doc'"), 3);
+    try {
+        (void)resultSchemaVersionOf(doc, "'doc'", /*max_version=*/2);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("schema version 3"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("2"), std::string::npos) << what;
+    }
+    // Version-absent documents read as v1 under any cap.
+    Json legacy = Json::object();
+    EXPECT_EQ(resultSchemaVersionOf(legacy, "'doc'", 2), 1);
+}
+
+TEST(ResultSchema, DocumentsStampTheMinimumVersionTheyNeed)
+{
+    // The stamping ladder: plain results stay version-absent (exact
+    // historical bytes), refresh-coupled results stamp 2, bank-grid
+    // results stamp 3.
+    ScenarioSpec plain = tinySpec();
+    ExperimentEngine engine(2);
+    Json doc1 = toJson(runScenario(plain, engine));
+    EXPECT_EQ(doc1.find("schema_version"), nullptr);
+
+    ScenarioSpec refreshed = tinySpec();
+    refreshed.refresh.name = "ddr2_2x";
+    Json doc2 = toJson(runScenario(refreshed, engine));
+    const Json *v2 = doc2.find("schema_version");
+    ASSERT_NE(v2, nullptr);
+    EXPECT_EQ(static_cast<int>(v2->asNumber()), 2);
+
+    ScenarioSpec gridded = tinySpec();
+    gridded.thermalModel.name = "bank_grid";
+    Json doc3 = toJson(runScenario(gridded, engine));
+    const Json *v3 = doc3.find("schema_version");
+    ASSERT_NE(v3, nullptr);
+    EXPECT_EQ(static_cast<int>(v3->asNumber()), kResultSchemaVersion);
+}
+
 } // namespace
 } // namespace memtherm

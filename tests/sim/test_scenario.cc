@@ -57,6 +57,9 @@ expectIdentical(const SimResult &a, const SimResult &b)
     EXPECT_EQ(a.avgPowerPerDimm, b.avgPowerPerDimm);
     EXPECT_EQ(a.refreshBwLossPerDimm, b.refreshBwLossPerDimm);
     EXPECT_EQ(a.refreshEnergyPerDimm, b.refreshEnergyPerDimm);
+    EXPECT_EQ(a.bankGridX, b.bankGridX);
+    EXPECT_EQ(a.bankGridZ, b.bankGridZ);
+    EXPECT_EQ(a.peakBankDramPerDimm, b.peakBankDramPerDimm);
     EXPECT_EQ(a.ambTrace.values(), b.ambTrace.values());
     EXPECT_EQ(a.dramTrace.values(), b.dramTrace.values());
     EXPECT_EQ(a.inletTrace.values(), b.inletTrace.values());

@@ -7,6 +7,7 @@
  *   memtherm report <results|stream>...      summarize results
  *   memtherm validate <scenario.json>...     parse + resolve, no runs
  *   memtherm list <catalog>                  print valid names
+ *   memtherm trace gen -o <file> [options]   synthesize a memory trace
  *
  * Scenarios are declarative (core/sim/scenario.hh): config overrides,
  * workload/policy names, and sweep axes, all resolved through the
@@ -51,6 +52,7 @@
 #include "core/sim/registry.hh"
 #include "core/sim/result_sink.hh"
 #include "core/sim/scenario.hh"
+#include "dram/trace.hh"
 
 using namespace memtherm;
 
@@ -104,7 +106,18 @@ usage(std::ostream &os, int rc)
           "  memtherm validate <scenario.json>...\n"
           "  memtherm list policies|workloads|coolings|ambients|platforms"
           "|emergency_levels|dvfs|memory_orgs|traffic_shapes"
-          "|refresh_models\n";
+          "|refresh_models|thermal_models\n"
+          "  memtherm trace gen -o <file> [options]\n"
+          "      --pattern <p>    linear (default) or random address\n"
+          "                       stream, a la gem5 PyTrafficGen\n"
+          "      --count <n>      records to generate (default 1024)\n"
+          "      --seed <n>       generator seed (default 42)\n"
+          "      --min-addr <a>   range start, hex or decimal (default 0)\n"
+          "      --max-addr <a>   range end, exclusive (default "
+          "0x1000000)\n"
+          "      --block <n>      bytes per access (default 64)\n"
+          "      --read-pct <p>   percentage of reads in [0, 100]\n"
+          "                       (default 100)\n";
     return rc;
 }
 
@@ -135,11 +148,13 @@ cmdList(const std::vector<std::string> &args)
         names = trafficShapeNames();
     else if (what == "refresh_models")
         names = refreshModelNames();
+    else if (what == "thermal_models")
+        names = thermalModelNames();
     else {
         std::cerr << "memtherm list: unknown catalog '" << what
                   << "' (valid: policies, workloads, coolings, ambients, "
                      "platforms, emergency_levels, dvfs, memory_orgs, "
-                     "traffic_shapes, refresh_models)\n";
+                     "traffic_shapes, refresh_models, thermal_models)\n";
         return 1;
     }
     for (const auto &n : names)
@@ -156,6 +171,88 @@ cmdList(const std::vector<std::string> &args)
         std::cout << "[{min_temp, bw_fraction, dram_power_w[, "
                      "latency_mult]}, ...] (inline band table, "
                      "ascending min_temp)\n";
+    if (what == "thermal_models")
+        std::cout << "{grid_x, grid_z[, bank_weights]} (inline per-DIMM "
+                     "bank grid, e.g. {\"grid_x\": 4, \"grid_z\": 2})\n";
+    return 0;
+}
+
+int
+cmdTrace(const std::vector<std::string> &args)
+{
+    if (args.empty() || args[0] != "gen")
+        return usage(std::cerr, 1);
+    TraceGenConfig cfg;
+    std::string out_path;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        auto next = [&](const char *opt) -> std::string {
+            if (i + 1 >= args.size())
+                fatal(std::string("memtherm trace gen: ") + opt +
+                      " needs an argument");
+            return args[++i];
+        };
+        // Addresses and counts: hex (0x-prefixed) or decimal, rejecting
+        // trailing garbage and overflow.
+        auto nextU64 = [&](const char *opt) -> std::uint64_t {
+            std::string v = next(opt);
+            std::size_t used = 0;
+            std::uint64_t n = 0;
+            try {
+                n = std::stoull(v, &used, 0);
+            } catch (const std::exception &) {
+                used = 0;
+            }
+            if (used != v.size() || v.empty() || v[0] == '-')
+                fatal(std::string("memtherm trace gen: ") + opt +
+                      " needs a non-negative integer, got '" + v + "'");
+            return n;
+        };
+        if (a == "-o")
+            out_path = next("-o");
+        else if (a == "--pattern") {
+            std::string v = next("--pattern");
+            if (v == "linear")
+                cfg.pattern = TraceGenConfig::Pattern::Linear;
+            else if (v == "random")
+                cfg.pattern = TraceGenConfig::Pattern::Random;
+            else
+                fatal("memtherm trace gen: --pattern must be 'linear' or "
+                      "'random', got '" + v + "'");
+        } else if (a == "--count")
+            cfg.count = nextU64("--count");
+        else if (a == "--seed")
+            cfg.seed = nextU64("--seed");
+        else if (a == "--min-addr")
+            cfg.minAddr = nextU64("--min-addr");
+        else if (a == "--max-addr")
+            cfg.maxAddr = nextU64("--max-addr");
+        else if (a == "--block") {
+            std::uint64_t b = nextU64("--block");
+            if (b == 0 || b > 0xffffffffULL)
+                fatal("memtherm trace gen: --block must be in "
+                      "[1, 2^32-1]");
+            cfg.blockSize = static_cast<std::uint32_t>(b);
+        } else if (a == "--read-pct") {
+            std::string v = next("--read-pct");
+            std::size_t used = 0;
+            try {
+                cfg.readPct = std::stod(v, &used);
+            } catch (const std::exception &) {
+                used = 0;
+            }
+            if (used != v.size())
+                fatal("memtherm trace gen: --read-pct needs a number, "
+                      "got '" + v + "'");
+        } else
+            fatal("memtherm trace gen: unknown option '" + a + "'");
+    }
+    if (out_path.empty())
+        fatal("memtherm trace gen: -o <file> is required");
+    std::vector<TraceRecord> records = generateTrace(cfg);
+    saveTrace(out_path, records);
+    std::cout << "wrote " << out_path << " (" << records.size()
+              << " record(s))\n";
     return 0;
 }
 
@@ -354,6 +451,9 @@ struct ReportRow
     /// refresh model and for legacy results files.
     std::vector<double> refreshBw;
     std::vector<double> refreshEnergy;
+    /// Per-DIMM maximum over the bank-grid cells (schema v3); empty for
+    /// lumped-model runs and for older results files.
+    std::vector<double> peakBankMax;
 };
 
 /** One sweep point of a results file. */
@@ -521,6 +621,21 @@ cmdReport(const std::vector<std::string> &args)
                 peakList("avg_power_per_dimm_w", row.avgPower);
                 peakList("refresh_bw_loss_per_dimm_gb", row.refreshBw);
                 peakList("refresh_energy_per_dimm_j", row.refreshEnergy);
+                // Schema v3 per-bank peaks: one inner array of cells per
+                // DIMM; the CSV carries each DIMM's hottest cell.
+                if (const Json *pb = rj.find("peak_bank_dram_c")) {
+                    if (pb->isArray()) {
+                        for (const Json &dimm : pb->asArray()) {
+                            if (!dimm.isArray() ||
+                                dimm.asArray().empty())
+                                continue;
+                            double mx = dimm.asArray()[0].asNumber();
+                            for (const Json &c : dimm.asArray())
+                                mx = std::max(mx, c.asNumber());
+                            row.peakBankMax.push_back(mx);
+                        }
+                    }
+                }
                 if (std::isfinite(base_time) && base_time > 0.0)
                     row.norm = row.time / base_time;
                 pd.rows.push_back(std::move(row));
@@ -661,8 +776,10 @@ cmdReport(const std::vector<std::string> &args)
         std::size_t max_dimms = 0;
         // Refresh columns appear only when some run actually carried a
         // refresh model, so refresh-free reports stay byte-identical to
-        // what older binaries wrote.
+        // what older binaries wrote; the per-bank columns (schema v3)
+        // likewise appear only when a bank-grid run is present.
         std::size_t max_refresh_dimms = 0;
+        std::size_t max_bank_dimms = 0;
         for (const auto &pd : points) {
             for (const auto &r : pd.rows) {
                 max_dimms = std::max(
@@ -672,6 +789,8 @@ cmdReport(const std::vector<std::string> &args)
                 max_refresh_dimms = std::max(
                     max_refresh_dimms, std::max(r.refreshBw.size(),
                                                 r.refreshEnergy.size()));
+                max_bank_dimms =
+                    std::max(max_bank_dimms, r.peakBankMax.size());
             }
         }
         f << "scenario,point,workload,policy,completed,running_time_s,"
@@ -686,6 +805,8 @@ cmdReport(const std::vector<std::string> &args)
             f << ",refresh_bw_loss_dimm" << d << "_gb";
         for (std::size_t d = 0; d < max_refresh_dimms; ++d)
             f << ",refresh_energy_dimm" << d << "_j";
+        for (std::size_t d = 0; d < max_bank_dimms; ++d)
+            f << ",peak_bank_dimm" << d << "_c";
         f << '\n';
         auto cells = [&](const std::vector<double> &vals,
                          std::size_t width) {
@@ -711,6 +832,7 @@ cmdReport(const std::vector<std::string> &args)
                 peakCells(r.avgPower);
                 cells(r.refreshBw, max_refresh_dimms);
                 cells(r.refreshEnergy, max_refresh_dimms);
+                cells(r.peakBankMax, max_bank_dimms);
                 f << '\n';
             }
         }
@@ -1063,6 +1185,8 @@ main(int argc, char **argv)
             return cmdValidate(rest);
         if (cmd == "list")
             return cmdList(rest);
+        if (cmd == "trace")
+            return cmdTrace(rest);
     } catch (const FatalError &e) {
         std::cerr << "memtherm: " << e.what() << '\n';
         return 1;
